@@ -1,0 +1,134 @@
+//! DVFS levels supported by ICED islands.
+
+use std::fmt;
+
+/// Voltage/frequency level of a DVFS island.
+///
+/// The paper's Equation (1) fixes the frequency relationship
+/// `f(normal) = 2·f(relax) = 4·f(rest)`; the prototype's operating points
+/// are normal @ 0.7 V/434 MHz, relax @ 0.5 V/217 MHz, rest @
+/// 0.42 V/108.5 MHz (§V-A). Power-gating switches an island off entirely.
+///
+/// The derive ordering is `PowerGated < Rest < Relax < Normal`, so "higher
+/// level" means faster, matching Algorithm 1/2's comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DvfsLevel {
+    /// Island switched off (headers gated); no clock, no leakage.
+    PowerGated,
+    /// Quarter frequency, lowest active voltage.
+    Rest,
+    /// Half frequency.
+    Relax,
+    /// Nominal voltage and frequency.
+    #[default]
+    Normal,
+}
+
+impl DvfsLevel {
+    /// The three *active* levels, fastest first.
+    pub const ACTIVE: [DvfsLevel; 3] = [DvfsLevel::Normal, DvfsLevel::Relax, DvfsLevel::Rest];
+
+    /// Base-clock cycles per cycle of this level's clock domain
+    /// (`None` when power-gated).
+    pub fn rate_divisor(self) -> Option<u32> {
+        match self {
+            DvfsLevel::Normal => Some(1),
+            DvfsLevel::Relax => Some(2),
+            DvfsLevel::Rest => Some(4),
+            DvfsLevel::PowerGated => None,
+        }
+    }
+
+    /// Frequency as a fraction of nominal: the metric behind the paper's
+    /// "average DVFS level" figures (normal 100 %, relax 50 %, rest 25 %,
+    /// power-gated 0 %).
+    pub fn frequency_fraction(self) -> f64 {
+        match self {
+            DvfsLevel::Normal => 1.0,
+            DvfsLevel::Relax => 0.5,
+            DvfsLevel::Rest => 0.25,
+            DvfsLevel::PowerGated => 0.0,
+        }
+    }
+
+    /// One level faster (saturating at `Normal`); power-gated islands wake
+    /// into `Rest`.
+    pub fn raised(self) -> DvfsLevel {
+        match self {
+            DvfsLevel::PowerGated => DvfsLevel::Rest,
+            DvfsLevel::Rest => DvfsLevel::Relax,
+            DvfsLevel::Relax | DvfsLevel::Normal => DvfsLevel::Normal,
+        }
+    }
+
+    /// One *active* level slower (saturating at `Rest`; never gates — gating
+    /// is an explicit decision, not a gradual one).
+    pub fn lowered(self) -> DvfsLevel {
+        match self {
+            DvfsLevel::Normal => DvfsLevel::Relax,
+            DvfsLevel::Relax | DvfsLevel::Rest => DvfsLevel::Rest,
+            DvfsLevel::PowerGated => DvfsLevel::PowerGated,
+        }
+    }
+
+    /// Whether the island is running at all.
+    pub fn is_active(self) -> bool {
+        self != DvfsLevel::PowerGated
+    }
+}
+
+impl fmt::Display for DvfsLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DvfsLevel::Normal => "normal",
+            DvfsLevel::Relax => "relax",
+            DvfsLevel::Rest => "rest",
+            DvfsLevel::PowerGated => "power-gated",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_speed() {
+        assert!(DvfsLevel::Normal > DvfsLevel::Relax);
+        assert!(DvfsLevel::Relax > DvfsLevel::Rest);
+        assert!(DvfsLevel::Rest > DvfsLevel::PowerGated);
+    }
+
+    #[test]
+    fn equation_one_holds() {
+        // f_normal = 2*f_relax = 4*f_rest
+        let f = DvfsLevel::frequency_fraction;
+        assert_eq!(f(DvfsLevel::Normal), 2.0 * f(DvfsLevel::Relax));
+        assert_eq!(f(DvfsLevel::Normal), 4.0 * f(DvfsLevel::Rest));
+    }
+
+    #[test]
+    fn rate_divisors_invert_fractions() {
+        for lvl in DvfsLevel::ACTIVE {
+            let r = lvl.rate_divisor().unwrap() as f64;
+            assert!((lvl.frequency_fraction() * r - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(DvfsLevel::PowerGated.rate_divisor(), None);
+    }
+
+    #[test]
+    fn raise_lower_saturate() {
+        assert_eq!(DvfsLevel::Normal.raised(), DvfsLevel::Normal);
+        assert_eq!(DvfsLevel::Rest.lowered(), DvfsLevel::Rest);
+        assert_eq!(DvfsLevel::Relax.raised(), DvfsLevel::Normal);
+        assert_eq!(DvfsLevel::Normal.lowered(), DvfsLevel::Relax);
+        assert_eq!(DvfsLevel::PowerGated.raised(), DvfsLevel::Rest);
+        assert_eq!(DvfsLevel::PowerGated.lowered(), DvfsLevel::PowerGated);
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(DvfsLevel::default(), DvfsLevel::Normal);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for architecture configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building a [`CgraConfig`](crate::CgraConfig) or
+/// constructing an [`Mrrg`](crate::Mrrg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// Array dimensions must be positive.
+    ZeroDimension,
+    /// Island dimensions must be positive and no larger than the array.
+    InvalidIslandGeometry {
+        /// Configured island rows.
+        island_rows: usize,
+        /// Configured island columns.
+        island_cols: usize,
+    },
+    /// Register capacity must be positive (tiles need at least one register
+    /// to hold routed values across cycles).
+    ZeroRegisterCapacity,
+    /// The SPM must have at least one bank.
+    ZeroSpmBanks,
+    /// The initiation interval handed to the MRRG must be positive.
+    ZeroInitiationInterval,
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::ZeroDimension => write!(f, "array dimensions must be positive"),
+            ArchError::InvalidIslandGeometry {
+                island_rows,
+                island_cols,
+            } => write!(
+                f,
+                "island geometry {island_rows}x{island_cols} is invalid for this array"
+            ),
+            ArchError::ZeroRegisterCapacity => {
+                write!(f, "register capacity must be at least 1")
+            }
+            ArchError::ZeroSpmBanks => write!(f, "scratchpad must have at least one bank"),
+            ArchError::ZeroInitiationInterval => {
+                write!(f, "initiation interval must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_concise() {
+        assert!(ArchError::ZeroDimension.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Architecture model of the ICED CGRA.
+//!
+//! The ICED CGRA (paper §III) is an `n×n` mesh of tiles, each containing a
+//! functional unit, a register file, a configuration memory, and a crossbar
+//! with bypass buffers; the leftmost column is connected to a multi-banked
+//! scratchpad memory (SPM). Tiles are clustered into rectangular **DVFS
+//! islands** — each with its own LDO + ADPLL — that independently run at one
+//! of three voltage/frequency levels ([`DvfsLevel`]) or are power-gated.
+//!
+//! This crate provides:
+//!
+//! * [`CgraConfig`] — a validated, parametric description of the array
+//!   (dimensions, island geometry, SPM banks, register capacity),
+//! * [`TileId`]/[`IslandId`]/[`Dir`] — topology primitives,
+//! * [`Mrrg`] — the time-extended Modulo Routing Resource Graph used by the
+//!   mapper: occupancy tracking of FU slots, directed mesh links, and
+//!   register-file slots at base-clock granularity, with DVFS-rate-aware
+//!   reservation windows.
+//!
+//! # Example
+//!
+//! ```
+//! use iced_arch::{CgraConfig, DvfsLevel};
+//!
+//! # fn main() -> Result<(), iced_arch::ArchError> {
+//! let cgra = CgraConfig::iced_prototype(); // 6×6 with 2×2 islands
+//! assert_eq!(cgra.tile_count(), 36);
+//! assert_eq!(cgra.island_count(), 9);
+//! assert_eq!(DvfsLevel::Normal.rate_divisor(), Some(1));
+//! assert_eq!(DvfsLevel::Rest.rate_divisor(), Some(4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dvfs;
+mod error;
+mod mrrg;
+mod tile;
+
+pub use config::{CgraConfig, CgraConfigBuilder, FuLayout};
+pub use dvfs::DvfsLevel;
+pub use error::ArchError;
+pub use mrrg::Mrrg;
+pub use tile::{Dir, IslandId, TileId};

@@ -1,0 +1,250 @@
+//! Modulo Routing Resource Graph: time-extended occupancy tracking.
+//!
+//! The MRRG replicates the CGRA's resources along a modulo time axis of `II`
+//! base-clock cycles (Mei et al., the representation ICED's Algorithm 2 maps
+//! onto). Three resource classes are tracked per `(tile, base-cycle mod II)`
+//! slot:
+//!
+//! * the **functional unit** (one operation per tile cycle),
+//! * the four **outgoing mesh links** of the tile's crossbar,
+//! * the **register-file** slots used to hold routed values across cycles.
+//!
+//! DVFS awareness: an action on a tile whose island runs at rate divisor `r`
+//! spans `r` consecutive base cycles and must start phase-aligned
+//! (`start ≡ 0 (mod r)`); reservation methods take the window length so the
+//! same structure serves normal, relax, and rest tiles. Callers guarantee
+//! `r` divides `II`, which makes the wrapped windows tessellate.
+
+use crate::config::CgraConfig;
+use crate::error::ArchError;
+use crate::tile::{Dir, TileId};
+
+/// Occupancy state of a CGRA's resources over one modulo period.
+#[derive(Debug, Clone)]
+pub struct Mrrg {
+    ii: u32,
+    tiles: usize,
+    reg_capacity: u8,
+    /// `[tile * ii + cycle]`
+    fu: Vec<bool>,
+    /// `[(tile * 4 + dir) * ii + cycle]`
+    link: Vec<bool>,
+    /// `[tile * ii + cycle]` — number of live register slots.
+    reg: Vec<u8>,
+}
+
+impl Mrrg {
+    /// Creates an empty MRRG for `config` with initiation interval `ii`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::ZeroInitiationInterval`] when `ii == 0`.
+    pub fn new(config: &CgraConfig, ii: u32) -> Result<Self, ArchError> {
+        if ii == 0 {
+            return Err(ArchError::ZeroInitiationInterval);
+        }
+        let tiles = config.tile_count();
+        let n = tiles * ii as usize;
+        Ok(Mrrg {
+            ii,
+            tiles,
+            reg_capacity: config.reg_capacity(),
+            fu: vec![false; n],
+            link: vec![false; n * 4],
+            reg: vec![0; n],
+        })
+    }
+
+    /// The initiation interval this MRRG was built for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn slot(&self, tile: TileId, cycle: u64) -> usize {
+        debug_assert!(tile.index() < self.tiles, "tile out of range");
+        tile.index() * self.ii as usize + (cycle % self.ii as u64) as usize
+    }
+
+    fn link_slot(&self, tile: TileId, dir: Dir, cycle: u64) -> usize {
+        (tile.index() * 4 + dir.index()) * self.ii as usize + (cycle % self.ii as u64) as usize
+    }
+
+    /// Whether the FU of `tile` is free for a window of `len` base cycles
+    /// starting at absolute base cycle `start`.
+    pub fn fu_free(&self, tile: TileId, start: u64, len: u32) -> bool {
+        (0..len as u64).all(|i| !self.fu[self.slot(tile, start + i)])
+    }
+
+    /// Reserves the FU window. Call only after [`fu_free`](Mrrg::fu_free).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if part of the window is already occupied.
+    pub fn occupy_fu(&mut self, tile: TileId, start: u64, len: u32) {
+        for i in 0..len as u64 {
+            let s = self.slot(tile, start + i);
+            debug_assert!(!self.fu[s], "double-booked FU slot");
+            self.fu[s] = true;
+        }
+    }
+
+    /// Releases a previously reserved FU window.
+    pub fn release_fu(&mut self, tile: TileId, start: u64, len: u32) {
+        for i in 0..len as u64 {
+            let s = self.slot(tile, start + i);
+            self.fu[s] = false;
+        }
+    }
+
+    /// Whether the outgoing link of `tile` towards `dir` is free for `len`
+    /// base cycles starting at `start`.
+    pub fn link_free(&self, tile: TileId, dir: Dir, start: u64, len: u32) -> bool {
+        (0..len as u64).all(|i| !self.link[self.link_slot(tile, dir, start + i)])
+    }
+
+    /// Reserves a link window.
+    pub fn occupy_link(&mut self, tile: TileId, dir: Dir, start: u64, len: u32) {
+        for i in 0..len as u64 {
+            let s = self.link_slot(tile, dir, start + i);
+            self.link[s] = true;
+        }
+    }
+
+    /// Releases a link window.
+    pub fn release_link(&mut self, tile: TileId, dir: Dir, start: u64, len: u32) {
+        for i in 0..len as u64 {
+            let s = self.link_slot(tile, dir, start + i);
+            self.link[s] = false;
+        }
+    }
+
+    /// Whether a register slot of `tile` can hold a value for `len` base
+    /// cycles starting at `start`. Windows of `II` or more cycles demand a
+    /// slot for the whole period (the value overlaps itself across
+    /// iterations).
+    pub fn reg_available(&self, tile: TileId, start: u64, len: u64) -> bool {
+        let span = len.min(self.ii as u64);
+        (0..span).all(|i| self.reg[self.slot(tile, start + i)] < self.reg_capacity)
+    }
+
+    /// Reserves a register hold window.
+    pub fn occupy_reg(&mut self, tile: TileId, start: u64, len: u64) {
+        let span = len.min(self.ii as u64);
+        for i in 0..span {
+            let s = self.slot(tile, start + i);
+            debug_assert!(self.reg[s] < self.reg_capacity, "register overflow");
+            self.reg[s] += 1;
+        }
+    }
+
+    /// Releases a register hold window.
+    pub fn release_reg(&mut self, tile: TileId, start: u64, len: u64) {
+        let span = len.min(self.ii as u64);
+        for i in 0..span {
+            let s = self.slot(tile, start + i);
+            debug_assert!(self.reg[s] > 0, "releasing an empty register window");
+            self.reg[s] = self.reg[s].saturating_sub(1);
+        }
+    }
+
+    /// Number of occupied FU base-cycle slots on `tile` (used by the
+    /// utilization accounting).
+    pub fn fu_busy_cycles(&self, tile: TileId) -> u32 {
+        let base = tile.index() * self.ii as usize;
+        self.fu[base..base + self.ii as usize]
+            .iter()
+            .filter(|&&b| b)
+            .count() as u32
+    }
+
+    /// Number of occupied outgoing-link base-cycle slots on `tile`.
+    pub fn link_busy_cycles(&self, tile: TileId) -> u32 {
+        let mut n = 0;
+        for dir in Dir::ALL {
+            let base = (tile.index() * 4 + dir.index()) * self.ii as usize;
+            n += self.link[base..base + self.ii as usize]
+                .iter()
+                .filter(|&&b| b)
+                .count() as u32;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mrrg(ii: u32) -> Mrrg {
+        Mrrg::new(&CgraConfig::square(4).unwrap(), ii).unwrap()
+    }
+
+    #[test]
+    fn zero_ii_rejected() {
+        assert!(matches!(
+            Mrrg::new(&CgraConfig::square(4).unwrap(), 0),
+            Err(ArchError::ZeroInitiationInterval)
+        ));
+    }
+
+    #[test]
+    fn fu_windows_wrap_modulo_ii() {
+        let mut m = mrrg(4);
+        let t = TileId(5);
+        // A rest-rate op at absolute cycle 4 occupies cycles 4..8 ≡ 0..4.
+        assert!(m.fu_free(t, 4, 4));
+        m.occupy_fu(t, 4, 4);
+        assert!(!m.fu_free(t, 0, 1));
+        assert!(!m.fu_free(t, 103, 1)); // any absolute time maps into the period
+        assert_eq!(m.fu_busy_cycles(t), 4);
+        m.release_fu(t, 4, 4);
+        assert!(m.fu_free(t, 0, 4));
+    }
+
+    #[test]
+    fn links_are_independent_per_direction() {
+        let mut m = mrrg(4);
+        let t = TileId(0);
+        m.occupy_link(t, Dir::East, 1, 1);
+        assert!(!m.link_free(t, Dir::East, 1, 1));
+        assert!(m.link_free(t, Dir::South, 1, 1));
+        assert!(m.link_free(t, Dir::East, 2, 1));
+        assert_eq!(m.link_busy_cycles(t), 1);
+    }
+
+    #[test]
+    fn register_capacity_is_enforced() {
+        let cfg = CgraConfig::builder(2, 2).island(1, 1).reg_capacity(2).build().unwrap();
+        let mut m = Mrrg::new(&cfg, 2).unwrap();
+        let t = TileId(3);
+        assert!(m.reg_available(t, 0, 2));
+        m.occupy_reg(t, 0, 2);
+        m.occupy_reg(t, 0, 2);
+        assert!(!m.reg_available(t, 0, 1));
+        assert!(!m.reg_available(t, 1, 1));
+        m.release_reg(t, 0, 2);
+        assert!(m.reg_available(t, 1, 1));
+    }
+
+    #[test]
+    fn long_holds_clamp_to_one_period() {
+        let mut m = mrrg(4);
+        let t = TileId(2);
+        // Holding for 100 cycles just pins one slot for the whole period.
+        m.occupy_reg(t, 1, 100);
+        for c in 0..4 {
+            assert_eq!(m.reg[t.index() * 4 + c], 1);
+        }
+        m.release_reg(t, 1, 100);
+        assert!(m.reg_available(t, 0, 4));
+    }
+
+    #[test]
+    fn clone_snapshots_state() {
+        let mut m = mrrg(2);
+        let snap = m.clone();
+        m.occupy_fu(TileId(1), 0, 1);
+        assert!(!m.fu_free(TileId(1), 0, 1));
+        assert!(snap.fu_free(TileId(1), 0, 1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Topology primitives: tiles, islands, mesh directions.
+
+use std::fmt;
+
+/// Identifier of one CGRA tile.
+///
+/// Tiles are numbered row-major: tile `r·cols + c` sits at row `r`,
+/// column `c`, matching the paper's Figure 1 numbering (tile0 top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId(pub u16);
+
+impl TileId {
+    /// Dense index of this tile.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tile{}", self.0)
+    }
+}
+
+/// Identifier of one DVFS island (a rectangular group of tiles sharing an
+/// LDO + ADPLL + DVFS control unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IslandId(pub u16);
+
+impl IslandId {
+    /// Dense index of this island.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IslandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "island{}", self.0)
+    }
+}
+
+/// Mesh direction of a tile-to-tile link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Towards row − 1.
+    North,
+    /// Towards column + 1.
+    East,
+    /// Towards row + 1.
+    South,
+    /// Towards column − 1.
+    West,
+}
+
+impl Dir {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::East, Dir::South, Dir::West];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::East => Dir::West,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// Dense index 0..4.
+    pub fn index(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::East => 1,
+            Dir::South => 2,
+            Dir::West => 3,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::North => "N",
+            Dir::East => "E",
+            Dir::South => "S",
+            Dir::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_distinct() {
+        let mut seen = [false; 4];
+        for d in Dir::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TileId(9).to_string(), "tile9");
+        assert_eq!(IslandId(2).to_string(), "island2");
+        assert_eq!(Dir::North.to_string(), "N");
+    }
+}

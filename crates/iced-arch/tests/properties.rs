@@ -1,0 +1,111 @@
+//! Property-based tests for the architecture substrate: MRRG reservations
+//! must be exact inverses of releases, island geometry must partition the
+//! fabric, and topology relations must be symmetric.
+
+use iced_arch::{CgraConfig, Dir, Mrrg, TileId};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CgraConfig> {
+    (1usize..=8, 1usize..=8, 1usize..=3, 1usize..=3).prop_filter_map(
+        "island fits array",
+        |(rows, cols, ir, ic)| {
+            CgraConfig::builder(rows, cols).island(ir, ic).build().ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn islands_partition_the_fabric(cfg in arb_config()) {
+        let mut seen = vec![0u32; cfg.tile_count()];
+        for island in cfg.islands() {
+            for t in cfg.island_tiles(island) {
+                seen[t.index()] += 1;
+                prop_assert_eq!(cfg.island_of(t), island);
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric(cfg in arb_config()) {
+        for t in cfg.tiles() {
+            for (d, n) in cfg.neighbors(t) {
+                prop_assert_eq!(cfg.neighbor(n, d.opposite()), Some(t));
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(cfg in arb_config(), a in 0usize..64, b in 0usize..64, c in 0usize..64) {
+        let n = cfg.tile_count();
+        let (a, b, c) = (TileId((a % n) as u16), TileId((b % n) as u16), TileId((c % n) as u16));
+        prop_assert_eq!(cfg.manhattan(a, b), cfg.manhattan(b, a));
+        prop_assert_eq!(cfg.manhattan(a, a), 0);
+        prop_assert!(cfg.manhattan(a, c) <= cfg.manhattan(a, b) + cfg.manhattan(b, c));
+    }
+
+    #[test]
+    fn mrrg_occupy_release_round_trips(
+        cfg in arb_config(),
+        ii in 1u32..=8,
+        ops in proptest::collection::vec((0usize..64, 0u64..32, 1u32..=4), 0..24),
+    ) {
+        let mut m = Mrrg::new(&cfg, ii).unwrap();
+        let n = cfg.tile_count();
+        let mut committed = Vec::new();
+        for (t, start, len) in ops {
+            let tile = TileId((t % n) as u16);
+            let len = len.min(ii);
+            if m.fu_free(tile, start, len) {
+                m.occupy_fu(tile, start, len);
+                committed.push((tile, start, len));
+            }
+            // Occupied windows must report busy.
+            prop_assert!(!committed.iter().any(|&(tt, s, l)| tt == tile && l > 0
+                && m.fu_free(tt, s, l)));
+        }
+        for (tile, start, len) in committed.into_iter().rev() {
+            m.release_fu(tile, start, len);
+        }
+        for t in cfg.tiles() {
+            prop_assert_eq!(m.fu_busy_cycles(t), 0);
+            prop_assert!(m.fu_free(t, 0, ii));
+        }
+    }
+
+    #[test]
+    fn link_windows_are_independent_per_direction(cfg in arb_config(), ii in 1u32..=6) {
+        let mut m = Mrrg::new(&cfg, ii).unwrap();
+        let t = TileId(0);
+        m.occupy_link(t, Dir::East, 0, 1);
+        for d in [Dir::North, Dir::South, Dir::West] {
+            prop_assert!(m.link_free(t, d, 0, 1));
+        }
+        m.release_link(t, Dir::East, 0, 1);
+        prop_assert!(m.link_free(t, Dir::East, 0, 1));
+    }
+
+    #[test]
+    fn register_pressure_never_exceeds_capacity(
+        ii in 1u32..=6,
+        holds in proptest::collection::vec((0u64..16, 1u64..8), 0..64),
+    ) {
+        let cfg = CgraConfig::builder(2, 2).reg_capacity(4).build().unwrap();
+        let mut m = Mrrg::new(&cfg, ii).unwrap();
+        let t = TileId(0);
+        let mut live = 0usize;
+        for (start, len) in holds {
+            if m.reg_available(t, start, len) {
+                m.occupy_reg(t, start, len);
+                live += 1;
+            }
+        }
+        // With capacity 4 and every hold clamped to one period, at most 4
+        // can overlap any single cycle; the accept count may be larger only
+        // if holds are disjoint in time.
+        prop_assert!(live <= 4 * ii as usize);
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benches for the compiler analyses: recurrence-cycle
+//! enumeration / RecMII, Algorithm-1 labeling, unrolling, and MRRG
+//! construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iced::arch::{CgraConfig, Mrrg};
+use iced::dfg::recurrence;
+use iced::dfg::transform::{unroll, UnrollOptions};
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::mapper::label_dvfs_levels;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_recurrence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recurrence");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for k in [Kernel::Fir, Kernel::Fft, Kernel::LuSolver1] {
+        let dfg = k.dfg(UnrollFactor::X2);
+        g.bench_with_input(BenchmarkId::new("rec_mii", k.name()), &dfg, |b, dfg| {
+            b.iter(|| recurrence::rec_mii(black_box(dfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("cycles", k.name()), &dfg, |b, dfg| {
+            b.iter(|| recurrence::enumerate_cycles(black_box(dfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let cfg = CgraConfig::iced_prototype();
+    let mut g = c.benchmark_group("labeling");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for k in [Kernel::Spmv, Kernel::GcnCombRelu] {
+        let dfg = k.dfg(UnrollFactor::X1);
+        g.bench_with_input(BenchmarkId::from_parameter(k.name()), &dfg, |b, dfg| {
+            b.iter(|| label_dvfs_levels(black_box(dfg), &cfg, 4))
+        });
+    }
+    g.finish();
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unroll");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let dfg = Kernel::Fft.dfg(UnrollFactor::X1);
+    for factor in [2u32, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            b.iter(|| unroll(black_box(&dfg), &UnrollOptions::new(f)).expect("unrolls"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mrrg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mrrg_build");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    for n in [6usize, 8] {
+        let cfg = CgraConfig::square(n).expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| Mrrg::new(black_box(cfg), 8).expect("valid ii"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recurrence, bench_labeling, bench_unroll, bench_mrrg);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the figure-regeneration pipelines themselves —
+//! one group per evaluation artifact, so `cargo bench` exercises the code
+//! path behind every table and figure (Table I, Figs. 2/4/8/9-12 pipeline
+//! on a representative kernel, Fig. 13 streaming on a shortened stream).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iced::arch::CgraConfig;
+use iced::kernels::pipelines::Pipeline;
+use iced::kernels::{workloads, Kernel, UnrollFactor};
+use iced::power::{AreaModel, PowerModel};
+use iced::streaming::{simulate, Partition, RuntimePolicy};
+use iced::{Strategy, Toolchain};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_suite_generation", |b| {
+        b.iter(|| {
+            for k in Kernel::ALL {
+                for uf in UnrollFactor::ALL {
+                    black_box(k.dfg(uf));
+                }
+            }
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = CgraConfig::iced_prototype();
+    c.bench_function("fig08_breakdown", |b| {
+        b.iter(|| {
+            let area = AreaModel::asap7().breakdown(black_box(&cfg));
+            let power = PowerModel::asap7().controllers_power_mw(9);
+            (area, power)
+        })
+    });
+}
+
+fn bench_fig9_pipeline(c: &mut Criterion) {
+    let tc = Toolchain::prototype();
+    let dfg = Kernel::Histogram.dfg(UnrollFactor::X1);
+    let mut g = c.benchmark_group("fig09_pipeline");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("three_strategies", |b| {
+        b.iter(|| {
+            let base = tc.compile(black_box(&dfg), Strategy::Baseline).expect("maps");
+            let pt = tc.compile(black_box(&dfg), Strategy::PerTileDvfs).expect("maps");
+            let ic = tc.compile(black_box(&dfg), Strategy::IcedIslands).expect("maps");
+            (
+                base.average_utilization_all_tiles(),
+                pt.average_utilization(),
+                ic.average_utilization(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig13_stream(c: &mut Criterion) {
+    let cfg = CgraConfig::iced_prototype();
+    let model = PowerModel::asap7();
+    let pipeline = Pipeline::gcn();
+    let partition = Partition::table1(&pipeline, &cfg).expect("partition maps");
+    let inputs: Vec<u64> = workloads::enzymes_like(50, 9).iter().map(|g| g.nnz()).collect();
+    let mut g = c.benchmark_group("fig13_stream");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("gcn_50_inputs_iced", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&pipeline),
+                &partition,
+                &model,
+                &inputs,
+                RuntimePolicy::IcedDvfs,
+            )
+        })
+    });
+    g.bench_function("gcn_50_inputs_drips", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&pipeline),
+                &partition,
+                &model,
+                &inputs,
+                RuntimePolicy::Drips,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_fig8, bench_fig9_pipeline, bench_fig13_stream);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for the mapping toolchain — the paper's compile-time
+//! claim is "optimal solutions within tens of seconds"; this measures the
+//! baseline and DVFS-aware mappers per kernel and per fabric size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iced::arch::CgraConfig;
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::mapper::{map_baseline, map_dvfs_aware};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let cfg = CgraConfig::iced_prototype();
+    let mut g = c.benchmark_group("map_6x6");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [Kernel::Fir, Kernel::Spmv, Kernel::Fft, Kernel::Gemm] {
+        let dfg = k.dfg(UnrollFactor::X1);
+        g.bench_with_input(BenchmarkId::new("baseline", k.name()), &dfg, |b, dfg| {
+            b.iter(|| map_baseline(black_box(dfg), &cfg).expect("maps"))
+        });
+        g.bench_with_input(BenchmarkId::new("iced", k.name()), &dfg, |b, dfg| {
+            b.iter(|| map_dvfs_aware(black_box(dfg), &cfg).expect("maps"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let dfg = Kernel::Conv.dfg(UnrollFactor::X1);
+    let mut g = c.benchmark_group("map_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 6, 8] {
+        let cfg = CgraConfig::square(n).expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| map_dvfs_aware(black_box(&dfg), cfg).expect("maps"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_unrolled(c: &mut Criterion) {
+    let cfg = CgraConfig::iced_prototype();
+    let mut g = c.benchmark_group("map_unrolled");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for k in [Kernel::Fir, Kernel::Gemm] {
+        let dfg = k.dfg(UnrollFactor::X2);
+        g.bench_with_input(BenchmarkId::from_parameter(k.name()), &dfg, |b, dfg| {
+            b.iter(|| map_dvfs_aware(black_box(dfg), &cfg).expect("maps"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_sizes, bench_unrolled);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches for the simulation layer: schedule validation,
+//! activity analysis, functional interpretation/replay, and energy
+//! accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::sim::{functional, validate_schedule, FabricStats};
+use iced::{Strategy, Toolchain};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_validation(c: &mut Criterion) {
+    let tc = Toolchain::prototype();
+    let mut g = c.benchmark_group("validate");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    for k in [Kernel::Fir, Kernel::Fft] {
+        let dfg = k.dfg(UnrollFactor::X1);
+        let compiled = tc.compile(&dfg, Strategy::IcedIslands).expect("maps");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(k.name()),
+            &(dfg, compiled),
+            |b, (dfg, compiled)| {
+                b.iter(|| validate_schedule(black_box(dfg), compiled.mapping()).expect("valid"))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let tc = Toolchain::prototype();
+    let dfg = Kernel::Dtw.dfg(UnrollFactor::X1);
+    let compiled = tc.compile(&dfg, Strategy::IcedIslands).expect("maps");
+    c.bench_function("fabric_stats", |b| {
+        b.iter(|| FabricStats::analyze(black_box(compiled.mapping())))
+    });
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let tc = Toolchain::prototype();
+    let mut g = c.benchmark_group("functional");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let dfg = Kernel::Gemm.dfg(UnrollFactor::X1);
+    let compiled = tc.compile(&dfg, Strategy::IcedIslands).expect("maps");
+    g.bench_function("interpret_256", |b| {
+        b.iter(|| functional::interpret(black_box(&dfg), 256, 42))
+    });
+    g.bench_function("replay_256", |b| {
+        b.iter(|| functional::replay(black_box(&dfg), compiled.mapping(), 256, 42, 128).expect("legal"))
+    });
+    g.finish();
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let tc = Toolchain::prototype();
+    let dfg = Kernel::Mvt.dfg(UnrollFactor::X1);
+    let compiled = tc.compile(&dfg, Strategy::IcedIslands).expect("maps");
+    c.bench_function("energy_accounting", |b| {
+        b.iter(|| black_box(&compiled).energy(4096))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let tc = Toolchain::prototype();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [Kernel::Fir, Kernel::Fft] {
+        let dfg = k.dfg(UnrollFactor::X1);
+        let compiled = tc.compile(&dfg, Strategy::IcedIslands).expect("maps");
+        g.bench_function(format!("cycle_step_64_{}", k.name()), |b| {
+            b.iter(|| {
+                iced::sim::engine::run(black_box(&dfg), compiled.mapping(), 64, 1)
+                    .expect("legal schedule")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitstream(c: &mut Criterion) {
+    let tc = Toolchain::prototype();
+    let dfg = Kernel::Dtw.dfg(UnrollFactor::X1);
+    let compiled = tc.compile(&dfg, Strategy::IcedIslands).expect("maps");
+    c.bench_function("bitstream_assemble", |b| {
+        b.iter(|| iced::mapper::Bitstream::assemble(black_box(&dfg), compiled.mapping()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_validation,
+    bench_stats,
+    bench_functional,
+    bench_energy,
+    bench_engine,
+    bench_bitstream
+);
+criterion_main!(benches);

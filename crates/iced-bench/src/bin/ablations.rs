@@ -1,0 +1,100 @@
+//! Ablation study of the mapper's design choices (the knobs DESIGN.md §4
+//! calls out): recurrence-cycle-first placement order, the per-II label
+//! ladder, and the final island relaxation pass. Reports II, average DVFS
+//! level, and power per variant across the standalone suite.
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin ablations
+//! ```
+
+use iced::arch::{CgraConfig, DvfsLevel};
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::mapper::{map_with, relax_islands, MapperOptions};
+use iced::power::PowerModel;
+use iced::sim::{DvfsSupport, EnergyBreakdown, FabricStats};
+
+struct Variant {
+    name: &'static str,
+    opts: MapperOptions,
+    island_relax: bool,
+}
+
+fn main() {
+    let cfg = CgraConfig::iced_prototype();
+    let model = PowerModel::asap7();
+    let variants = [
+        Variant {
+            name: "full iced",
+            opts: MapperOptions::default(),
+            island_relax: true,
+        },
+        Variant {
+            name: "no island-relax",
+            opts: MapperOptions::default(),
+            island_relax: false,
+        },
+        Variant {
+            name: "no cycle-first",
+            opts: MapperOptions {
+                cycle_first: false,
+                ..MapperOptions::default()
+            },
+            island_relax: true,
+        },
+        Variant {
+            name: "no label-ladder",
+            opts: MapperOptions {
+                label_ladder: false,
+                max_ii: 96,
+                ..MapperOptions::default()
+            },
+            island_relax: true,
+        },
+        Variant {
+            name: "relax-only levels",
+            opts: MapperOptions {
+                allowed_levels: vec![DvfsLevel::Normal, DvfsLevel::Relax],
+                ..MapperOptions::default()
+            },
+            island_relax: true,
+        },
+    ];
+
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>8}",
+        "variant", "avg II", "avg lvl %", "power mW", "mapped"
+    );
+    for v in &variants {
+        let mut ii_sum = 0.0;
+        let mut lvl_sum = 0.0;
+        let mut pw_sum = 0.0;
+        let mut mapped = 0usize;
+        for k in Kernel::STANDALONE {
+            let dfg = k.dfg(UnrollFactor::X1);
+            let Ok(m) = map_with(&dfg, &cfg, &v.opts) else {
+                continue;
+            };
+            let m = if v.island_relax { relax_islands(&dfg, &m) } else { m };
+            let stats = FabricStats::analyze(&m);
+            ii_sum += m.ii() as f64;
+            lvl_sum += stats.average_dvfs_level();
+            pw_sum += EnergyBreakdown::account(&dfg, &m, &model, DvfsSupport::PerIsland, 4096)
+                .total_power_mw();
+            mapped += 1;
+        }
+        let n = mapped.max(1) as f64;
+        println!(
+            "{:<18} {:>8.2} {:>10.1} {:>10.1} {:>7}/10",
+            v.name,
+            ii_sum / n,
+            100.0 * lvl_sum / n,
+            pw_sum / n,
+            mapped
+        );
+    }
+    println!(
+        "\nreading: disabling island relaxation raises level/power; disabling \
+         cycle-first placement costs II on recurrence-heavy kernels; the label \
+         ladder protects II when aggressive labels fail."
+    );
+}

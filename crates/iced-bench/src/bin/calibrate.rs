@@ -1,0 +1,54 @@
+//! Calibration sweep: finds power-model fractions that best reproduce the
+//! paper's Fig. 11 ratios (iced/baseline 1.32x, pg/baseline 1.12x,
+//! per-tile/iced 1.6x at UF2). Mappings are computed once; only the
+//! accounting is swept.
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::power::PowerModel;
+use iced::sim::EnergyBreakdown;
+use iced::{Strategy, Toolchain};
+
+fn main() {
+    let tc = Toolchain::prototype();
+    // Precompute all mappings once.
+    let mut compiled = Vec::new();
+    for k in Kernel::STANDALONE {
+        let dfg = k.dfg(UnrollFactor::X2);
+        let per: Vec<_> = Strategy::ALL
+            .iter()
+            .map(|&s| (s, tc.compile(&dfg, s).unwrap()))
+            .collect();
+        compiled.push((dfg, per));
+    }
+    let mut best = (f64::MAX, 0.0, 0.0, 0.0);
+    for sf10 in 0..=8 {
+        for cf10 in 0..=10 {
+            for ss10 in [0.0f64, 0.1, 0.2, 0.3] {
+                let sf = sf10 as f64 * 0.05;
+                let cf = cf10 as f64 * 0.05;
+                let model = PowerModel::with_fractions(sf, cf, ss10);
+                let mut sums = [0.0f64; 4];
+                for (dfg, per) in &compiled {
+                    for (i, (s, c)) in per.iter().enumerate() {
+                        sums[i] += EnergyBreakdown::account(
+                            dfg, c.mapping(), &model, s.dvfs_support(), 4096,
+                        )
+                        .total_power_mw();
+                    }
+                }
+                let iced_r = sums[0] / sums[3];
+                let pg_r = sums[0] / sums[1];
+                let pt_r = sums[2] / sums[3];
+                let err = ((iced_r - 1.32f64) / 1.32).powi(2)
+                    + ((pg_r - 1.12f64) / 1.12).powi(2)
+                    + ((pt_r - 1.60f64) / 1.60).powi(2);
+                if err < best.0 {
+                    best = (err, sf, cf, ss10);
+                    println!(
+                        "sf={sf:.2} cf={cf:.2} ss={ss10:.1}: iced={iced_r:.2} pg={pg_r:.2} pt={pt_r:.2} err={err:.4}"
+                    );
+                }
+            }
+        }
+    }
+    println!("best: static={:.2} clock={:.2} sram_static={:.1}", best.1, best.2, best.3);
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Figure 2**: average tile utilization of the conventional
+//! (no-DVFS) mapping across CGRA sizes, with and without unrolling —
+//! the under-utilization that motivates ICED.
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin fig02
+//! ```
+
+use iced::arch::CgraConfig;
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::{Strategy, Toolchain};
+use iced_bench::pct;
+
+fn main() {
+    let sizes = [4usize, 6, 8];
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "kernel", "4x4 uf1", "6x6 uf1", "8x8 uf1", "4x4 uf2", "6x6 uf2", "8x8 uf2"
+    );
+    let mut sums = [0.0f64; 6];
+    for k in Kernel::STANDALONE {
+        let mut cells = Vec::new();
+        for uf in UnrollFactor::ALL {
+            for &n in &sizes {
+                let tc = Toolchain::new(CgraConfig::square(n).expect("valid size"));
+                let c = tc
+                    .compile(&k.dfg(uf), Strategy::Baseline)
+                    .unwrap_or_else(|e| panic!("{} {n} {uf:?}: {e}", k.name()));
+                cells.push(c.average_utilization_all_tiles());
+            }
+        }
+        for (s, &c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            k.name(),
+            pct(cells[0]),
+            pct(cells[1]),
+            pct(cells[2]),
+            pct(cells[3]),
+            pct(cells[4]),
+            pct(cells[5]),
+        );
+    }
+    let n = Kernel::STANDALONE.len() as f64;
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "average",
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+        pct(sums[4] / n),
+        pct(sums[5] / n),
+    );
+    println!("\nshape check: utilization decreases as the fabric grows (paper Fig. 2)");
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 8**: area and power breakdown of the 6×6 ICED CGRA
+//! at nominal V/F (0.7 V / 434 MHz), from the calibrated ASAP7 model.
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin fig08
+//! ```
+
+use iced::arch::{CgraConfig, DvfsLevel};
+use iced::power::{AreaModel, PowerModel};
+
+fn main() {
+    let cfg = CgraConfig::iced_prototype();
+    let area = AreaModel::asap7();
+    let power = PowerModel::asap7();
+    let b = area.breakdown(&cfg);
+
+    println!("6x6 ICED CGRA @ 0.7 V / 434 MHz (ASAP7 calibration)\n");
+    println!("area breakdown:");
+    println!("  tiles ({}):            {:>7.3} mm2", cfg.tile_count(), b.tiles_mm2);
+    println!("  DVFS units ({} islands): {:>7.3} mm2", cfg.island_count(), b.dvfs_mm2);
+    println!("  array total (no SRAM):  {:>7.3} mm2  (published: 6.630 mm2)", b.array_mm2());
+    println!("  SRAM (32 KB, 8 banks):  {:>7.3} mm2  (published: 0.559 mm2)", b.sram_mm2);
+    println!("  chip total:             {:>7.3} mm2", b.total_mm2());
+
+    let tile_full = power.tile_power_mw(DvfsLevel::Normal, 1.0);
+    println!("\npower breakdown at full activity:");
+    println!("  one tile:               {:>7.3} mW", tile_full);
+    println!(
+        "  36-tile array:          {:>7.2} mW  (published average: 113.95 mW)",
+        36.0 * tile_full
+    );
+    println!(
+        "  9 island DVFS units:    {:>7.2} mW ({:.1} % of the array)",
+        power.controllers_power_mw(9),
+        100.0 * power.controllers_power_mw(9) / (36.0 * tile_full)
+    );
+    println!(
+        "  36 per-tile DVFS units: {:>7.2} mW ({:.1} % of the array — the >30 % UE-CGRA overhead)",
+        power.controllers_power_mw(36),
+        100.0 * power.controllers_power_mw(36) / (36.0 * tile_full)
+    );
+    println!(
+        "  SRAM peak:              {:>7.2} mW  (published: 62.653 mW)",
+        power.sram_power_mw(1.0)
+    );
+
+    println!("\nV/F operating points:");
+    for lvl in DvfsLevel::ACTIVE {
+        let vf = iced::power::VfPoint::of(lvl).expect("active");
+        println!(
+            "  {:<7} {:.2} V / {:>6.1} MHz -> tile {:>6.3} mW busy, {:>6.3} mW idle",
+            lvl.to_string(),
+            vf.voltage_v(),
+            vf.freq_mhz(),
+            power.tile_power_mw(lvl, 1.0),
+            power.tile_power_mw(lvl, 0.0),
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Figure 10**: average DVFS level across tiles (normal
+//! 100 %, relax 50 %, rest 25 %, power-gated 0 %) for the per-tile DVFS
+//! comparator and ICED (paper: 35 % vs 26 % at UF1, 53 % vs 37 % at UF2).
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin fig10
+//! ```
+
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::{Strategy, Toolchain};
+use iced_bench::{emit_csv, pct};
+
+fn main() {
+    let tc = Toolchain::prototype();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for uf in UnrollFactor::ALL {
+        println!("--- unrolling factor {} ---", uf.factor());
+        println!("{:<12} {:>10} {:>10}", "kernel", "per-tile", "iced");
+        let mut sums = [0.0f64; 2];
+        for k in Kernel::STANDALONE {
+            let dfg = k.dfg(uf);
+            let pt = tc
+                .compile(&dfg, Strategy::PerTileDvfs)
+                .expect("per-tile maps")
+                .average_dvfs_level();
+            let ic = tc
+                .compile(&dfg, Strategy::IcedIslands)
+                .expect("iced maps")
+                .average_dvfs_level();
+            sums[0] += pt;
+            sums[1] += ic;
+            csv.push(vec![
+                k.name().to_string(),
+                uf.factor().to_string(),
+                pct(pt),
+                pct(ic),
+            ]);
+            println!("{:<12} {:>10} {:>10}", k.name(), pct(pt), pct(ic));
+        }
+        let n = Kernel::STANDALONE.len() as f64;
+        println!(
+            "{:<12} {:>10} {:>10}",
+            "average",
+            pct(sums[0] / n),
+            pct(sums[1] / n)
+        );
+        println!();
+    }
+    emit_csv(
+        "fig10_dvfs_levels",
+        &["kernel", "unroll", "per_tile_pct", "iced_pct"],
+        &csv,
+    );
+    println!("paper anchors: iced 35% vs per-tile 26% (UF1); 53% vs 37% (UF2)");
+}

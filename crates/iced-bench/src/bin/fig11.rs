@@ -1,0 +1,77 @@
+//! Regenerates **Figure 11**: average power per kernel for the four
+//! evaluated configurations (paper, UF2 averages: baseline 160.4 mW,
+//! baseline+PG 143.8 mW, per-tile 193.9 mW, ICED 121.3 mW → ICED 1.32×
+//! over baseline and 1.6× over per-tile in energy efficiency).
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin fig11
+//! ```
+
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::{Strategy, Toolchain};
+use iced_bench::{emit_csv, POWER_ITERATIONS};
+
+fn main() {
+    let tc = Toolchain::prototype();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for uf in UnrollFactor::ALL {
+        println!("--- unrolling factor {} (mW) ---", uf.factor());
+        println!(
+            "{:<12} {:>10} {:>12} {:>10} {:>10}",
+            "kernel", "baseline", "baseline+pg", "per-tile", "iced"
+        );
+        let mut sums = [0.0f64; 4];
+        for k in Kernel::STANDALONE {
+            let dfg = k.dfg(uf);
+            let mut row = [0.0f64; 4];
+            for (i, s) in Strategy::ALL.iter().enumerate() {
+                row[i] = tc
+                    .compile(&dfg, *s)
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", k.name(), s.name()))
+                    .power_mw(POWER_ITERATIONS);
+                sums[i] += row[i];
+            }
+            csv.push(vec![
+                k.name().to_string(),
+                uf.factor().to_string(),
+                format!("{:.2}", row[0]),
+                format!("{:.2}", row[1]),
+                format!("{:.2}", row[2]),
+                format!("{:.2}", row[3]),
+            ]);
+            println!(
+                "{:<12} {:>10.1} {:>12.1} {:>10.1} {:>10.1}",
+                k.name(),
+                row[0],
+                row[1],
+                row[2],
+                row[3]
+            );
+        }
+        let n = Kernel::STANDALONE.len() as f64;
+        println!(
+            "{:<12} {:>10.1} {:>12.1} {:>10.1} {:>10.1}",
+            "average",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n,
+            sums[3] / n
+        );
+        println!(
+            "ratios: iced/baseline = {:.2}x efficiency, pg/baseline = {:.2}x, \
+             per-tile/iced = {:.2}x",
+            sums[0] / sums[3],
+            sums[0] / sums[1],
+            sums[2] / sums[3],
+        );
+        println!();
+    }
+    emit_csv(
+        "fig11_power",
+        &["kernel", "unroll", "baseline_mw", "baseline_pg_mw", "per_tile_mw", "iced_mw"],
+        &csv,
+    );
+    println!(
+        "paper anchors (UF2): 160.4 / 143.8 / 193.9 / 121.3 mW -> 1.32x and 1.6x"
+    );
+}

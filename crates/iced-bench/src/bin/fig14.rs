@@ -1,0 +1,55 @@
+//! Regenerates **Figure 14**: power vs performance of FFT across
+//! architectures. The non-ICED points are literature constants (the paper
+//! also derives them from the HyCUBE A-SSCC'19 and RipTide MICRO'22
+//! publications); the ICED point is computed from this repository's model.
+//!
+//! The paper itself cautions that a fair cross-platform comparison is
+//! impossible (different technologies, tile counts, memory hierarchies) —
+//! the figure is a context plot, and so is this one.
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin fig14
+//! ```
+
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::{Strategy, Toolchain};
+
+/// Published FFT datapoints (architecture, power in mW, MOPS).
+/// Derived from HyCUBE (A-SSCC'19) and RipTide (MICRO'22) as in the paper.
+const LITERATURE: [(&str, f64, f64); 4] = [
+    ("HyCUBE @0.9V", 15.6, 412.0),
+    ("HyCUBE @0.6V", 3.6, 139.0),
+    ("RipTide", 0.32, 43.0),
+    ("SNAFU", 0.27, 28.0),
+];
+
+fn main() {
+    println!("{:<16} {:>10} {:>10} {:>12}", "architecture", "power mW", "MOPS", "MOPS/mW");
+    for (name, p, mops) in LITERATURE {
+        println!("{:<16} {:>10.2} {:>10.0} {:>12.1}", name, p, mops, mops / p);
+    }
+
+    // ICED point: fft on the 6×6 prototype with island DVFS.
+    let tc = Toolchain::prototype();
+    let dfg = Kernel::Fft.dfg(UnrollFactor::X1);
+    let c = tc.compile(&dfg, Strategy::IcedIslands).expect("fft maps");
+    let e = c.energy(1_000_000);
+    // Operations per second: DFG ops per iteration / iteration period.
+    let ops_per_iter = dfg.node_count() as f64;
+    let iter_period_us = c.mapping().ii() as f64 / iced::power::VfPoint::nominal().freq_mhz();
+    let mops = ops_per_iter / iter_period_us; // ops/us = Mops/s
+    let p = e.total_power_mw();
+    println!(
+        "{:<16} {:>10.2} {:>10.0} {:>12.1}   (this work, II={} on 6x6)",
+        "ICED (model)",
+        p,
+        mops,
+        mops / p,
+        c.mapping().ii(),
+    );
+    println!(
+        "\nnote: absolute cross-architecture numbers are not comparable (7 nm \
+         model vs silicon at other nodes); the plot situates ICED's \
+         power/performance point as the paper's Fig. 14 does"
+    );
+}

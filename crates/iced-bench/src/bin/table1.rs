@@ -1,0 +1,40 @@
+//! Regenerates **Table I**: per-kernel DFG statistics (nodes, edges,
+//! RecMII) at unroll factors 1 and 2, plus domain and island allocation.
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin table1
+//! ```
+
+use iced::kernels::{Kernel, UnrollFactor};
+
+fn main() {
+    println!(
+        "{:<12} {:<10} | {:>5} {:>5} {:>6} | {:>5} {:>5} {:>6} | {}",
+        "kernel", "domain", "n@1", "e@1", "rec@1", "n@2", "e@2", "rec@2", "islands"
+    );
+    println!("{}", "-".repeat(88));
+    for k in Kernel::ALL {
+        let d1 = k.dfg(UnrollFactor::X1);
+        let d2 = k.dfg(UnrollFactor::X2);
+        let islands = k
+            .islands()
+            .map(|i| format!("{i} (2x2)"))
+            .unwrap_or_else(|| "n x n (2x2)".to_string());
+        println!(
+            "{:<12} {:<10} | {:>5} {:>5} {:>6} | {:>5} {:>5} {:>6} | {}",
+            k.name(),
+            format!("{:?}", k.domain()).to_lowercase(),
+            d1.node_count(),
+            d1.edge_count(),
+            d1.rec_mii(),
+            d2.node_count(),
+            d2.edge_count(),
+            d2.rec_mii(),
+            islands,
+        );
+    }
+    println!(
+        "\nall rows regenerated from the kernel specs; `kernels::tests::table1_exact` \
+         asserts equality with the published table"
+    );
+}

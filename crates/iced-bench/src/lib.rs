@@ -1,0 +1,85 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` §5 for the index). This library
+//! holds the bits they share: suite iteration, formatting, and the
+//! iteration count used for power accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::{Compiled, Strategy, Toolchain};
+
+/// Loop iterations charged when converting activity to energy; the figures
+/// compare averages, so any value cancels out (kept explicit for clarity).
+pub const POWER_ITERATIONS: u64 = 4096;
+
+/// A compiled result for every standalone kernel under one strategy.
+pub fn compile_suite(
+    toolchain: &Toolchain,
+    uf: UnrollFactor,
+    strategy: Strategy,
+) -> Vec<(Kernel, Compiled)> {
+    Kernel::STANDALONE
+        .iter()
+        .map(|&k| {
+            let c = toolchain
+                .compile(&k.dfg(uf), strategy)
+                .unwrap_or_else(|e| panic!("{} {:?} {}: {e}", k.name(), uf, strategy.name()));
+            (k, c)
+        })
+        .collect()
+}
+
+/// Mean of a metric over compiled results.
+pub fn mean(rows: &[(Kernel, Compiled)], metric: impl Fn(&Compiled) -> f64) -> f64 {
+    rows.iter().map(|(_, c)| metric(c)).sum::<f64>() / rows.len().max(1) as f64
+}
+
+/// Render a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Writes a figure's data series as CSV when `ICED_CSV_DIR` is set —
+/// artifact-style output ("the script directly generates the figures"),
+/// ready for any plotting tool. Silently does nothing otherwise.
+pub fn emit_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let Some(dir) = std::env::var_os("ICED_CSV_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("iced-bench: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("iced-bench: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_compiles_under_iced() {
+        let tc = Toolchain::prototype();
+        let rows = compile_suite(&tc, UnrollFactor::X1, Strategy::IcedIslands);
+        assert_eq!(rows.len(), 10);
+        let m = mean(&rows, |c| c.average_utilization());
+        assert!(m > 0.0 && m <= 1.0);
+        assert_eq!(pct(0.5), "50.0");
+    }
+}

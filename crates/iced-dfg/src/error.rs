@@ -1,0 +1,91 @@
+//! Error type for DFG construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced while constructing, transforming, or analysing a [`Dfg`].
+///
+/// [`Dfg`]: crate::Dfg
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfgError {
+    /// An edge referenced a node id that does not exist in the graph.
+    UnknownNode(NodeId),
+    /// A data (intra-iteration) edge would create a cycle; intra-iteration
+    /// dependencies must form a DAG — cycles may only close through
+    /// loop-carried edges.
+    DataCycle {
+        /// Source of the offending edge.
+        src: NodeId,
+        /// Destination of the offending edge.
+        dst: NodeId,
+    },
+    /// A loop-carried edge was declared with distance zero.
+    ZeroDistance {
+        /// Source of the offending edge.
+        src: NodeId,
+        /// Destination of the offending edge.
+        dst: NodeId,
+    },
+    /// A duplicate edge (same endpoints and kind) was inserted.
+    DuplicateEdge {
+        /// Source of the offending edge.
+        src: NodeId,
+        /// Destination of the offending edge.
+        dst: NodeId,
+    },
+    /// The graph contains no nodes.
+    Empty,
+    /// A transform was asked to unroll by factor zero.
+    ZeroUnrollFactor,
+    /// The CFG handed to the predication pass is not of the supported
+    /// structured shape (single-entry/single-exit if-conversion regions).
+    UnsupportedControlFlow(String),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            DfgError::DataCycle { src, dst } => write!(
+                f,
+                "data edge {src} -> {dst} closes an intra-iteration cycle; \
+                 use a loop-carried edge with a positive distance"
+            ),
+            DfgError::ZeroDistance { src, dst } => {
+                write!(f, "loop-carried edge {src} -> {dst} has distance 0")
+            }
+            DfgError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            DfgError::Empty => write!(f, "graph contains no nodes"),
+            DfgError::ZeroUnrollFactor => write!(f, "unroll factor must be at least 1"),
+            DfgError::UnsupportedControlFlow(msg) => {
+                write!(f, "unsupported control flow: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DfgError::ZeroUnrollFactor;
+        let s = e.to_string();
+        assert!(s.starts_with("unroll factor"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DfgError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! Dataflow-graph (DFG) intermediate representation for the ICED CGRA
+//! framework.
+//!
+//! A kernel (typically a performance-critical loop body) is represented as a
+//! [`Dfg`]: nodes are single-cycle operations ([`Opcode`]) and edges are data
+//! dependencies. Loop-carried dependencies are modelled as
+//! [`EdgeKind::LoopCarried`] edges with an iteration distance, exactly as in
+//! modulo-scheduling literature. The crate provides:
+//!
+//! * construction via [`DfgBuilder`],
+//! * recurrence analysis ([`recurrence`]): recurrence-cycle enumeration and
+//!   the recurrence-constrained minimum initiation interval (*RecMII*),
+//! * structural transforms ([`transform`]): generic loop unrolling and a
+//!   CFG→DFG partial-predication pass (control flow → `Select` dataflow),
+//! * validation ([`Dfg::validate`]) and Graphviz export ([`dot`]).
+//!
+//! # Example
+//!
+//! ```
+//! use iced_dfg::{DfgBuilder, Opcode, EdgeKind};
+//!
+//! # fn main() -> Result<(), iced_dfg::DfgError> {
+//! // acc = acc + x[i] * c[i]
+//! let mut b = DfgBuilder::new("fir-ish");
+//! let x = b.node(Opcode::Load, "x[i]");
+//! let c = b.node(Opcode::Load, "c[i]");
+//! let m = b.node(Opcode::Mul, "x*c");
+//! let acc = b.node(Opcode::Phi, "acc");
+//! let add = b.node(Opcode::Add, "acc+");
+//! b.data(x, m)?;
+//! b.data(c, m)?;
+//! b.data(m, add)?;
+//! b.data(acc, add)?;
+//! b.edge(add, acc, EdgeKind::loop_carried(1))?; // recurrence
+//! let dfg = b.finish()?;
+//! assert_eq!(dfg.rec_mii(), 2); // phi -> add -> phi
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod op;
+
+pub mod dot;
+pub mod metrics;
+pub mod recurrence;
+pub mod text;
+pub mod transform;
+
+pub use builder::DfgBuilder;
+pub use error::DfgError;
+pub use graph::{Dfg, Edge, EdgeId, EdgeKind, Node, NodeId};
+pub use op::{Opcode, OpcodeClass};
+pub use metrics::DfgMetrics;
+pub use recurrence::{RecurrenceCycle, RecurrenceReport};

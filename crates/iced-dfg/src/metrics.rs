@@ -1,0 +1,160 @@
+//! Structural metrics of a kernel DFG.
+//!
+//! These are the statistics a mapper front end reports (and that drive
+//! the paper's Table I and the II lower bounds): size, opcode mix, depth,
+//! fan-out, and the II bounds `RecMII`/`ResMII`.
+
+use crate::graph::Dfg;
+use crate::op::{Opcode, OpcodeClass};
+use crate::recurrence;
+
+/// Summary statistics of one DFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfgMetrics {
+    nodes: usize,
+    edges: usize,
+    loop_carried_edges: usize,
+    memory_ops: usize,
+    mul_class_ops: usize,
+    control_ops: usize,
+    depth: usize,
+    max_fan_out: usize,
+    rec_mii: u32,
+}
+
+impl DfgMetrics {
+    /// Computes all metrics for `dfg`.
+    pub fn measure(dfg: &Dfg) -> DfgMetrics {
+        let mut loop_carried = 0usize;
+        let mut fan_out = vec![0usize; dfg.node_count()];
+        for e in dfg.edges() {
+            if e.kind().is_loop_carried() {
+                loop_carried += 1;
+            }
+            fan_out[e.src().index()] += 1;
+        }
+        // Longest intra-iteration path, in nodes.
+        let order = dfg.topological_order();
+        let mut depth = vec![1usize; dfg.node_count()];
+        for &n in &order {
+            for s in dfg.data_succs(n) {
+                depth[s.index()] = depth[s.index()].max(depth[n.index()] + 1);
+            }
+        }
+        DfgMetrics {
+            nodes: dfg.node_count(),
+            edges: dfg.edge_count(),
+            loop_carried_edges: loop_carried,
+            memory_ops: dfg.count_ops(Opcode::is_memory),
+            mul_class_ops: dfg.count_ops(|op| op.class() == OpcodeClass::Mul),
+            control_ops: dfg.count_ops(|op| op.class() == OpcodeClass::Control),
+            depth: depth.iter().copied().max().unwrap_or(0),
+            max_fan_out: fan_out.iter().copied().max().unwrap_or(0),
+            rec_mii: recurrence::rec_mii(dfg),
+        }
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Edge count (data + loop-carried).
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Loop-carried edge count.
+    pub fn loop_carried_edges(&self) -> usize {
+        self.loop_carried_edges
+    }
+
+    /// Load/store count (bounds SPM-column pressure).
+    pub fn memory_ops(&self) -> usize {
+        self.memory_ops
+    }
+
+    /// Multiplier-class op count (bounds heterogeneous-fabric pressure).
+    pub fn mul_class_ops(&self) -> usize {
+        self.mul_class_ops
+    }
+
+    /// Predication-class op count (`phi`/`cmp`/`select`).
+    pub fn control_ops(&self) -> usize {
+        self.control_ops
+    }
+
+    /// Longest intra-iteration dependence chain, in nodes.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Largest fan-out of any node (bounds egress-link pressure).
+    pub fn max_fan_out(&self) -> usize {
+        self.max_fan_out
+    }
+
+    /// Recurrence-constrained minimum II.
+    pub fn rec_mii(&self) -> u32 {
+        self.rec_mii
+    }
+
+    /// Resource-constrained minimum II on a fabric with `tiles` tiles.
+    pub fn res_mii(&self, tiles: usize) -> u32 {
+        (self.nodes as u32).div_ceil(tiles.max(1) as u32)
+    }
+
+    /// Lower bound on the achievable II: `max(RecMII, ResMII)`.
+    pub fn mii(&self, tiles: usize) -> u32 {
+        self.rec_mii.max(self.res_mii(tiles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+
+    fn sample() -> Dfg {
+        let mut b = DfgBuilder::new("m");
+        let ld = b.node(Opcode::Load, "ld");
+        let m = b.node(Opcode::Mul, "m");
+        let phi = b.node(Opcode::Phi, "phi");
+        let a = b.node(Opcode::Add, "a");
+        let st = b.node(Opcode::Store, "st");
+        b.data(ld, m).unwrap();
+        b.data(m, a).unwrap();
+        b.data(phi, a).unwrap();
+        b.data(a, st).unwrap();
+        b.data(m, st).unwrap(); // fan-out 2 on m
+        b.carry(a, phi).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let m = DfgMetrics::measure(&sample());
+        assert_eq!(m.nodes(), 5);
+        assert_eq!(m.edges(), 6);
+        assert_eq!(m.loop_carried_edges(), 1);
+        assert_eq!(m.memory_ops(), 2);
+        assert_eq!(m.mul_class_ops(), 1);
+        assert_eq!(m.control_ops(), 1);
+        assert_eq!(m.max_fan_out(), 2);
+        assert_eq!(m.rec_mii(), 2);
+    }
+
+    #[test]
+    fn depth_is_longest_chain() {
+        let m = DfgMetrics::measure(&sample());
+        assert_eq!(m.depth(), 4); // ld -> mul -> add -> store
+    }
+
+    #[test]
+    fn mii_combines_bounds() {
+        let m = DfgMetrics::measure(&sample());
+        assert_eq!(m.res_mii(2), 3); // ceil(5/2)
+        assert_eq!(m.mii(2), 3);
+        assert_eq!(m.mii(36), 2); // RecMII dominates
+    }
+}

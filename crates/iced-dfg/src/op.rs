@@ -1,0 +1,157 @@
+//! Operation codes executed by CGRA functional units.
+
+use std::fmt;
+
+/// Operation performed by a DFG node on a CGRA functional unit.
+///
+/// ICED targets a CGRA with single-cycle FUs (see §IV-A of the paper), so
+/// every opcode has unit latency in its own clock domain; an op on a tile at
+/// DVFS rate divisor `r` occupies `r` base-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Opcode {
+    /// Loop-header merge of an initial value and a loop-carried value.
+    Phi,
+    /// Integer/fixed-point addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (modelled single-cycle like the other FU ops).
+    Div,
+    /// Bitwise shift (left or right).
+    Shift,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Comparison producing a predicate.
+    Cmp,
+    /// Predicated select (`cond ? a : b`), produced by partial predication.
+    Select,
+    /// Load from the scratchpad memory. Only tiles connected to the SPM
+    /// (the leftmost column in the default ICED topology) may execute it.
+    Load,
+    /// Store to the scratchpad memory. Same placement restriction as `Load`.
+    Store,
+    /// Maximum of two operands.
+    Max,
+    /// Minimum of two operands.
+    Min,
+    /// Route-only / copy operation (also used for constants feeding the loop).
+    Mov,
+}
+
+/// Broad classification of opcodes used by the mapper's placement rules and
+/// by the power model's per-op activity factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpcodeClass {
+    /// Pure ALU arithmetic/logic.
+    Alu,
+    /// Multiplier-class op (higher switching activity).
+    Mul,
+    /// Scratchpad memory access (placement-restricted).
+    Memory,
+    /// Control-adjacent ops produced by predication (`Cmp`, `Select`, `Phi`).
+    Control,
+    /// Data movement.
+    Move,
+}
+
+impl Opcode {
+    /// Classification of this opcode.
+    pub fn class(self) -> OpcodeClass {
+        match self {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Shift
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Max
+            | Opcode::Min => OpcodeClass::Alu,
+            Opcode::Mul | Opcode::Div => OpcodeClass::Mul,
+            Opcode::Load | Opcode::Store => OpcodeClass::Memory,
+            Opcode::Phi | Opcode::Cmp | Opcode::Select => OpcodeClass::Control,
+            Opcode::Mov => OpcodeClass::Move,
+        }
+    }
+
+    /// Whether this opcode accesses the scratchpad memory and is therefore
+    /// restricted to SPM-connected tiles.
+    pub fn is_memory(self) -> bool {
+        self.class() == OpcodeClass::Memory
+    }
+
+    /// Latency in cycles of the executing tile's own clock domain.
+    ///
+    /// ICED targets single-cycle FUs; multi-cycle pipelined FUs (APEX-style)
+    /// are listed as future work in the paper, so this is always `1`.
+    pub fn latency(self) -> u32 {
+        1
+    }
+
+    /// Mnemonic used in textual dumps and DOT output.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Phi => "phi",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Shift => "shift",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Cmp => "cmp",
+            Opcode::Select => "select",
+            Opcode::Load => "ld",
+            Opcode::Store => "st",
+            Opcode::Max => "max",
+            Opcode::Min => "min",
+            Opcode::Mov => "mov",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_ops_are_classified() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::Add.is_memory());
+        assert!(!Opcode::Select.is_memory());
+    }
+
+    #[test]
+    fn all_ops_single_cycle() {
+        for op in [
+            Opcode::Phi,
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::Select,
+        ] {
+            assert_eq!(op.latency(), 1);
+        }
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(Opcode::Mul.to_string(), "mul");
+        assert_eq!(Opcode::Load.to_string(), "ld");
+    }
+}

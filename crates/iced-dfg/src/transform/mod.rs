@@ -1,0 +1,14 @@
+//! Structural DFG transforms used by the ICED compiler front end.
+//!
+//! * [`unroll`] — generic loop unrolling on the DFG level, with support for
+//!   *shared* nodes (loop-invariant values / induction bookkeeping that a
+//!   compiler would not duplicate).
+//! * [`predication`] — a small CFG IR plus the partial-predication pass that
+//!   converts structured control flow into `Cmp`/`Select` dataflow, the way
+//!   the paper's LLVM front end does (Hamzeh et al.'s partial predication).
+
+pub mod predication;
+pub mod unroll;
+
+pub use predication::{Cfg, CfgBuilder, Terminator};
+pub use unroll::{unroll, UnrollOptions};

@@ -1,0 +1,453 @@
+//! Partial predication: structured control flow → `Select` dataflow.
+//!
+//! CGRAs execute a single modulo schedule, so the paper converts the control
+//! flow of a loop body into data flow using partial predication (Hamzeh et
+//! al., DAC'14). This module provides a deliberately small CFG IR — enough
+//! to express the loop bodies of the evaluated kernels (`relu`'s
+//! `max(0, x)` branch, histogram's conditional update, …) — and the
+//! if-conversion pass.
+//!
+//! Supported shapes: a linear chain of blocks in which every `Branch` opens
+//! a single-level *diamond* (`then`/`else` blocks that both jump to a common
+//! merge block) or *triangle* (`then` block jumping to the merge, which the
+//! branch also targets directly). Nested branches inside arms are rejected
+//! with [`DfgError::UnsupportedControlFlow`].
+//!
+//! # Example
+//!
+//! ```
+//! use iced_dfg::transform::{CfgBuilder, Terminator};
+//! use iced_dfg::Opcode;
+//!
+//! # fn main() -> Result<(), iced_dfg::DfgError> {
+//! // out[i] = x > 0 ? x : 0   (relu, as an if-triangle)
+//! let mut cfg = CfgBuilder::new("relu");
+//! let entry = cfg.block();
+//! let then_blk = cfg.block();
+//! let merge = cfg.block();
+//! cfg.inst(entry, "x", Opcode::Load, &["in"]);
+//! cfg.inst(entry, "y", Opcode::Mov, &["zero"]);
+//! cfg.inst(entry, "p", Opcode::Cmp, &["x", "zero"]);
+//! cfg.terminate(entry, Terminator::branch("p", then_blk, merge));
+//! cfg.inst(then_blk, "y", Opcode::Mov, &["x"]);
+//! cfg.terminate(then_blk, Terminator::Jump(merge));
+//! cfg.inst(merge, "st", Opcode::Store, &["y"]);
+//! cfg.terminate(merge, Terminator::Return);
+//! let dfg = cfg.finish()?.predicate()?;
+//! assert_eq!(dfg.count_ops(|op| op == Opcode::Select), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::builder::DfgBuilder;
+use crate::error::DfgError;
+use crate::graph::{Dfg, EdgeKind, NodeId};
+use crate::op::Opcode;
+
+/// Identifier of a basic block inside a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(usize);
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch on a previously defined predicate value.
+    Branch {
+        /// Name of the predicate value.
+        cond: String,
+        /// Block taken when the predicate holds.
+        then_blk: BlockId,
+        /// Block taken otherwise (may be the merge block for triangles).
+        else_blk: BlockId,
+    },
+    /// Loop-body exit.
+    Return,
+}
+
+impl Terminator {
+    /// Convenience constructor for [`Terminator::Branch`].
+    pub fn branch(cond: impl Into<String>, then_blk: BlockId, else_blk: BlockId) -> Self {
+        Terminator::Branch {
+            cond: cond.into(),
+            then_blk,
+            else_blk,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Inst {
+    dest: String,
+    op: Opcode,
+    args: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    insts: Vec<Inst>,
+    term: Option<Terminator>,
+}
+
+/// A structured control-flow graph for one loop body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    name: String,
+    blocks: Vec<Block>,
+    carries: Vec<(String, String, u32)>,
+}
+
+/// Builder for [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct CfgBuilder {
+    cfg: Cfg,
+}
+
+impl CfgBuilder {
+    /// Creates a builder for a loop body named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CfgBuilder {
+            cfg: Cfg {
+                name: name.into(),
+                blocks: Vec::new(),
+                carries: Vec::new(),
+            },
+        }
+    }
+
+    /// Appends an empty basic block; the first block created is the entry.
+    pub fn block(&mut self) -> BlockId {
+        self.cfg.blocks.push(Block {
+            insts: Vec::new(),
+            term: None,
+        });
+        BlockId(self.cfg.blocks.len() - 1)
+    }
+
+    /// Appends an instruction `dest = op(args…)` to `block`. Arguments that
+    /// are never defined become live-in values of the loop body.
+    pub fn inst(&mut self, block: BlockId, dest: impl Into<String>, op: Opcode, args: &[&str]) {
+        self.cfg.blocks[block.0].insts.push(Inst {
+            dest: dest.into(),
+            op,
+            args: args.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    /// Sets the terminator of `block`.
+    pub fn terminate(&mut self, block: BlockId, term: Terminator) {
+        self.cfg.blocks[block.0].term = Some(term);
+    }
+
+    /// Declares that the final value of `from_var` feeds the live-in
+    /// `to_var` of the iteration `distance` later (a loop-carried
+    /// dependency; `to_var` becomes a `Phi` node).
+    pub fn loop_carry(&mut self, from_var: impl Into<String>, to_var: impl Into<String>, distance: u32) {
+        self.cfg.carries.push((from_var.into(), to_var.into(), distance));
+    }
+
+    /// Finishes the CFG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::UnsupportedControlFlow`] if any block lacks a
+    /// terminator or the CFG is empty.
+    pub fn finish(self) -> Result<Cfg, DfgError> {
+        if self.cfg.blocks.is_empty() {
+            return Err(DfgError::UnsupportedControlFlow("empty cfg".into()));
+        }
+        for (i, blk) in self.cfg.blocks.iter().enumerate() {
+            if blk.term.is_none() {
+                return Err(DfgError::UnsupportedControlFlow(format!(
+                    "block {i} has no terminator"
+                )));
+            }
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// Per-path value environment during if-conversion.
+type Env = HashMap<String, NodeId>;
+
+struct Lowering<'a> {
+    cfg: &'a Cfg,
+    b: DfgBuilder,
+    live_ins: HashMap<String, NodeId>,
+}
+
+impl Cfg {
+    /// Runs partial predication, producing a pure dataflow graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::UnsupportedControlFlow`] for shapes outside the
+    /// supported single-level diamonds/triangles, or any graph-construction
+    /// error bubbled up from edge insertion.
+    pub fn predicate(&self) -> Result<Dfg, DfgError> {
+        let mut lo = Lowering {
+            cfg: self,
+            b: DfgBuilder::new(self.name.clone()),
+            live_ins: HashMap::new(),
+        };
+        let mut env = Env::new();
+        let mut cur = BlockId(0);
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > self.blocks.len() * 2 + 4 {
+                return Err(DfgError::UnsupportedControlFlow(
+                    "cfg traversal did not terminate (irreducible or cyclic shape)".into(),
+                ));
+            }
+            lo.lower_block(cur, &mut env)?;
+            match self.blocks[cur.0].term.as_ref().expect("validated") {
+                Terminator::Return => break,
+                Terminator::Jump(next) => cur = *next,
+                Terminator::Branch {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let cond_id = lo.value(cond, &env);
+                    let merge = self.merge_of(*then_blk, *else_blk)?;
+                    let then_env = lo.lower_arm(*then_blk, &env, merge)?;
+                    let else_env = lo.lower_arm(*else_blk, &env, merge)?;
+                    env = lo.merge_envs(cond_id, &then_env, &else_env)?;
+                    cur = merge;
+                }
+            }
+        }
+        // Loop-carried edges close the recurrences.
+        for (from_var, to_var, distance) in &self.carries {
+            let src = lo.value(from_var, &env);
+            let dst = *lo.live_ins.get(to_var).ok_or_else(|| {
+                DfgError::UnsupportedControlFlow(format!(
+                    "loop-carry target '{to_var}' is not a live-in value"
+                ))
+            })?;
+            lo.b.edge(src, dst, EdgeKind::loop_carried((*distance).max(1)))?;
+        }
+        lo.b.finish()
+    }
+
+    /// Finds the merge block of a branch: diamond (both arms jump to the
+    /// same block) or triangle (one arm *is* the merge).
+    fn merge_of(&self, then_blk: BlockId, else_blk: BlockId) -> Result<BlockId, DfgError> {
+        let jump_target = |b: BlockId| match self.blocks[b.0].term.as_ref().expect("validated") {
+            Terminator::Jump(t) => Some(*t),
+            _ => None,
+        };
+        match (jump_target(then_blk), jump_target(else_blk)) {
+            (Some(t), Some(e)) if t == e => Ok(t),
+            (Some(t), _) if t == else_blk => Ok(else_blk), // triangle, else is merge
+            (_, Some(e)) if e == then_blk => Ok(then_blk), // triangle, then is merge
+            _ => Err(DfgError::UnsupportedControlFlow(
+                "branch arms do not reconverge at a single merge block".into(),
+            )),
+        }
+    }
+}
+
+impl Lowering<'_> {
+    /// Resolves a value name, creating a live-in `Mov` node on first use of
+    /// an undefined name.
+    fn value(&mut self, name: &str, env: &Env) -> NodeId {
+        if let Some(&id) = env.get(name) {
+            return id;
+        }
+        if let Some(&id) = self.live_ins.get(name) {
+            return id;
+        }
+        let is_carry_target = self.cfg.carries.iter().any(|(_, to, _)| to == name);
+        let op = if is_carry_target { Opcode::Phi } else { Opcode::Mov };
+        let id = self.b.node(op, name.to_string());
+        self.live_ins.insert(name.to_string(), id);
+        id
+    }
+
+    fn lower_block(&mut self, blk: BlockId, env: &mut Env) -> Result<(), DfgError> {
+        // Clone the instruction list to sidestep borrowing self.cfg while
+        // mutating the builder; blocks are tiny.
+        let insts = self.cfg.blocks[blk.0].insts.clone();
+        for inst in insts {
+            let args: Vec<NodeId> = inst.args.iter().map(|a| self.value(a, env)).collect();
+            let id = self.b.node(inst.op, inst.dest.clone());
+            for a in args {
+                match self.b.data(a, id) {
+                    Ok(()) | Err(DfgError::DuplicateEdge { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            env.insert(inst.dest, id);
+        }
+        Ok(())
+    }
+
+    /// Lowers one branch arm. An arm that *is* the merge block contributes
+    /// nothing (triangle shape).
+    fn lower_arm(&mut self, arm: BlockId, base: &Env, merge: BlockId) -> Result<Env, DfgError> {
+        let mut env = base.clone();
+        if arm == merge {
+            return Ok(env);
+        }
+        match self.cfg.blocks[arm.0].term.as_ref().expect("validated") {
+            Terminator::Jump(t) if *t == merge => {}
+            _ => {
+                return Err(DfgError::UnsupportedControlFlow(
+                    "nested control flow inside a branch arm".into(),
+                ))
+            }
+        }
+        self.lower_block(arm, &mut env)?;
+        Ok(env)
+    }
+
+    /// Inserts `Select` nodes for every value whose definition differs
+    /// between the two arms.
+    fn merge_envs(&mut self, cond: NodeId, then_env: &Env, else_env: &Env) -> Result<Env, DfgError> {
+        let mut out = Env::new();
+        let mut names: Vec<&String> = then_env.keys().chain(else_env.keys()).collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            match (then_env.get(name), else_env.get(name)) {
+                (Some(&t), Some(&e)) if t == e => {
+                    out.insert(name.clone(), t);
+                }
+                (Some(&t), Some(&e)) => {
+                    let sel = self.b.node(Opcode::Select, format!("sel_{name}"));
+                    self.b.data(cond, sel)?;
+                    self.b.data(t, sel)?;
+                    self.b.data(e, sel)?;
+                    out.insert(name.clone(), sel);
+                }
+                (Some(&one), None) | (None, Some(&one)) => {
+                    // Defined on one path only: value is dead on the other
+                    // path, keep the single definition (LLVM would emit an
+                    // undef phi input).
+                    out.insert(name.clone(), one);
+                }
+                (None, None) => unreachable!("name came from one of the envs"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relu_cfg() -> Cfg {
+        let mut cfg = CfgBuilder::new("relu");
+        let entry = cfg.block();
+        let then_blk = cfg.block();
+        let merge = cfg.block();
+        cfg.inst(entry, "x", Opcode::Load, &["in"]);
+        cfg.inst(entry, "y", Opcode::Mov, &["zero"]);
+        cfg.inst(entry, "p", Opcode::Cmp, &["x", "zero"]);
+        cfg.terminate(entry, Terminator::branch("p", then_blk, merge));
+        cfg.inst(then_blk, "y", Opcode::Mov, &["x"]);
+        cfg.terminate(then_blk, Terminator::Jump(merge));
+        cfg.inst(merge, "st", Opcode::Store, &["y"]);
+        cfg.terminate(merge, Terminator::Return);
+        cfg.finish().unwrap()
+    }
+
+    #[test]
+    fn triangle_produces_one_select() {
+        let dfg = relu_cfg().predicate().unwrap();
+        assert_eq!(dfg.count_ops(|op| op == Opcode::Select), 1);
+        assert_eq!(dfg.count_ops(|op| op == Opcode::Store), 1);
+        dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn diamond_merges_both_definitions() {
+        let mut cfg = CfgBuilder::new("abs");
+        let entry = cfg.block();
+        let t = cfg.block();
+        let e = cfg.block();
+        let m = cfg.block();
+        cfg.inst(entry, "x", Opcode::Load, &["in"]);
+        cfg.inst(entry, "p", Opcode::Cmp, &["x", "zero"]);
+        cfg.terminate(entry, Terminator::branch("p", t, e));
+        cfg.inst(t, "y", Opcode::Mov, &["x"]);
+        cfg.terminate(t, Terminator::Jump(m));
+        cfg.inst(e, "y", Opcode::Sub, &["zero", "x"]);
+        cfg.terminate(e, Terminator::Jump(m));
+        cfg.inst(m, "st", Opcode::Store, &["y"]);
+        cfg.terminate(m, Terminator::Return);
+        let dfg = cfg.finish().unwrap().predicate().unwrap();
+        assert_eq!(dfg.count_ops(|op| op == Opcode::Select), 1);
+        // select feeds the store
+        let sel = dfg.nodes().find(|n| n.op() == Opcode::Select).unwrap().id();
+        let st = dfg.nodes().find(|n| n.op() == Opcode::Store).unwrap().id();
+        assert!(dfg.data_succs(sel).any(|s| s == st));
+    }
+
+    #[test]
+    fn loop_carry_creates_phi_and_recurrence() {
+        let mut cfg = CfgBuilder::new("acc");
+        let entry = cfg.block();
+        cfg.inst(entry, "x", Opcode::Load, &["in"]);
+        cfg.inst(entry, "sum", Opcode::Add, &["acc", "x"]);
+        cfg.terminate(entry, Terminator::Return);
+        cfg.loop_carry("sum", "acc", 1);
+        let dfg = cfg.finish().unwrap().predicate().unwrap();
+        assert_eq!(dfg.count_ops(|op| op == Opcode::Phi), 1);
+        assert_eq!(dfg.rec_mii(), 2); // phi(acc) -> add(sum) -> phi
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut cfg = CfgBuilder::new("bad");
+        let _ = cfg.block();
+        assert!(matches!(
+            cfg.finish(),
+            Err(DfgError::UnsupportedControlFlow(_))
+        ));
+    }
+
+    #[test]
+    fn non_reconverging_branch_rejected() {
+        let mut cfg = CfgBuilder::new("bad");
+        let entry = cfg.block();
+        let a = cfg.block();
+        let b_blk = cfg.block();
+        let m1 = cfg.block();
+        let m2 = cfg.block();
+        cfg.inst(entry, "p", Opcode::Cmp, &["x", "y"]);
+        cfg.terminate(entry, Terminator::branch("p", a, b_blk));
+        cfg.terminate(a, Terminator::Jump(m1));
+        cfg.terminate(b_blk, Terminator::Jump(m2));
+        cfg.terminate(m1, Terminator::Return);
+        cfg.terminate(m2, Terminator::Return);
+        assert!(matches!(
+            cfg.finish().unwrap().predicate(),
+            Err(DfgError::UnsupportedControlFlow(_))
+        ));
+    }
+
+    #[test]
+    fn values_unchanged_on_both_arms_need_no_select() {
+        let mut cfg = CfgBuilder::new("noop");
+        let entry = cfg.block();
+        let t = cfg.block();
+        let e = cfg.block();
+        let m = cfg.block();
+        cfg.inst(entry, "x", Opcode::Load, &["in"]);
+        cfg.inst(entry, "p", Opcode::Cmp, &["x", "zero"]);
+        cfg.terminate(entry, Terminator::branch("p", t, e));
+        cfg.terminate(t, Terminator::Jump(m));
+        cfg.terminate(e, Terminator::Jump(m));
+        cfg.inst(m, "st", Opcode::Store, &["x"]);
+        cfg.terminate(m, Terminator::Return);
+        let dfg = cfg.finish().unwrap().predicate().unwrap();
+        assert_eq!(dfg.count_ops(|op| op == Opcode::Select), 0);
+    }
+}

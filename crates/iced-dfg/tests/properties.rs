@@ -1,0 +1,133 @@
+//! Property-based tests for the DFG substrate: serialisation round-trips,
+//! transform identities, and analysis bounds over randomly generated
+//! well-formed graphs.
+
+use iced_dfg::transform::{unroll, UnrollOptions};
+use iced_dfg::{recurrence, text, Dfg, DfgBuilder, DfgMetrics, EdgeKind, Opcode};
+use proptest::prelude::*;
+
+const OPS: [Opcode; 10] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Max,
+    Opcode::Min,
+    Opcode::Mov,
+];
+
+/// Random well-formed DFG: a carried ring plus forward feeder edges.
+fn arb_dfg() -> impl Strategy<Value = Dfg> {
+    (
+        1usize..=7,
+        1u32..=3,
+        proptest::collection::vec(0usize..OPS.len(), 0..14),
+        proptest::collection::vec((0usize..20, 0usize..20), 0..16),
+    )
+        .prop_map(|(ring, dist, feeders, extras)| {
+            let mut b = DfgBuilder::new("prop kernel");
+            let ring_ids: Vec<_> = (0..ring)
+                .map(|i| b.node(OPS[i % OPS.len()], format!("r{i}")))
+                .collect();
+            b.data_chain(&ring_ids).unwrap();
+            b.edge(ring_ids[ring - 1], ring_ids[0], EdgeKind::loop_carried(dist))
+                .unwrap();
+            let mut all = ring_ids.clone();
+            for (i, &op) in feeders.iter().enumerate() {
+                let n = b.node(OPS[op], format!("f{i}"));
+                let _ = b.data(n, all[i % all.len().min(ring)]);
+                all.push(n);
+            }
+            for (s, d) in extras {
+                let (s, d) = (s % all.len(), d % all.len());
+                // Only feeder -> earlier node or feeder -> later feeder,
+                // keeping the data subgraph acyclic.
+                if s >= ring && (d < ring || s < d) {
+                    let _ = b.data(all[s], all[d]);
+                }
+            }
+            b.finish().expect("construction keeps the data DAG")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_round_trip_is_lossless(dfg in arb_dfg()) {
+        let back = text::parse(&text::to_text(&dfg)).unwrap();
+        prop_assert_eq!(dfg, back);
+    }
+
+    #[test]
+    fn rec_mii_is_bounded_by_ring_and_nodes(dfg in arb_dfg()) {
+        let r = recurrence::rec_mii(&dfg);
+        prop_assert!(r >= 1);
+        prop_assert!(r as usize <= dfg.node_count());
+        // Every enumerated cycle's own bound is at most the graph RecMII.
+        for c in recurrence::enumerate_cycles(&dfg) {
+            prop_assert!(c.mii() <= r);
+        }
+    }
+
+    #[test]
+    fn topological_order_is_a_valid_permutation(dfg in arb_dfg()) {
+        let order = dfg.topological_order();
+        prop_assert_eq!(order.len(), dfg.node_count());
+        let mut pos = vec![usize::MAX; dfg.node_count()];
+        for (i, n) in order.iter().enumerate() {
+            pos[n.index()] = i;
+        }
+        for e in dfg.edges() {
+            if !e.kind().is_loop_carried() {
+                prop_assert!(pos[e.src().index()] < pos[e.dst().index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_preserves_edge_density(dfg in arb_dfg(), k in 2u32..=4) {
+        let u = unroll(&dfg, &UnrollOptions::new(k)).unwrap();
+        prop_assert_eq!(u.node_count(), dfg.node_count() * k as usize);
+        // Every original edge expands to exactly k instances.
+        prop_assert_eq!(u.edge_count(), dfg.edge_count() * k as usize);
+        prop_assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn unroll_twice_equals_unroll_product(dfg in arb_dfg()) {
+        let a = unroll(&unroll(&dfg, &UnrollOptions::new(2)).unwrap(), &UnrollOptions::new(2))
+            .unwrap();
+        let b = unroll(&dfg, &UnrollOptions::new(4)).unwrap();
+        // Same sizes and same RecMII (labels/names differ).
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        prop_assert_eq!(recurrence::rec_mii(&a), recurrence::rec_mii(&b));
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent(dfg in arb_dfg()) {
+        let m = DfgMetrics::measure(&dfg);
+        prop_assert_eq!(m.nodes(), dfg.node_count());
+        prop_assert_eq!(m.edges(), dfg.edge_count());
+        prop_assert!(m.depth() >= 1 && m.depth() <= m.nodes());
+        prop_assert!(m.max_fan_out() < m.edges().max(1) + 1);
+        prop_assert_eq!(m.rec_mii(), recurrence::rec_mii(&dfg));
+        prop_assert!(m.mii(1) >= m.nodes() as u32);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node(dfg in arb_dfg()) {
+        let dot = iced_dfg::dot::to_dot_colored(&dfg);
+        for n in dfg.node_ids() {
+            let tag = format!("{n} ");
+            prop_assert!(dot.contains(&tag), "missing {}", n);
+        }
+        prop_assert!(dot.starts_with("digraph"));
+        let closes = dot.trim_end().ends_with('}');
+        prop_assert!(closes);
+    }
+}

@@ -1,0 +1,236 @@
+//! Streaming-application pipeline descriptions (paper §IV-B, Table I).
+//!
+//! A streaming application is a linear pipeline of stages; a stage may run
+//! several kernels in parallel (the LU application organises 6 kernels into
+//! 4 stages). Each stage kernel carries the island allocation Table I
+//! assigns to it and a *work model* describing how many loop iterations one
+//! input instance costs — fixed for dense kernels (the paper's "weights
+//! combine always has a fixed execution delay"), proportional to the
+//! input's non-zeros for sparse kernels. The shifting bottleneck between
+//! those two classes is exactly what the runtime DVFS controller exploits.
+
+use crate::suite::Kernel;
+
+/// Per-input work model of one pipeline kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkModel {
+    /// Iterations grow with the input's non-zero count: `base + scale·nnz`.
+    PerUnit {
+        /// Fixed overhead iterations.
+        base: f64,
+        /// Iterations per work unit (non-zero).
+        scale: f64,
+    },
+    /// Input-independent iteration count (dense kernels).
+    Fixed {
+        /// Iterations per input.
+        iters: f64,
+    },
+}
+
+impl WorkModel {
+    /// Loop iterations needed for an input with `units` work units.
+    pub fn iterations(&self, units: u64) -> u64 {
+        let it = match *self {
+            WorkModel::PerUnit { base, scale } => base + scale * units as f64,
+            WorkModel::Fixed { iters } => iters,
+        };
+        it.max(1.0).round() as u64
+    }
+
+    /// Whether the model depends on the input at all.
+    pub fn is_data_dependent(&self) -> bool {
+        matches!(self, WorkModel::PerUnit { .. })
+    }
+}
+
+/// One kernel within a pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageKernel {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Islands allocated by the static partitioning (Table I).
+    pub islands: usize,
+    /// Per-input work model.
+    pub work: WorkModel,
+}
+
+/// One pipeline stage (kernels within a stage run in parallel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStage {
+    /// Parallel kernels of this stage.
+    pub kernels: Vec<StageKernel>,
+}
+
+/// A streaming application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Application name ("gcn" or "lu").
+    pub name: &'static str,
+    /// Stages in dataflow order.
+    pub stages: Vec<PipelineStage>,
+}
+
+fn stage(kernels: Vec<StageKernel>) -> PipelineStage {
+    PipelineStage { kernels }
+}
+
+fn sk(kernel: Kernel, islands: usize, work: WorkModel) -> StageKernel {
+    StageKernel {
+        kernel,
+        islands,
+        work,
+    }
+}
+
+impl Pipeline {
+    /// The 2-layer GCN inference application: 5 unique kernels with
+    /// `aggregate` instantiated twice (Table I allocates its 4 islands
+    /// across the two instances). Aggregation and compression are
+    /// spmv-like (work ∝ graph nnz); combine/combrelu/pooling are dense.
+    pub fn gcn() -> Pipeline {
+        Pipeline {
+            name: "gcn",
+            stages: vec![
+                stage(vec![sk(
+                    Kernel::GcnCompress,
+                    1,
+                    WorkModel::PerUnit { base: 32.0, scale: 0.8 },
+                )]),
+                stage(vec![sk(
+                    Kernel::GcnAggregate,
+                    2,
+                    WorkModel::PerUnit { base: 16.0, scale: 5.0 },
+                )]),
+                stage(vec![sk(
+                    Kernel::GcnCombine,
+                    1,
+                    WorkModel::Fixed { iters: 112.0 },
+                )]),
+                stage(vec![sk(
+                    Kernel::GcnAggregate,
+                    2,
+                    WorkModel::PerUnit { base: 16.0, scale: 5.0 },
+                )]),
+                stage(vec![sk(
+                    Kernel::GcnCombRelu,
+                    2,
+                    WorkModel::Fixed { iters: 128.0 },
+                )]),
+                stage(vec![sk(
+                    Kernel::GcnPooling,
+                    1,
+                    WorkModel::Fixed { iters: 64.0 },
+                )]),
+            ],
+        }
+    }
+
+    /// The synthesized LU-decomposition application: 6 kernels in 4 stages
+    /// (the two solvers run in parallel, as do invert/determinant).
+    pub fn lu() -> Pipeline {
+        Pipeline {
+            name: "lu",
+            stages: vec![
+                stage(vec![sk(
+                    Kernel::LuInit,
+                    1,
+                    WorkModel::Fixed { iters: 150.0 },
+                )]),
+                stage(vec![sk(
+                    Kernel::LuDecompose,
+                    1,
+                    WorkModel::PerUnit { base: 32.0, scale: 0.5 },
+                )]),
+                stage(vec![
+                    sk(
+                        Kernel::LuSolver0,
+                        2,
+                        WorkModel::PerUnit { base: 24.0, scale: 1.2 },
+                    ),
+                    sk(
+                        Kernel::LuSolver1,
+                        2,
+                        WorkModel::PerUnit { base: 24.0, scale: 1.2 },
+                    ),
+                ]),
+                stage(vec![
+                    sk(Kernel::LuInvert, 1, WorkModel::Fixed { iters: 350.0 }),
+                    sk(
+                        Kernel::LuDeterminant,
+                        2,
+                        WorkModel::PerUnit { base: 60.0, scale: 0.3 },
+                    ),
+                ]),
+            ],
+        }
+    }
+
+    /// Total islands allocated across all stage kernels.
+    pub fn total_islands(&self) -> usize {
+        self.stages
+            .iter()
+            .flat_map(|s| s.kernels.iter())
+            .map(|k| k.islands)
+            .sum()
+    }
+
+    /// All stage kernels in dataflow order.
+    pub fn stage_kernels(&self) -> impl Iterator<Item = &StageKernel> + '_ {
+        self.stages.iter().flat_map(|s| s.kernels.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_matches_table1_allocation() {
+        let p = Pipeline::gcn();
+        assert_eq!(p.total_islands(), 9);
+        assert_eq!(p.stages.len(), 6);
+        // aggregate appears twice with 2 islands each (Table I's "4").
+        let agg: Vec<_> = p
+            .stage_kernels()
+            .filter(|k| k.kernel == Kernel::GcnAggregate)
+            .collect();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg.iter().map(|k| k.islands).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn lu_has_four_stages_six_kernels() {
+        let p = Pipeline::lu();
+        assert_eq!(p.stages.len(), 4);
+        assert_eq!(p.stage_kernels().count(), 6);
+        assert_eq!(p.total_islands(), 9);
+    }
+
+    #[test]
+    fn work_models_shift_the_bottleneck() {
+        let p = Pipeline::gcn();
+        let agg = p
+            .stage_kernels()
+            .find(|k| k.kernel == Kernel::GcnAggregate)
+            .unwrap();
+        let comb = p
+            .stage_kernels()
+            .find(|k| k.kernel == Kernel::GcnCombine)
+            .unwrap();
+        // Sparse input: combine dominates; dense input: aggregate does.
+        assert!(agg.work.iterations(8) < comb.work.iterations(8));
+        assert!(agg.work.iterations(200) > comb.work.iterations(200));
+        assert!(agg.work.is_data_dependent());
+        assert!(!comb.work.is_data_dependent());
+    }
+
+    #[test]
+    fn iterations_are_at_least_one() {
+        assert_eq!(WorkModel::Fixed { iters: 0.0 }.iterations(0), 1);
+        assert_eq!(
+            WorkModel::PerUnit { base: 0.0, scale: 0.0 }.iterations(0),
+            1
+        );
+    }
+}

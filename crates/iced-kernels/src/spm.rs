@@ -1,0 +1,294 @@
+//! Scratchpad-memory allocation and tiling.
+//!
+//! "The compiler needs to guarantee that the data required by the target
+//! kernel and application can fit (e.g., using tiling) into the 32 KB SPM"
+//! (paper §III). This module implements that guarantee: each kernel
+//! declares its data buffers (Table I's *Data* column), and the allocator
+//! either places them directly across the SPM banks or derives the tiling
+//! factor that makes each working-set slice fit, double-buffered so the
+//! DMA can stream the next tile while the current one is processed.
+
+use std::fmt;
+
+use crate::suite::Kernel;
+
+/// One data buffer a kernel streams through the SPM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buffer {
+    /// Name in the kernel's source (e.g. `"x"`, `"coeff"`).
+    pub name: &'static str,
+    /// Elements in the full problem.
+    pub elements: usize,
+    /// Bytes per element (the prototype uses 32-bit words).
+    pub elem_bytes: usize,
+    /// Whether the buffer can be tiled (loop-blocked) or must be resident
+    /// (e.g. filter coefficients, accumulators).
+    pub tileable: bool,
+}
+
+impl Buffer {
+    /// Total size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.elements * self.elem_bytes
+    }
+}
+
+/// Result of allocating a kernel's buffers into the SPM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpmPlan {
+    /// Tiling factor: every tileable buffer is split into this many slices
+    /// (1 = everything resident).
+    pub tiling_factor: usize,
+    /// Bank assigned to each buffer, in declaration order.
+    pub bank_of: Vec<usize>,
+    /// Bytes used in each bank at steady state (double-buffered slices).
+    pub bank_bytes: Vec<usize>,
+}
+
+impl SpmPlan {
+    /// Peak bytes used in any bank.
+    pub fn peak_bank_bytes(&self) -> usize {
+        self.bank_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total SPM bytes used.
+    pub fn total_bytes(&self) -> usize {
+        self.bank_bytes.iter().sum()
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpmError {
+    /// The non-tileable (resident) buffers alone exceed the SPM.
+    ResidentTooLarge {
+        /// Bytes demanded by resident buffers.
+        needed: usize,
+        /// SPM capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmError::ResidentTooLarge { needed, capacity } => write!(
+                f,
+                "resident buffers need {needed} B but the SPM holds {capacity} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpmError {}
+
+/// Allocates `buffers` into an SPM of `banks` banks × `bank_kib` KiB each.
+///
+/// Tileable buffers are double-buffered (slice `i` is processed while the
+/// DMA loads slice `i+1`), so each contributes `2 · ceil(size / factor)`
+/// bytes. The smallest power-of-two tiling factor that fits is chosen;
+/// buffers are then placed greedily on the least-loaded bank (spreading
+/// them maximises usable port bandwidth, one read + one write port per
+/// bank in the prototype).
+///
+/// # Errors
+///
+/// Returns [`SpmError::ResidentTooLarge`] when the non-tileable buffers
+/// can never fit.
+pub fn allocate(buffers: &[Buffer], banks: usize, bank_kib: usize) -> Result<SpmPlan, SpmError> {
+    let capacity = banks * bank_kib * 1024;
+    let resident: usize = buffers.iter().filter(|b| !b.tileable).map(Buffer::bytes).sum();
+    if resident > capacity {
+        return Err(SpmError::ResidentTooLarge {
+            needed: resident,
+            capacity,
+        });
+    }
+    let mut factor = 1usize;
+    loop {
+        let demand: usize = buffers
+            .iter()
+            .map(|b| {
+                if b.tileable {
+                    2 * b.bytes().div_ceil(factor)
+                } else {
+                    b.bytes()
+                }
+            })
+            .sum();
+        if demand <= capacity {
+            break;
+        }
+        factor *= 2;
+        // A slice can always shrink to one (double-buffered) element, and
+        // residents fit, so termination is guaranteed; cap defensively.
+        if factor > 1 << 30 {
+            break;
+        }
+    }
+    // Greedy least-loaded bank placement, largest buffers first.
+    let mut order: Vec<usize> = (0..buffers.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(buffers[i].bytes()));
+    let mut bank_bytes = vec![0usize; banks.max(1)];
+    let mut bank_of = vec![0usize; buffers.len()];
+    for i in order {
+        let b = &buffers[i];
+        let size = if b.tileable {
+            2 * b.bytes().div_ceil(factor)
+        } else {
+            b.bytes()
+        };
+        let bank = bank_bytes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &used)| used)
+            .map(|(k, _)| k)
+            .expect("at least one bank");
+        bank_of[i] = bank;
+        bank_bytes[bank] += size;
+    }
+    Ok(SpmPlan {
+        tiling_factor: factor,
+        bank_of,
+        bank_bytes,
+    })
+}
+
+impl Kernel {
+    /// The kernel's data buffers, sized from Table I's *Data* column
+    /// (32-bit elements throughout, as in the prototype).
+    pub fn buffers(self) -> Vec<Buffer> {
+        let b = |name, elements, tileable| Buffer {
+            name,
+            elements,
+            elem_bytes: 4,
+            tileable,
+        };
+        match self {
+            Kernel::Fir => vec![b("x", 64, true), b("coeff", 16, false), b("y", 64, true)],
+            Kernel::Latnrm => vec![b("x", 32, true), b("k", 16, false), b("y", 32, true)],
+            Kernel::Fft => vec![b("re", 1024, true), b("im", 1024, true), b("tw", 512, false)],
+            Kernel::Dtw => vec![b("a", 128, false), b("bseq", 128, false), b("d", 128 * 128, true)],
+            Kernel::Spmv => vec![
+                b("vals", 512, true),
+                b("cols", 512, true),
+                b("rowp", 65, false),
+                b("x", 512, false),
+                b("y", 512, true),
+            ],
+            Kernel::Conv => vec![b("in", 32 * 32, true), b("k", 9, false), b("out", 32 * 32, true)],
+            Kernel::Relu => vec![b("in", 1024, true), b("out", 1024, true)],
+            Kernel::Histogram => vec![b("in", 2048, true), b("bins", 256, false)],
+            Kernel::Mvt => vec![
+                b("a", 128 * 128, true),
+                b("x1", 128, false),
+                b("x2", 128, false),
+                b("y1", 128, true),
+                b("y2", 128, true),
+            ],
+            Kernel::Gemm => vec![
+                b("a", 128 * 128, true),
+                b("bm", 128 * 128, true),
+                b("c", 128 * 128, true),
+            ],
+            // Streaming kernels stream per-input slices; sizes reflect one
+            // ENZYMES graph / one ≤100×100 matrix.
+            Kernel::GcnCompress | Kernel::GcnAggregate => vec![
+                b("feat", 128 * 32, true),
+                b("adj", 2 * 126, true),
+                b("out", 128 * 32, true),
+            ],
+            Kernel::GcnCombine | Kernel::GcnCombRelu => vec![
+                b("feat", 128 * 32, true),
+                b("w", 32 * 32, false),
+                b("out", 128 * 32, true),
+            ],
+            Kernel::GcnPooling => vec![b("feat", 128 * 32, true), b("out", 32, true)],
+            Kernel::LuInit | Kernel::LuDecompose | Kernel::LuInvert => vec![
+                b("mat", 100 * 100, true),
+                b("out", 100 * 100, true),
+            ],
+            Kernel::LuSolver0 | Kernel::LuSolver1 => vec![
+                b("lu", 100 * 100, true),
+                b("rhs", 100, false),
+                b("sol", 100, true),
+            ],
+            Kernel::LuDeterminant => vec![b("lu", 100 * 100, true), b("det", 1, false)],
+        }
+    }
+
+    /// Allocates this kernel's buffers into the prototype SPM (32 KiB,
+    /// 8 banks).
+    ///
+    /// # Errors
+    ///
+    /// See [`allocate`].
+    pub fn spm_plan(self) -> Result<SpmPlan, SpmError> {
+        allocate(&self.buffers(), 8, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_fits_the_prototype_spm() {
+        for k in Kernel::ALL {
+            let plan = k.spm_plan().unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            assert!(
+                plan.total_bytes() <= 32 * 1024,
+                "{}: {} B",
+                k.name(),
+                plan.total_bytes()
+            );
+            assert!(plan.peak_bank_bytes() <= 32 * 1024);
+        }
+    }
+
+    #[test]
+    fn small_kernels_need_no_tiling_big_ones_do() {
+        assert_eq!(Kernel::Fir.spm_plan().unwrap().tiling_factor, 1);
+        assert_eq!(Kernel::Relu.spm_plan().unwrap().tiling_factor, 1);
+        // gemm's three 128x128 matrices (192 KiB) must tile.
+        let gemm = Kernel::Gemm.spm_plan().unwrap();
+        assert!(gemm.tiling_factor >= 8, "factor {}", gemm.tiling_factor);
+    }
+
+    #[test]
+    fn double_buffering_is_accounted() {
+        // One tileable 16 KiB buffer in a 32 KiB SPM: factor 1 fits only
+        // because 2 x 16 KiB = capacity.
+        let bufs = [Buffer {
+            name: "x",
+            elements: 4096,
+            elem_bytes: 4,
+            tileable: true,
+        }];
+        let plan = allocate(&bufs, 8, 4).unwrap();
+        assert_eq!(plan.tiling_factor, 1);
+        assert_eq!(plan.total_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn resident_overflow_is_an_error() {
+        let bufs = [Buffer {
+            name: "huge",
+            elements: 100_000,
+            elem_bytes: 4,
+            tileable: false,
+        }];
+        assert!(matches!(
+            allocate(&bufs, 8, 4),
+            Err(SpmError::ResidentTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn banks_are_load_balanced() {
+        let plan = Kernel::Spmv.spm_plan().unwrap();
+        let used_banks = plan.bank_bytes.iter().filter(|&&b| b > 0).count();
+        assert!(used_banks >= 4, "spmv buffers should spread: {used_banks}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Structural DFG synthesis from per-kernel specifications.
+//!
+//! Every evaluated kernel is described by a [`SynthSpec`]: the opcode
+//! sequence of its critical recurrence cycle (length = RecMII), optional
+//! secondary cycles, an arithmetic palette for its feeder chains, a store
+//! sink, and the exact node/edge targets from Table I. [`SynthSpec::build`]
+//! deterministically expands the spec into a [`Dfg`]:
+//!
+//! * the **critical cycle**: a data chain closed by a distance-1
+//!   loop-carried edge — the recurrence that determines the II;
+//! * **secondary cycles**, attached downstream of the critical cycle (like
+//!   Fig. 1's blue `n10`/`n11` pair);
+//! * **feeder chains**: load-headed chains of palette ops feeding the cycle
+//!   positions round-robin (address streams, coefficient loads, …);
+//! * a **sink chain** ending in stores, fed from the cycle's tail;
+//! * **extra edges**: additional forward dependencies (operand reuse,
+//!   second consumers) drawn from a deterministic candidate list until the
+//!   edge target is met.
+//!
+//! All extra edges point "downstream" (feeder → feeder, feeder → cycle,
+//! cycle → sink), so the only directed cycles in the result are the
+//! declared recurrence cycles — `rec_mii` is exactly the critical length by
+//! construction.
+
+use iced_dfg::{Dfg, DfgBuilder, NodeId, Opcode};
+
+/// Structural specification of one kernel DFG.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// Kernel name (used as the DFG name).
+    pub name: &'static str,
+    /// Target node count (Table I).
+    pub nodes: usize,
+    /// Target edge count (Table I).
+    pub edges: usize,
+    /// Opcodes of the critical recurrence cycle; its length is the RecMII.
+    pub critical: Vec<Opcode>,
+    /// Sizes of secondary recurrence cycles (each built from the palette).
+    pub secondary: Vec<usize>,
+    /// Arithmetic palette for feeder/sink chains, cycled deterministically.
+    pub palette: Vec<Opcode>,
+    /// Length of the store-terminated sink chain (0 = no sink).
+    pub sink_len: usize,
+}
+
+impl SynthSpec {
+    /// Expands the specification into a DFG and checks the Table I targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is internally inconsistent (targets unreachable) —
+    /// specs are compile-time constants validated by the crate's tests.
+    pub fn build(&self) -> Dfg {
+        let c = self.critical.len();
+        assert!(c >= 1, "critical cycle must be non-empty");
+        let sec_total: usize = self.secondary.iter().sum();
+        let fixed = c + sec_total + self.sink_len;
+        assert!(
+            self.nodes >= fixed,
+            "{}: {} nodes cannot hold cycle {c} + secondary {sec_total} + sink {}",
+            self.name,
+            self.nodes,
+            self.sink_len
+        );
+        let feeder_total = self.nodes - fixed;
+        let extra = self
+            .edges
+            .checked_sub(self.nodes + self.secondary.len())
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}: edge target {} below structural minimum",
+                    self.name, self.edges
+                )
+            });
+
+        let mut b = DfgBuilder::new(self.name);
+
+        // Critical recurrence cycle.
+        let crit: Vec<NodeId> = self
+            .critical
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| b.node(op, format!("c{i}")))
+            .collect();
+        b.data_chain(&crit).expect("fresh chain");
+        b.carry(crit[c - 1], crit[0]).expect("cycle closure");
+
+        // Secondary cycles, attached downstream of the critical tail.
+        for (si, &s) in self.secondary.iter().enumerate() {
+            assert!(s >= 1, "secondary cycle must be non-empty");
+            let nodes: Vec<NodeId> = (0..s)
+                .map(|i| b.node(self.pal(si + i), format!("s{si}_{i}")))
+                .collect();
+            b.data_chain(&nodes).expect("fresh chain");
+            b.carry(nodes[s - 1], nodes[0]).expect("cycle closure");
+            b.data(crit[c - 1], nodes[0]).expect("attach");
+        }
+
+        // Feeder chains: load-headed, up to 3 ops each, feeding the cycle
+        // round-robin (skipping position 0, the recurrence head).
+        let mut feeders: Vec<Vec<NodeId>> = Vec::new();
+        let mut remaining = feeder_total;
+        while remaining > 0 {
+            let len = remaining.min(3);
+            let ci = feeders.len();
+            let chain: Vec<NodeId> = (0..len)
+                .map(|i| {
+                    if i == 0 {
+                        b.node(Opcode::Load, format!("f{ci}_ld"))
+                    } else {
+                        b.node(self.pal(ci + i), format!("f{ci}_{i}"))
+                    }
+                })
+                .collect();
+            b.data_chain(&chain).expect("fresh chain");
+            let attach = crit[self.attach_pos(ci)];
+            b.data(chain[len - 1], attach).expect("feeder attach");
+            feeders.push(chain);
+            remaining -= len;
+        }
+
+        // Sink chain: fed from the cycle tail, ending in a store.
+        let mut sink: Vec<NodeId> = Vec::new();
+        if self.sink_len > 0 {
+            for i in 0..self.sink_len {
+                let op = if i + 1 == self.sink_len {
+                    Opcode::Store
+                } else if i == 0 {
+                    Opcode::Mov
+                } else {
+                    self.pal(i)
+                };
+                sink.push(b.node(op, format!("k{i}")));
+            }
+            b.data(crit[c - 1], sink[0]).expect("sink attach");
+            b.data_chain(&sink).expect("fresh chain");
+        }
+
+        // Extra edges from the deterministic candidate list.
+        let candidates = self.extra_candidates(&crit, &feeders, &sink);
+        assert!(
+            candidates.len() >= extra,
+            "{}: need {extra} extra edges, only {} candidates",
+            self.name,
+            candidates.len()
+        );
+        for &(src, dst) in candidates.iter().take(extra) {
+            b.data(src, dst).expect("extra edges are unique by construction");
+        }
+
+        let dfg = b.finish().expect("synthesised graph is valid");
+        debug_assert_eq!(dfg.node_count(), self.nodes, "{} node target", self.name);
+        debug_assert_eq!(dfg.edge_count(), self.edges, "{} edge target", self.name);
+        dfg
+    }
+
+    /// RecMII implied by this spec.
+    pub fn rec_mii(&self) -> u32 {
+        self.critical.len() as u32
+    }
+
+    fn pal(&self, i: usize) -> Opcode {
+        self.palette[i % self.palette.len()]
+    }
+
+    /// Cycle position fed by feeder chain `ci` (never the head, which is
+    /// the phi of the recurrence in real kernels).
+    fn attach_pos(&self, ci: usize) -> usize {
+        let c = self.critical.len();
+        if c == 1 {
+            0
+        } else {
+            1 + ci % (c - 1)
+        }
+    }
+
+    /// Ordered list of safe (forward, non-duplicate) extra-edge candidates.
+    fn extra_candidates(
+        &self,
+        crit: &[NodeId],
+        feeders: &[Vec<NodeId>],
+        sink: &[NodeId],
+    ) -> Vec<(NodeId, NodeId)> {
+        let c = crit.len();
+        let mut out = Vec::new();
+        // B: skip-level reuse inside feeder chains (operand reuse).
+        for chain in feeders {
+            for i in 0..chain.len().saturating_sub(2) {
+                out.push((chain[i], chain[i + 2]));
+            }
+        }
+        // C: cross-chain dependencies (index streams feeding data streams).
+        for w in feeders.windows(2) {
+            if w[1].len() >= 2 {
+                out.push((w[0][w[0].len() - 1], w[1][1]));
+            }
+        }
+        // F: feeder heads feeding the sink (stored address streams).
+        for chain in feeders {
+            if let Some(&sn) = sink.last() {
+                out.push((chain[0], sn));
+            }
+        }
+        // E: skip-level edges inside the sink chain.
+        for i in 0..sink.len().saturating_sub(2) {
+            out.push((sink[i], sink[i + 2]));
+        }
+        // D: cycle values observed by the sink chain.
+        for (i, &cn) in crit.iter().enumerate() {
+            for (j, &sn) in sink.iter().enumerate() {
+                if i == c - 1 && j == 0 {
+                    continue; // the structural attach edge
+                }
+                out.push((cn, sn));
+            }
+        }
+        // A (last resort — concentrates fan-in on the cycle): each feeder's
+        // result feeds one or two more cycle positions.
+        for (ci, chain) in feeders.iter().enumerate() {
+            let last = chain[chain.len() - 1];
+            let a = self.attach_pos(ci);
+            if c > 2 {
+                for off in 1..=2usize {
+                    let pos = if c == 1 { 0 } else { 1 + (a - 1 + off) % (c - 1) };
+                    if pos != a {
+                        out.push((last, crit[pos]));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SynthSpec {
+        SynthSpec {
+            name: "test",
+            nodes: 12,
+            edges: 16,
+            critical: vec![Opcode::Phi, Opcode::Add, Opcode::Cmp, Opcode::Select],
+            secondary: vec![],
+            palette: vec![Opcode::Mul, Opcode::Add],
+            sink_len: 2,
+        }
+    }
+
+    #[test]
+    fn build_hits_targets() {
+        let dfg = spec().build();
+        assert_eq!(dfg.node_count(), 12);
+        assert_eq!(dfg.edge_count(), 16);
+        assert_eq!(dfg.rec_mii(), 4);
+        dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn secondary_cycles_do_not_change_rec_mii() {
+        let mut s = spec();
+        s.nodes = 14;
+        s.edges = 19;
+        s.secondary = vec![2];
+        let dfg = s.build();
+        assert_eq!(dfg.rec_mii(), 4);
+        assert_eq!(dfg.node_count(), 14);
+        assert_eq!(dfg.edge_count(), 19);
+        // Both cycles are found.
+        let cycles = iced_dfg::recurrence::enumerate_cycles(&dfg);
+        assert!(cycles.iter().any(|c| c.len() == 2));
+        assert!(cycles.iter().any(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn loads_head_every_feeder_chain() {
+        let dfg = spec().build();
+        assert!(dfg.count_ops(|op| op == Opcode::Load) >= 2);
+        assert_eq!(dfg.count_ops(|op| op == Opcode::Store), 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = spec().build();
+        let b = spec().build();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Mapper error type.
+
+use std::error::Error;
+use std::fmt;
+
+use iced_arch::ArchError;
+use iced_dfg::DfgError;
+
+/// Errors produced by the mapping algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// No valid mapping was found up to the configured maximum II.
+    IiExceeded {
+        /// The configured ceiling.
+        max_ii: u32,
+    },
+    /// The kernel contains memory operations but the target CGRA column
+    /// that connects to the SPM cannot host them all (e.g. more concurrent
+    /// loads than SPM-connected tile-cycles).
+    MemoryPressure,
+    /// Architecture-level failure (invalid configuration or MRRG).
+    Arch(ArchError),
+    /// DFG-level failure (invalid graph handed in).
+    Dfg(DfgError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::IiExceeded { max_ii } => {
+                write!(f, "no valid mapping found up to II = {max_ii}")
+            }
+            MapError::MemoryPressure => {
+                write!(f, "memory operations exceed SPM-connected tile capacity")
+            }
+            MapError::Arch(e) => write!(f, "architecture error: {e}"),
+            MapError::Dfg(e) => write!(f, "dataflow graph error: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Arch(e) => Some(e),
+            MapError::Dfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for MapError {
+    fn from(e: ArchError) -> Self {
+        MapError::Arch(e)
+    }
+}
+
+impl From<DfgError> for MapError {
+    fn from(e: DfgError) -> Self {
+        MapError::Dfg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MapError::IiExceeded { max_ii: 32 };
+        assert!(e.to_string().contains("32"));
+        let e2: MapError = ArchError::ZeroDimension.into();
+        assert!(e2.source().is_some());
+    }
+}

@@ -1,0 +1,301 @@
+//! Algorithm 1 — `LabelDVFSLevel`: assign each DFG node a preferred DVFS
+//! level before mapping.
+//!
+//! Nodes on the longest recurrence cycles (the cycles that determine the II)
+//! are labeled `normal`; nodes on cycles at most half that long can afford
+//! `relax`; the remaining nodes are labeled `rest` or `relax` as long as
+//! tile-slots of those classes are available across the II time window, and
+//! `normal` otherwise (running a node slower than necessary occupies a tile
+//! 2–4× longer and would shrink the mapper's search space — the paper's
+//! rationale for the fallback).
+
+use iced_arch::{CgraConfig, DvfsLevel};
+use iced_dfg::{recurrence, Dfg};
+
+/// Per-node DVFS labels plus the slot accounting that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSummary {
+    labels: Vec<DvfsLevel>,
+    normal_nodes: usize,
+    relax_nodes: usize,
+    rest_nodes: usize,
+}
+
+impl LabelSummary {
+    /// Label of `node` (indexed by dense node id).
+    pub fn label(&self, node: iced_dfg::NodeId) -> DvfsLevel {
+        self.labels[node.index()]
+    }
+
+    /// All labels, indexed by node id.
+    pub fn labels(&self) -> &[DvfsLevel] {
+        &self.labels
+    }
+
+    /// Number of nodes labeled `normal`.
+    pub fn normal_nodes(&self) -> usize {
+        self.normal_nodes
+    }
+
+    /// Number of nodes labeled `relax`.
+    pub fn relax_nodes(&self) -> usize {
+        self.relax_nodes
+    }
+
+    /// Number of nodes labeled `rest`.
+    pub fn rest_nodes(&self) -> usize {
+        self.rest_nodes
+    }
+}
+
+/// Tile-slot budget tracker: islands are granted to one level class at a
+/// time; a class can execute `tiles_per_island · II / divisor` nodes per
+/// island (a slower tile holds each op `divisor` base cycles).
+struct SlotBudget {
+    free_islands: usize,
+    tiles_per_island: usize,
+    ii: u32,
+    /// Remaining op capacity in the islands already granted per class
+    /// (indexed by rate divisor: 1, 2, 4 → 0, 1, 2).
+    remaining: [usize; 3],
+}
+
+impl SlotBudget {
+    fn class_index(level: DvfsLevel) -> usize {
+        match level {
+            DvfsLevel::Normal => 0,
+            DvfsLevel::Relax => 1,
+            DvfsLevel::Rest => 2,
+            DvfsLevel::PowerGated => unreachable!("labels are never power-gated"),
+        }
+    }
+
+    fn island_capacity(&self, level: DvfsLevel) -> usize {
+        let div = level.rate_divisor().expect("active level") as usize;
+        if self.ii as usize % div != 0 {
+            return 0; // the slow clock cannot tessellate this II
+        }
+        self.tiles_per_island * (self.ii as usize / div)
+    }
+
+    /// Tries to account one node at `level`, growing the class by whole
+    /// islands as needed. Returns `false` when out of capacity.
+    fn take(&mut self, level: DvfsLevel) -> bool {
+        let idx = Self::class_index(level);
+        if self.remaining[idx] == 0 {
+            let cap = self.island_capacity(level);
+            if cap == 0 || self.free_islands == 0 {
+                return false;
+            }
+            self.free_islands -= 1;
+            self.remaining[idx] = cap;
+        }
+        self.remaining[idx] -= 1;
+        true
+    }
+}
+
+/// Runs Algorithm 1 for `dfg` targeting `config` with initiation interval
+/// `ii`, returning a preferred DVFS level for every node.
+pub fn label_dvfs_levels(dfg: &Dfg, config: &CgraConfig, ii: u32) -> LabelSummary {
+    let n = dfg.node_count();
+    let mut labels: Vec<Option<DvfsLevel>> = vec![None; n];
+    let cycles = recurrence::enumerate_cycles(dfg);
+    let longest = cycles.first().map_or(0, |c| c.len());
+
+    // Memory operations stay at normal: the SPM banks and their crossbar
+    // run in the base clock domain, and the SPM-connected column is a
+    // scarce resource — a rest-level load would monopolise a whole memory
+    // tile for the entire II.
+    let mut normal_nodes_mem = 0usize;
+    for node in dfg.nodes() {
+        if node.op().is_memory() {
+            labels[node.id().index()] = Some(DvfsLevel::Normal);
+            normal_nodes_mem += 1;
+        }
+    }
+
+    // Lines 7–19: cycle nodes. Cycles no longer than half the longest can
+    // run at relax without stretching the II; all other cycle nodes are
+    // II-critical and stay at normal.
+    let mut normal_nodes = normal_nodes_mem;
+    let mut relax_nodes = 0usize;
+    let mut rest_nodes = 0usize;
+    for cycle in &cycles {
+        let lvl = if cycle.len() <= longest / 2 && ii % 2 == 0 {
+            DvfsLevel::Relax
+        } else {
+            DvfsLevel::Normal
+        };
+        for &node in cycle.nodes() {
+            if labels[node.index()].is_none() {
+                labels[node.index()] = Some(lvl);
+                match lvl {
+                    DvfsLevel::Relax => relax_nodes += 1,
+                    _ => normal_nodes += 1,
+                }
+            }
+        }
+    }
+
+    // Lines 20–32: off-cycle nodes, budgeted against tile-slots per class.
+    let tiles_per_island = config.island_rows() * config.island_cols();
+    let mut budget = SlotBudget {
+        free_islands: config.island_count(),
+        tiles_per_island,
+        ii,
+        remaining: [0; 3],
+    };
+    // Pre-charge the budget with the cycle nodes labeled above so the
+    // off-cycle accounting sees what is left.
+    for _ in 0..normal_nodes {
+        let _ = budget.take(DvfsLevel::Normal);
+    }
+    for _ in 0..relax_nodes {
+        let _ = budget.take(DvfsLevel::Relax);
+    }
+    for idx in 0..n {
+        if labels[idx].is_some() {
+            continue;
+        }
+        let lvl = if budget.take(DvfsLevel::Rest) {
+            rest_nodes += 1;
+            DvfsLevel::Rest
+        } else if budget.take(DvfsLevel::Relax) {
+            relax_nodes += 1;
+            DvfsLevel::Relax
+        } else {
+            normal_nodes += 1;
+            DvfsLevel::Normal
+        };
+        labels[idx] = Some(lvl);
+    }
+
+    LabelSummary {
+        labels: labels.into_iter().map(|l| l.expect("all nodes labeled")).collect(),
+        normal_nodes,
+        relax_nodes,
+        rest_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iced_dfg::{DfgBuilder, Opcode};
+
+    /// Fig. 1-style kernel: a 4-node critical cycle, a 2-node secondary
+    /// cycle, and 5 off-cycle feeder nodes (11 nodes total).
+    fn fig1_like() -> Dfg {
+        let mut b = DfgBuilder::new("fig1");
+        let crit: Vec<_> = (0..4).map(|i| b.node(Opcode::Add, format!("c{i}"))).collect();
+        b.data_chain(&crit).unwrap();
+        b.carry(crit[3], crit[0]).unwrap();
+        let sec: Vec<_> = (0..2).map(|i| b.node(Opcode::Mul, format!("s{i}"))).collect();
+        b.data_chain(&sec).unwrap();
+        b.carry(sec[1], sec[0]).unwrap();
+        b.data(crit[3], sec[0]).unwrap();
+        for i in 0..5 {
+            let f = b.node(Opcode::Mul, format!("f{i}"));
+            b.data(f, crit[0]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn critical_cycle_is_normal_secondary_is_relax() {
+        let dfg = fig1_like();
+        let cfg = CgraConfig::square(4).unwrap();
+        let s = label_dvfs_levels(&dfg, &cfg, 4);
+        // Critical cycle nodes 0..4 → normal.
+        for i in 0..4 {
+            assert_eq!(s.labels()[i], DvfsLevel::Normal, "node {i}");
+        }
+        // Secondary cycle (len 2 <= 4/2) → relax.
+        for i in 4..6 {
+            assert_eq!(s.labels()[i], DvfsLevel::Relax, "node {i}");
+        }
+        // The paper's worked example: the 5 grey nodes fit in the two free
+        // 2x2 islands at rest (8 slots >= 5).
+        for i in 6..11 {
+            assert_eq!(s.labels()[i], DvfsLevel::Rest, "node {i}");
+        }
+        assert_eq!(s.normal_nodes(), 4);
+        assert_eq!(s.relax_nodes(), 2);
+        assert_eq!(s.rest_nodes(), 5);
+    }
+
+    #[test]
+    fn odd_ii_disables_slow_levels() {
+        let dfg = fig1_like();
+        let cfg = CgraConfig::square(4).unwrap();
+        let s = label_dvfs_levels(&dfg, &cfg, 5);
+        assert_eq!(s.rest_nodes(), 0);
+        assert_eq!(s.relax_nodes(), 0);
+        assert!(s.labels().iter().all(|&l| l == DvfsLevel::Normal));
+    }
+
+    #[test]
+    fn overflow_falls_back_to_normal() {
+        // Tiny 2x2 CGRA with a 2x2 island: a big node set exhausts the rest
+        // budget and the rest fall back (possibly via relax) to normal.
+        let mut b = DfgBuilder::new("big");
+        let root = b.node(Opcode::Load, "r");
+        for i in 0..40 {
+            let x = b.node(Opcode::Add, format!("x{i}"));
+            b.data(root, x).unwrap();
+        }
+        let dfg = b.finish().unwrap();
+        let cfg = CgraConfig::square(2).unwrap();
+        let s = label_dvfs_levels(&dfg, &cfg, 4);
+        // One island total: first class to claim it wins; everyone else is
+        // normal (conservative fallback, line 31).
+        assert!(s.normal_nodes() > 0);
+        assert_eq!(s.labels().len(), 41);
+    }
+
+    #[test]
+    fn acyclic_graph_gets_low_labels_when_budget_allows() {
+        let mut b = DfgBuilder::new("acyc");
+        let a = b.node(Opcode::Load, "a");
+        let c = b.node(Opcode::Add, "c");
+        b.data(a, c).unwrap();
+        let dfg = b.finish().unwrap();
+        let cfg = CgraConfig::iced_prototype();
+        let s = label_dvfs_levels(&dfg, &cfg, 4);
+        // The load stays at normal (SPM interface runs in the base clock
+        // domain); the off-cycle ALU op rests.
+        assert_eq!(s.rest_nodes(), 1);
+        assert_eq!(s.normal_nodes(), 1);
+        assert_eq!(s.label(a), DvfsLevel::Normal);
+    }
+
+    #[test]
+    fn ii_divisible_by_two_but_not_four_allows_relax_only() {
+        let mut b = DfgBuilder::new("g");
+        let a = b.node(Opcode::Mov, "a");
+        let c = b.node(Opcode::Add, "c");
+        b.data(a, c).unwrap();
+        let dfg = b.finish().unwrap();
+        let cfg = CgraConfig::iced_prototype();
+        let s = label_dvfs_levels(&dfg, &cfg, 6);
+        assert_eq!(s.rest_nodes(), 0);
+        assert_eq!(s.relax_nodes(), 2);
+    }
+
+    #[test]
+    fn memory_ops_are_pinned_to_normal() {
+        let mut b = DfgBuilder::new("mem");
+        let ld = b.node(Opcode::Load, "ld");
+        let st = b.node(Opcode::Store, "st");
+        let x = b.node(Opcode::Mul, "x");
+        b.data(ld, x).unwrap();
+        b.data(x, st).unwrap();
+        let dfg = b.finish().unwrap();
+        let cfg = CgraConfig::iced_prototype();
+        let s = label_dvfs_levels(&dfg, &cfg, 4);
+        assert_eq!(s.label(ld), DvfsLevel::Normal);
+        assert_eq!(s.label(st), DvfsLevel::Normal);
+        assert_eq!(s.label(x), DvfsLevel::Rest);
+    }
+}

@@ -1,0 +1,945 @@
+//! Algorithm 2 — DVFS-aware modulo mapping.
+//!
+//! Nodes are placed in topological order onto the MRRG. For every node the
+//! engine ranks candidate tiles by a cost estimate (routing distance, DVFS
+//! mismatch against the node's Algorithm-1 label, island-opening and
+//! congestion penalties), then attempts to *commit* candidates in cost
+//! order: route all dependencies with the Dijkstra router, pick the
+//! earliest phase-aligned FU slot, and reserve every resource. The first
+//! candidate that commits wins; if none does, the II is incremented and the
+//! whole mapping restarts (Algorithm 2's `II = II + 1` loop).
+//!
+//! Island DVFS levels are assigned on first use (Algorithm 2 lines 14–16):
+//! the first node placed in an island fixes the island's level to the
+//! node's label; later nodes may only join islands at least as fast as
+//! their label (line 17). Routing through a not-yet-assigned island pins it
+//! to `normal` — its crossbar was reserved at base-clock granularity, so a
+//! slower clock could no longer honour the reservation. Unused islands are
+//! power-gated in the final mapping.
+
+use iced_arch::{CgraConfig, DvfsLevel, IslandId, Mrrg, TileId};
+use iced_dfg::{Dfg, NodeId};
+
+use crate::error::MapError;
+use crate::labeling::label_dvfs_levels;
+use crate::mapping::{Mapping, Placement, Route};
+use crate::router::{route, Txn};
+
+/// Options controlling the mapping engine.
+#[derive(Debug, Clone)]
+pub struct MapperOptions {
+    /// Use Algorithm 1 labels and per-island DVFS assignment (ICED mode).
+    /// When `false`, every label and island is pinned to `normal` — the
+    /// paper's conventional *Baseline* mapper.
+    pub dvfs_aware: bool,
+    /// DVFS levels the mapper may assign to islands. Streaming-application
+    /// kernel mapping restricts this to `{normal, relax}` (paper §IV-B).
+    pub allowed_levels: Vec<DvfsLevel>,
+    /// Give up once the II exceeds this bound.
+    pub max_ii: u32,
+    /// Lower bound on the starting II (e.g. to reproduce a sweep); the
+    /// engine still starts no lower than `max(RecMII, ResMII)`.
+    pub min_ii: u32,
+    /// Restrict the mapper to the first `n` islands (row-major). Used by the
+    /// streaming partitioner to map one kernel per island group; `None`
+    /// means the whole fabric.
+    pub island_budget: Option<usize>,
+    /// Load-balance placements across tiles (conventional II-minimising
+    /// mappers spread work to keep routing easy — the paper's Figure 1
+    /// mapping uses a fresh tile per op). The DVFS-aware flow instead
+    /// clusters, so whole islands can power-gate.
+    pub spread: bool,
+    /// Place recurrence-cycle nodes before their feeders (ablation knob;
+    /// disabling reverts to plain topological order and typically costs
+    /// II on recurrence-heavy kernels).
+    pub cycle_first: bool,
+    /// Retry each II with progressively conservative labels before
+    /// escalating the II (ablation knob; disabling gives up DVFS quality
+    /// whenever the most aggressive labeling fails).
+    pub label_ladder: bool,
+}
+
+impl Default for MapperOptions {
+    fn default() -> Self {
+        MapperOptions {
+            dvfs_aware: true,
+            allowed_levels: vec![DvfsLevel::Normal, DvfsLevel::Relax, DvfsLevel::Rest],
+            max_ii: 96,
+            min_ii: 1,
+            island_budget: None,
+            spread: false,
+            cycle_first: true,
+            label_ladder: true,
+        }
+    }
+}
+
+impl MapperOptions {
+    /// Options for the conventional no-DVFS baseline mapper.
+    pub fn baseline() -> Self {
+        MapperOptions {
+            dvfs_aware: false,
+            allowed_levels: vec![DvfsLevel::Normal],
+            spread: true,
+            ..MapperOptions::default()
+        }
+    }
+}
+
+/// Maps `dfg` with the conventional (no-DVFS) strategy: minimise II, all
+/// tiles at nominal V/F.
+///
+/// # Errors
+///
+/// See [`map_with`].
+pub fn map_baseline(dfg: &Dfg, config: &CgraConfig) -> Result<Mapping, MapError> {
+    map_with(dfg, config, &MapperOptions::baseline())
+}
+
+/// Maps `dfg` with the full ICED flow: Algorithm 1 labeling followed by
+/// Algorithm 2 island-aware placement and routing.
+///
+/// # Errors
+///
+/// See [`map_with`].
+pub fn map_dvfs_aware(dfg: &Dfg, config: &CgraConfig) -> Result<Mapping, MapError> {
+    map_with(dfg, config, &MapperOptions::default())
+}
+
+/// Maps `dfg` onto `config` with explicit options.
+///
+/// # Errors
+///
+/// Returns [`MapError::IiExceeded`] when no mapping exists up to
+/// `opts.max_ii`, or [`MapError::MemoryPressure`] when the kernel's
+/// load/store count can never fit the SPM-connected column.
+pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<Mapping, MapError> {
+    let tiles_avail = usable_tiles(config, opts).len();
+    if tiles_avail == 0 {
+        return Err(MapError::MemoryPressure);
+    }
+    let mem_nodes = dfg.count_ops(|op| op.is_memory());
+    let mem_tiles = usable_tiles(config, opts)
+        .iter()
+        .filter(|&&t| config.is_memory_tile(t))
+        .count();
+    if mem_nodes > 0 && mem_tiles == 0 {
+        return Err(MapError::MemoryPressure);
+    }
+    let res_mii = (dfg.node_count() as u32).div_ceil(tiles_avail as u32);
+    let mem_mii = if mem_nodes > 0 {
+        (mem_nodes as u32).div_ceil(mem_tiles as u32)
+    } else {
+        0
+    };
+    let start_ii = dfg
+        .rec_mii()
+        .max(res_mii)
+        .max(mem_mii)
+        .max(opts.min_ii)
+        .max(1);
+    for ii in start_ii..=opts.max_ii {
+        // Retry ladder: the greedy engine cannot backtrack across nodes, so
+        // before paying an II increase it retries the same II with
+        // progressively conservative labels (rest → relax, then all-normal).
+        // The all-normal attempt makes the DVFS-aware mapper never slower
+        // than the baseline at the same II — the paper's Fig. 4 property.
+        for (labels, spread) in label_attempts(dfg, config, opts, ii) {
+            let mut engine = Engine::new(dfg, config, opts, ii, labels, spread)?;
+            if let Some(mapping) = engine.run() {
+                return Ok(mapping);
+            }
+        }
+    }
+    Err(MapError::IiExceeded { max_ii: opts.max_ii })
+}
+
+/// Tiles the mapper may use under the island budget.
+fn usable_tiles(config: &CgraConfig, opts: &MapperOptions) -> Vec<TileId> {
+    match opts.island_budget {
+        None => config.tiles().collect(),
+        Some(n) => {
+            let mut tiles = Vec::new();
+            for island in config.islands().take(n) {
+                tiles.extend(config.island_tiles(island));
+            }
+            tiles.sort_unstable();
+            tiles
+        }
+    }
+}
+
+struct Engine<'a> {
+    dfg: &'a Dfg,
+    cfg: &'a CgraConfig,
+    opts: &'a MapperOptions,
+    ii: u32,
+    labels: Vec<DvfsLevel>,
+    mrrg: Mrrg,
+    rates: Vec<u32>,
+    island_assigned: Vec<Option<DvfsLevel>>,
+    placements: Vec<Option<Placement>>,
+    routes: Vec<Option<Route>>,
+    tiles: Vec<TileId>,
+    asap: Vec<u64>,
+    on_cycle: Vec<bool>,
+    virgin: Vec<bool>,
+    spread: bool,
+}
+
+/// Cost-function weights. One mesh hop of input transport costs [`W_HOP`];
+/// everything else is scaled relative to it. Transport dominates congestion
+/// so recurrence chains stay tight (a scattered critical cycle cannot close
+/// within the II); DVFS mismatch dominates transport so labeled nodes seek
+/// matching islands before seeking proximity.
+const W_HOP: u64 = 8;
+const W_CARRY: u64 = 16;
+const W_LEVEL: u64 = 48;
+const W_OPEN: u64 = 6;
+const W_MEM: u64 = 20;
+
+impl<'a> Engine<'a> {
+    fn new(
+        dfg: &'a Dfg,
+        cfg: &'a CgraConfig,
+        opts: &'a MapperOptions,
+        ii: u32,
+        labels: Vec<DvfsLevel>,
+        spread: bool,
+    ) -> Result<Self, MapError> {
+        let mut engine = Engine {
+            dfg,
+            cfg,
+            opts,
+            ii,
+            labels,
+            mrrg: Mrrg::new(cfg, ii)?,
+            rates: vec![1; cfg.tile_count()],
+            island_assigned: vec![None; cfg.island_count()],
+            placements: vec![None; dfg.node_count()],
+            routes: vec![None; dfg.edge_count()],
+            tiles: usable_tiles(cfg, opts),
+            asap: Vec::new(),
+            on_cycle: Vec::new(),
+            virgin: vec![true; cfg.tile_count()],
+            spread,
+        };
+        let mut on_cycle = vec![false; dfg.node_count()];
+        for cycle in iced_dfg::recurrence::enumerate_cycles(dfg) {
+            for n in cycle.nodes() {
+                on_cycle[n.index()] = true;
+            }
+        }
+        engine.on_cycle = on_cycle;
+        engine.asap = engine.asap_times();
+        Ok(engine)
+    }
+
+    fn run(&mut self) -> Option<Mapping> {
+        for node in self.placement_order() {
+            if !self.place_node(node) {
+                return None;
+            }
+        }
+        Some(self.finish())
+    }
+
+    /// Placement order: recurrence-cycle nodes first (in topological order),
+    /// then the remaining nodes topologically. Placing the II-critical
+    /// cycles before their feeders lets the engine keep each cycle tight;
+    /// feeders then route *towards* fixed consumers under a deadline instead
+    /// of painting the cycle into a corner.
+    fn placement_order(&self) -> Vec<NodeId> {
+        let topo = self.dfg.topological_order();
+        if !self.opts.cycle_first {
+            return topo;
+        }
+        let mut order: Vec<NodeId> = topo
+            .iter()
+            .copied()
+            .filter(|n| self.on_cycle[n.index()])
+            .collect();
+        order.extend(topo.iter().copied().filter(|n| !self.on_cycle[n.index()]));
+        order
+    }
+
+    /// Modulo-scheduling ASAP times: the longest-path fixpoint of
+    /// `σ(v) ≥ σ(u) + lat(u) − d·II` over all edges. For `II ≥ RecMII`
+    /// there is no positive cycle, so Bellman–Ford converges.
+    ///
+    /// Latencies are *label-aware*: a node labeled `rest` occupies its tile
+    /// for 4 base cycles, so its consumers — including II-critical cycles it
+    /// feeds — must be scheduled late enough to absorb that. This is what
+    /// lets slow feeders coexist with a tight recurrence cycle at the same
+    /// II (the paper's Fig. 3(e)): the cycle simply starts a few cycles
+    /// later and the prologue deepens, while the steady-state period is
+    /// unchanged. Critical-cycle nodes are labeled `normal` (divisor 1), so
+    /// the label-aware weights cannot create a positive cycle either.
+    fn asap_times(&self) -> Vec<u64> {
+        let n = self.dfg.node_count();
+        let ii = self.ii as i64;
+        let mut t = vec![0i64; n];
+        for _ in 0..=n {
+            let mut changed = false;
+            for e in self.dfg.edges() {
+                let lat = self.labels[e.src().index()]
+                    .rate_divisor()
+                    .expect("labels are active levels") as i64
+                    * self.dfg.node(e.src()).op().latency() as i64;
+                // One-cycle transport pad on edges leaving off-cycle nodes:
+                // feeders rarely share a tile with their consumers, so the
+                // schedule budgets one store-and-forward hop per feeder
+                // level. Intra-cycle edges stay unpadded (they must chain
+                // with overlapped hops anyway, and padding them would create
+                // a positive cycle at II = RecMII).
+                let pad = i64::from(!self.on_cycle[e.src().index()]);
+                let w = lat + pad - e.kind().distance() as i64 * ii;
+                let cand = t[e.src().index()] + w;
+                if cand > t[e.dst().index()] {
+                    t[e.dst().index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        t.into_iter().map(|x| x.max(0) as u64).collect()
+    }
+
+    /// The level an unassigned island would get for a node labeled `label`:
+    /// the slowest allowed level that is at least as fast as the label and
+    /// whose clock tessellates the II.
+    fn usable_level(&self, label: DvfsLevel) -> DvfsLevel {
+        let mut lvl = label;
+        loop {
+            let div = lvl.rate_divisor().expect("labels are active levels");
+            if self.ii % div == 0 && self.opts.allowed_levels.contains(&lvl) {
+                return lvl;
+            }
+            if lvl == DvfsLevel::Normal {
+                return DvfsLevel::Normal;
+            }
+            lvl = lvl.raised();
+        }
+    }
+
+    fn place_node(&mut self, node: NodeId) -> bool {
+        // Per-node label escalation: if a node cannot be committed anywhere
+        // at its preferred level, retry it one level faster instead of
+        // abandoning the whole attempt — Algorithm 1's labels guide the
+        // mapping, "the final DVFS level of each DFG node can still be
+        // adjusted by the heuristic mapping algorithm" (paper §IV-A).
+        let mut label = self.labels[node.index()];
+        loop {
+            if self.try_place_at_label(node, label) {
+                return true;
+            }
+            if label == DvfsLevel::Normal {
+                break;
+            }
+            label = label.raised();
+        }
+        if std::env::var_os("ICED_MAPPER_DEBUG").is_some() {
+            eprintln!(
+                "mapper: II={} no candidate for {} ({}, label {:?}, asap {})",
+                self.ii,
+                node,
+                self.dfg.node(node).label(),
+                self.labels[node.index()],
+                self.asap[node.index()],
+            );
+        }
+        false
+    }
+
+    fn try_place_at_label(&mut self, node: NodeId, label: DvfsLevel) -> bool {
+        let op = self.dfg.node(node).op();
+        let is_mem = op.is_memory();
+        let needs_mul = op.class() == iced_dfg::OpcodeClass::Mul;
+        let mut candidates: Vec<(u64, TileId)> = Vec::new();
+        for &tile in &self.tiles {
+            if is_mem && !self.cfg.is_memory_tile(tile) {
+                continue;
+            }
+            if needs_mul && !self.cfg.tile_has_multiplier(tile) {
+                continue;
+            }
+            if let Some(cost) = self.estimate(node, label, tile, is_mem) {
+                candidates.push((cost, tile));
+            }
+        }
+        candidates.sort_unstable_by_key(|&(c, t)| (c, t));
+        for (_, tile) in candidates {
+            if self.commit(node, label, tile) {
+                if std::env::var_os("ICED_MAPPER_DEBUG").is_some_and(|v| v == "2") {
+                    let p = self.placements[node.index()].expect("just placed");
+                    eprintln!(
+                        "mapper:   II={} placed {} ({}) on {} start={} rate={}",
+                        self.ii, node, self.dfg.node(node).label(), p.tile, p.start, p.rate
+                    );
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn estimate(&self, node: NodeId, label: DvfsLevel, tile: TileId, is_mem: bool) -> Option<u64> {
+        let island = self.cfg.island_of(tile);
+        let assigned = self.island_assigned[island.index()];
+        let level = match assigned {
+            Some(l) => {
+                if label > l {
+                    return None; // line 17: label must not exceed island level
+                }
+                l
+            }
+            None => self.usable_level(label),
+        };
+        let mut cost = 0u64;
+        for e in self.dfg.in_edges(node) {
+            if let Some(p) = self.placements[e.src().index()] {
+                cost += W_HOP * self.cfg.manhattan(p.tile, tile) as u64;
+            }
+        }
+        for e in self.dfg.out_edges(node) {
+            match self.placements[e.dst().index()] {
+                Some(p) => {
+                    let w = if e.kind().is_loop_carried() { W_CARRY } else { W_HOP };
+                    cost += w * self.cfg.manhattan(tile, p.tile) as u64;
+                }
+                None => {
+                    // Second-order attraction: pull feeders towards the
+                    // placed consumers of their (unplaced) consumer, so
+                    // feeder chains land near the cycle they feed.
+                    for e2 in self.dfg.out_edges(e.dst()) {
+                        if let Some(p2) = self.placements[e2.dst().index()] {
+                            cost += (W_HOP / 2) * self.cfg.manhattan(tile, p2.tile) as u64;
+                        }
+                    }
+                }
+            }
+        }
+        let label_div = label.rate_divisor().expect("active") as u64;
+        let level_div = level.rate_divisor().expect("active") as u64;
+        cost += W_LEVEL * label_div.saturating_sub(level_div);
+        if assigned.is_none() {
+            cost += W_OPEN;
+        }
+        if !is_mem && self.cfg.is_memory_tile(tile) {
+            cost += W_MEM;
+        }
+        if self.spread {
+            // Conventional mode: strongly prefer fresh tiles (one op per
+            // tile where possible) — routing stays easy thanks to the
+            // overlapped first hop, and this is how II-minimising mappers
+            // behave (paper Fig. 1 uses a fresh tile per op).
+            cost += W_HOP * self.mrrg.fu_busy_cycles(tile) as u64;
+        } else {
+            // Clustered mode: moderate load balancing — enough to keep
+            // fan-in hotspots routable (half a hop per occupied FU slot),
+            // low enough that proximity still packs islands for gating.
+            cost += (W_HOP / 2) * self.mrrg.fu_busy_cycles(tile) as u64;
+        }
+        Some(cost)
+    }
+
+    /// Attempts to fully commit `node` on `tile`; on failure all
+    /// reservations and island assignments are rolled back.
+    fn commit(&mut self, node: NodeId, label: DvfsLevel, tile: TileId) -> bool {
+        let island = self.cfg.island_of(tile);
+        let mut txn = Txn::default();
+        let mut opened: Vec<IslandId> = Vec::new();
+
+        let level = match self.island_assigned[island.index()] {
+            Some(l) => {
+                if label > l {
+                    return false;
+                }
+                l
+            }
+            None => {
+                let l = self.usable_level(label);
+                self.assign_island(island, l, &mut opened);
+                l
+            }
+        };
+        let rate = level.rate_divisor().expect("active level");
+
+        // Egress capacity: each outgoing link of a tile at rate divisor `r`
+        // carries one transfer per slow cycle, i.e. II/r per period. A node
+        // whose fan-out exceeds the tile's total link budget can never route
+        // all its consumers from here (consumers on the same tile need no
+        // link, so this is conservative — it only pushes the node to a
+        // faster island or another tile).
+        let egress = self.dfg.out_edges(node).count() as u64;
+        let link_budget: u64 = self.cfg.neighbors(tile).count() as u64
+            * (self.ii as u64 / rate as u64);
+        if egress > link_budget {
+            self.debug_abort(node, tile, "egress over link budget", iced_dfg::EdgeId::from_index(0));
+            return self.abort(txn, opened);
+        }
+
+        // Route placed-predecessor edges (both data and loop-carried).
+        // Cycle nodes get one extra period of slack beyond their ASAP:
+        // shifting a recurrence cycle later in absolute time only deepens
+        // the prologue (steady state is unchanged), and the headroom lets
+        // congested or slow-labeled feeder chains meet the cycle's read
+        // deadlines instead of forcing an II increase.
+        let slack = if self.on_cycle[node.index()] {
+            self.ii as u64 + 4
+        } else {
+            0
+        };
+        let mut in_routes: Vec<(usize, crate::router::FoundRoute, u32)> = Vec::new();
+        let mut min_start: i64 = (self.asap[node.index()] + slack) as i64;
+        for e in self.dfg.in_edges(node) {
+            let Some(p) = self.placements[e.src().index()] else {
+                continue; // carried edge from a not-yet-placed node
+            };
+            let ready = p.ready();
+            let horizon =
+                ready + 4 * self.cfg.manhattan(p.tile, tile) as u64 + 6 * self.ii as u64 + 32;
+            let Some(found) = route(
+                self.cfg, &mut self.mrrg, &self.rates, &self.virgin, p.tile, ready, tile,
+                None, horizon, &mut txn,
+            ) else {
+                self.debug_abort(node, tile, "in-route failed", e.id());
+                return self.abort(txn, opened);
+            };
+            self.pin_route_islands(&found, &mut opened);
+            let d = e.kind().distance();
+            min_start = min_start.max(found.arrival as i64 - (d as i64 * self.ii as i64));
+            in_routes.push((e.id().index(), found, d));
+        }
+
+        // Earliest phase-aligned FU slot with register holds extendable.
+        let rate64 = rate as u64;
+        let base = (min_start.max(0) as u64).div_ceil(rate64) * rate64;
+        let mut chosen_start = None;
+        for k in 0..(6 * self.ii as u64).div_ceil(rate64).max(4) {
+            let start = base + k * rate64;
+            if !self.mrrg.fu_free(tile, start, rate) {
+                continue;
+            }
+            // Values wait at the consumer in per-port input FIFOs (the
+            // tile's bypass buffers), so arrival order is the only
+            // constraint here; the register file is charged for
+            // route-through staging inside the router instead.
+            let holds_ok = in_routes.iter().all(|(_, fr, d)| {
+                let consume = start + *d as u64 * self.ii as u64;
+                consume >= fr.arrival
+            });
+            if holds_ok {
+                chosen_start = Some(start);
+                break;
+            }
+        }
+        let Some(start) = chosen_start else {
+            self.debug_abort(node, tile, "no FU slot", iced_dfg::EdgeId::from_index(0));
+            return self.abort(txn, opened);
+        };
+        txn.occupy_fu(&mut self.mrrg, tile, start, rate);
+        let mut new_routes: Vec<(usize, Route)> = Vec::new();
+        for (eid, fr, d) in &in_routes {
+            let consume = start + *d as u64 * self.ii as u64;
+            new_routes.push((
+                *eid,
+                Route {
+                    edge: iced_dfg::EdgeId::from_index(*eid),
+                    hops: fr.hops.clone(),
+                    src_ready: fr.arrival.saturating_sub(hops_latency(fr)),
+                    arrival: fr.arrival,
+                    consume_at: consume,
+                },
+            ));
+        }
+
+        // Out-edges whose consumer is already placed: recurrence-closing
+        // routes (loop-carried) and feeder routes into earlier-placed cycle
+        // nodes (data), both bounded by the consumer's read deadline.
+        // Tightest deadline first: the overlapped first hop is a scarce link
+        // slot and must serve the most constrained consumer.
+        let ready = start + rate64;
+        let mut out_edges: Vec<(iced_dfg::EdgeId, Placement, u64)> = self
+            .dfg
+            .out_edges(node)
+            .filter_map(|e| {
+                self.placements[e.dst().index()].map(|p| {
+                    let deadline = p.start + e.kind().distance() as u64 * self.ii as u64;
+                    (e.id(), p, deadline)
+                })
+            })
+            .collect();
+        out_edges.sort_unstable_by_key(|&(id, _, deadline)| (deadline, id));
+        for (eid, p, deadline) in out_edges {
+            let e = self.dfg.edge(eid);
+            let Some(found) = route(
+                self.cfg,
+                &mut self.mrrg,
+                &self.rates,
+                &self.virgin,
+                tile,
+                ready,
+                p.tile,
+                Some(deadline),
+                deadline,
+                &mut txn,
+            ) else {
+                self.debug_abort(node, tile, "out-route failed", e.id());
+                return self.abort(txn, opened);
+            };
+            self.pin_route_islands(&found, &mut opened);
+            new_routes.push((
+                e.id().index(),
+                Route {
+                    edge: e.id(),
+                    hops: found.hops.clone(),
+                    src_ready: ready,
+                    arrival: found.arrival,
+                    consume_at: deadline,
+                },
+            ));
+        }
+
+        // Success: persist.
+        self.placements[node.index()] = Some(Placement { tile, start, rate });
+        for (eid, r) in new_routes {
+            self.routes[eid] = Some(r);
+        }
+        true
+    }
+
+    fn debug_abort(&self, node: NodeId, tile: TileId, why: &str, edge: iced_dfg::EdgeId) {
+        if std::env::var_os("ICED_MAPPER_DEBUG").map_or(true, |v| v != "2") {
+            return;
+        }
+        eprintln!(
+            "mapper:   II={} {} on {} aborted: {} (edge {})",
+            self.ii, node, tile, why, edge
+        );
+    }
+
+    fn assign_island(&mut self, island: IslandId, level: DvfsLevel, opened: &mut Vec<IslandId>) {
+        debug_assert!(self.island_assigned[island.index()].is_none());
+        self.island_assigned[island.index()] = Some(level);
+        let div = level.rate_divisor().expect("active level");
+        for t in self.cfg.island_tiles(island) {
+            self.rates[t.index()] = div;
+            self.virgin[t.index()] = false;
+        }
+        opened.push(island);
+    }
+
+    /// Routing through an unassigned island reserved its links at base-clock
+    /// granularity; pin such islands to normal.
+    fn pin_route_islands(&mut self, found: &crate::router::FoundRoute, opened: &mut Vec<IslandId>) {
+        for hop in &found.hops {
+            let island = self.cfg.island_of(hop.from);
+            if self.island_assigned[island.index()].is_none() {
+                self.assign_island(island, DvfsLevel::Normal, opened);
+            }
+        }
+    }
+
+    fn abort(&mut self, txn: Txn, opened: Vec<IslandId>) -> bool {
+        txn.rollback(&mut self.mrrg);
+        for island in opened {
+            self.island_assigned[island.index()] = None;
+            for t in self.cfg.island_tiles(island) {
+                self.rates[t.index()] = 1;
+                self.virgin[t.index()] = true;
+            }
+        }
+        false
+    }
+
+    fn finish(&mut self) -> Mapping {
+        // ICED power-gates islands that host no work; the conventional
+        // baseline has no DVFS support at all, so its unused islands keep
+        // burning nominal power.
+        let unused = if self.opts.dvfs_aware {
+            DvfsLevel::PowerGated
+        } else {
+            DvfsLevel::Normal
+        };
+        let island_levels: Vec<DvfsLevel> = self
+            .island_assigned
+            .iter()
+            .map(|a| a.unwrap_or(unused))
+            .collect();
+        let tile_levels: Vec<DvfsLevel> = self
+            .cfg
+            .tiles()
+            .map(|t| island_levels[self.cfg.island_of(t).index()])
+            .collect();
+        Mapping {
+            kernel: self.dfg.name().to_string(),
+            config: self.cfg.clone(),
+            ii: self.ii,
+            placements: self
+                .placements
+                .iter()
+                .map(|p| p.expect("all nodes placed on success"))
+                .collect(),
+            routes: self.routes.iter().flatten().cloned().collect(),
+            island_levels,
+            tile_levels,
+        }
+    }
+}
+
+fn hops_latency(fr: &crate::router::FoundRoute) -> u64 {
+    fr.hops
+        .first()
+        .map(|h| fr.arrival.saturating_sub(h.depart))
+        .unwrap_or(0)
+}
+
+/// The label sets attempted at one II, most aggressive first. The final
+/// rung is the conventional spread mapper itself (all-normal labels,
+/// load-balanced placement), which guarantees the DVFS-aware flow is never
+/// slower than the baseline at any II — the Fig. 4 property.
+fn label_attempts(
+    dfg: &Dfg,
+    config: &CgraConfig,
+    opts: &MapperOptions,
+    ii: u32,
+) -> Vec<(Vec<DvfsLevel>, bool)> {
+    let all_normal = vec![DvfsLevel::Normal; dfg.node_count()];
+    if !opts.dvfs_aware {
+        return vec![(all_normal, opts.spread)];
+    }
+    let full: Vec<DvfsLevel> = label_dvfs_levels(dfg, config, ii)
+        .labels()
+        .iter()
+        .map(|&l| clamp_to_allowed(l, &opts.allowed_levels))
+        .collect();
+    if !opts.label_ladder {
+        return vec![(full, false)];
+    }
+    let softened: Vec<DvfsLevel> = full
+        .iter()
+        .map(|&l| if l == DvfsLevel::Rest { DvfsLevel::Relax } else { l })
+        .collect();
+    let mut attempts = vec![(full.clone(), false)];
+    for cand in [
+        (softened.clone(), false),
+        (all_normal.clone(), false),
+        // Spread rungs: when clustering cannot reach this II, fall back to
+        // load-balanced placement — first still labeled, finally the plain
+        // conventional mapping (guaranteeing II parity with the baseline).
+        (full, true),
+        (softened, true),
+        (all_normal, true),
+    ] {
+        if !attempts.contains(&cand) {
+            attempts.push(cand);
+        }
+    }
+    attempts
+}
+
+fn clamp_to_allowed(label: DvfsLevel, allowed: &[DvfsLevel]) -> DvfsLevel {
+    let mut lvl = label;
+    loop {
+        if allowed.contains(&lvl) {
+            return lvl;
+        }
+        if lvl == DvfsLevel::Normal {
+            return DvfsLevel::Normal;
+        }
+        lvl = lvl.raised();
+    }
+}
+
+/// Checks that a finished mapping respects every dependency of `dfg`
+/// (used by tests and the simulator's validation layer).
+pub fn check_dependencies(dfg: &Dfg, mapping: &Mapping) -> bool {
+    for e in dfg.edges() {
+        let src = mapping.placement(e.src());
+        let dst = mapping.placement(e.dst());
+        let produced = src.ready();
+        let consumed = dst.start + e.kind().distance() as u64 * mapping.ii() as u64;
+        if consumed < produced {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iced_dfg::{DfgBuilder, Opcode};
+    use std::collections::HashSet;
+
+    fn ring(len: usize) -> Dfg {
+        let mut b = DfgBuilder::new("ring");
+        let ids: Vec<_> = (0..len).map(|i| b.node(Opcode::Add, format!("r{i}"))).collect();
+        b.data_chain(&ids).unwrap();
+        b.carry(ids[len - 1], ids[0]).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn fir_like() -> Dfg {
+        let mut b = DfgBuilder::new("fir");
+        let x = b.node(Opcode::Load, "x");
+        let c = b.node(Opcode::Load, "c");
+        let m = b.node(Opcode::Mul, "xc");
+        let phi = b.node(Opcode::Phi, "acc");
+        let a1 = b.node(Opcode::Add, "a1");
+        let a2 = b.node(Opcode::Add, "a2");
+        let a3 = b.node(Opcode::Add, "a3");
+        let st = b.node(Opcode::Store, "st");
+        b.data(x, m).unwrap();
+        b.data(c, m).unwrap();
+        b.data(m, a1).unwrap();
+        b.data(phi, a1).unwrap();
+        b.data(a1, a2).unwrap();
+        b.data(a2, a3).unwrap();
+        b.data(a3, st).unwrap();
+        b.carry(a3, phi).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn ring_maps_at_rec_mii() {
+        let dfg = ring(4);
+        let cfg = CgraConfig::square(4).unwrap();
+        let m = map_baseline(&dfg, &cfg).unwrap();
+        assert_eq!(m.ii(), 4);
+        assert!(check_dependencies(&dfg, &m));
+    }
+
+    #[test]
+    fn baseline_keeps_everything_normal() {
+        let dfg = fir_like();
+        let cfg = CgraConfig::iced_prototype();
+        let m = map_baseline(&dfg, &cfg).unwrap();
+        for t in cfg.tiles() {
+            assert_eq!(m.tile_level(t), DvfsLevel::Normal);
+        }
+        assert!(check_dependencies(&dfg, &m));
+    }
+
+    #[test]
+    fn dvfs_aware_gates_unused_islands() {
+        let dfg = fir_like();
+        let cfg = CgraConfig::iced_prototype();
+        let m = map_dvfs_aware(&dfg, &cfg).unwrap();
+        assert!(check_dependencies(&dfg, &m));
+        // 8 nodes on a 36-tile fabric: most islands must be power-gated.
+        let gated = cfg
+            .islands()
+            .filter(|&i| m.island_level(i) == DvfsLevel::PowerGated)
+            .count();
+        assert!(gated >= 4, "only {gated} islands gated");
+    }
+
+    #[test]
+    fn dvfs_aware_matches_baseline_ii_on_kernel_set() {
+        // The paper's Fig. 4 claim for 2x2 islands: no performance loss.
+        let cfg = CgraConfig::iced_prototype();
+        for dfg in [ring(4), ring(7), fir_like()] {
+            let b = map_baseline(&dfg, &cfg).unwrap();
+            let d = map_dvfs_aware(&dfg, &cfg).unwrap();
+            assert_eq!(b.ii(), d.ii(), "kernel {}", dfg.name());
+        }
+    }
+
+    #[test]
+    fn memory_ops_stay_on_leftmost_column() {
+        let dfg = fir_like();
+        let cfg = CgraConfig::iced_prototype();
+        let m = map_dvfs_aware(&dfg, &cfg).unwrap();
+        for node in dfg.nodes() {
+            if node.op().is_memory() {
+                let p = m.placement(node.id());
+                assert!(cfg.is_memory_tile(p.tile), "{} on {}", node.label(), p.tile);
+            }
+        }
+    }
+
+    #[test]
+    fn island_budget_restricts_tiles() {
+        let dfg = ring(4);
+        let cfg = CgraConfig::iced_prototype();
+        let opts = MapperOptions {
+            island_budget: Some(1),
+            ..MapperOptions::default()
+        };
+        let m = map_with(&dfg, &cfg, &opts).unwrap();
+        let allowed: HashSet<TileId> = cfg.island_tiles(IslandId(0)).into_iter().collect();
+        for p in m.placements() {
+            assert!(allowed.contains(&p.tile));
+        }
+    }
+
+    #[test]
+    fn too_small_fabric_raises_ii() {
+        // 16 independent ops on a 2x2 fabric need II >= 4 by ResMII.
+        let mut b = DfgBuilder::new("wide");
+        let root = b.node(Opcode::Load, "r");
+        for i in 0..15 {
+            let n = b.node(Opcode::Add, format!("n{i}"));
+            b.data(root, n).unwrap();
+        }
+        let dfg = b.finish().unwrap();
+        let cfg = CgraConfig::square(2).unwrap();
+        let m = map_baseline(&dfg, &cfg).unwrap();
+        assert!(m.ii() >= 4);
+        assert!(check_dependencies(&dfg, &m));
+    }
+
+    #[test]
+    fn max_ii_is_respected() {
+        let dfg = ring(8);
+        let cfg = CgraConfig::square(2).unwrap();
+        let opts = MapperOptions {
+            max_ii: 2,
+            ..MapperOptions::baseline()
+        };
+        assert!(matches!(
+            map_with(&dfg, &cfg, &opts),
+            Err(MapError::IiExceeded { max_ii: 2 })
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_fabric_keeps_multiplies_on_mul_tiles() {
+        let dfg = fir_like();
+        let cfg = iced_arch::CgraConfig::builder(6, 6)
+            .fu_layout(iced_arch::FuLayout::CheckerboardMul)
+            .build()
+            .unwrap();
+        let m = map_dvfs_aware(&dfg, &cfg).unwrap();
+        for node in dfg.nodes() {
+            if node.op().class() == iced_dfg::OpcodeClass::Mul {
+                let p = m.placement(node.id());
+                assert!(
+                    cfg.tile_has_multiplier(p.tile),
+                    "{} on {}",
+                    node.label(),
+                    p.tile
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rest_labeled_nodes_land_on_slow_islands() {
+        // Feeders off the critical path should end up on relax/rest islands.
+        let dfg = fir_like();
+        let cfg = CgraConfig::iced_prototype();
+        let m = map_dvfs_aware(&dfg, &cfg).unwrap();
+        let slow = cfg
+            .islands()
+            .filter(|&i| {
+                matches!(m.island_level(i), DvfsLevel::Rest | DvfsLevel::Relax)
+            })
+            .count();
+        assert!(slow >= 1, "expected at least one slow island");
+    }
+}

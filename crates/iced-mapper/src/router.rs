@@ -1,0 +1,356 @@
+//! Dijkstra routing over the time-extended MRRG (Algorithm 2, line 18's
+//! "shortest path between tiles").
+//!
+//! A value produced on tile `s` at base cycle `ready` travels to tile `d`
+//! through mesh hops. Each hop out of a tile whose island runs at rate
+//! divisor `r` occupies the directed link for one of the tile's slow cycles
+//! (`r` base cycles, phase-aligned); waiting at a tile pins a register-file
+//! slot per base cycle. The search minimises arrival time; reservations are
+//! journalled in a [`Txn`] so a failed placement candidate can be rolled
+//! back without rebuilding the MRRG.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use iced_arch::{CgraConfig, Dir, Mrrg, TileId};
+
+use crate::mapping::Hop;
+
+/// Journal of MRRG reservations that can be rolled back as a unit.
+#[derive(Debug, Default)]
+pub(crate) struct Txn {
+    fu: Vec<(TileId, u64, u32)>,
+    links: Vec<(TileId, Dir, u64, u32)>,
+    regs: Vec<(TileId, u64, u64)>,
+}
+
+impl Txn {
+    pub(crate) fn occupy_fu(&mut self, m: &mut Mrrg, tile: TileId, start: u64, len: u32) {
+        m.occupy_fu(tile, start, len);
+        self.fu.push((tile, start, len));
+    }
+
+    pub(crate) fn occupy_link(&mut self, m: &mut Mrrg, tile: TileId, dir: Dir, start: u64, len: u32) {
+        m.occupy_link(tile, dir, start, len);
+        self.links.push((tile, dir, start, len));
+    }
+
+    pub(crate) fn occupy_reg(&mut self, m: &mut Mrrg, tile: TileId, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        m.occupy_reg(tile, start, len);
+        self.regs.push((tile, start, len));
+    }
+
+    /// Undoes every reservation in this journal.
+    pub(crate) fn rollback(self, m: &mut Mrrg) {
+        for (t, s, l) in self.fu.into_iter().rev() {
+            m.release_fu(t, s, l);
+        }
+        for (t, d, s, l) in self.links.into_iter().rev() {
+            m.release_link(t, d, s, l);
+        }
+        for (t, s, l) in self.regs.into_iter().rev() {
+            m.release_reg(t, s, l);
+        }
+    }
+
+}
+
+/// A found route: arrival time plus the hops taken.
+#[derive(Debug, Clone)]
+pub(crate) struct FoundRoute {
+    pub arrival: u64,
+    pub hops: Vec<Hop>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SearchNode {
+    tile: TileId,
+    time: u64,
+    /// Secondary cost: hop count plus penalties for pinning virgin islands
+    /// and threading slow tiles (tie-break below arrival time).
+    aux: u64,
+    parent: usize, // index into the arena; usize::MAX for the root
+    hop: Option<(TileId, Dir, u64, u32)>, // (from, dir, depart, len) that led here
+}
+
+/// Finds the earliest-arrival route from (`src`, `ready`) to `dst`.
+///
+/// `rates[tile]` is each tile's DVFS rate divisor (1/2/4). `deadline`
+/// bounds the arrival (used for loop-carried edges whose consumer is
+/// already scheduled); `horizon` bounds the search in time. On success the
+/// route's link and register reservations are committed into `mrrg` and
+/// journalled in `txn`; the hold at the *destination* tile (arrival →
+/// consume time) is the caller's responsibility because the consume time
+/// may not be known yet.
+///
+/// `virgin[tile]` marks tiles whose island has no DVFS level assigned yet;
+/// routing out of such a tile pins the island to `normal`, so among
+/// equally fast paths the search prefers ones that pin fewer islands and
+/// take fewer hops (especially through slow tiles, whose links are a scarce
+/// one-transfer-per-period resource).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route(
+    cfg: &CgraConfig,
+    mrrg: &mut Mrrg,
+    rates: &[u32],
+    virgin: &[bool],
+    src: TileId,
+    ready: u64,
+    dst: TileId,
+    deadline: Option<u64>,
+    horizon: u64,
+    txn: &mut Txn,
+) -> Option<FoundRoute> {
+    if src == dst {
+        if deadline.is_some_and(|d| ready > d) {
+            return None;
+        }
+        return Some(FoundRoute {
+            arrival: ready,
+            hops: Vec::new(),
+        });
+    }
+    let hop_aux = |from: TileId| -> u64 {
+        let mut a = 1;
+        if virgin[from.index()] {
+            a += 8;
+        }
+        if from != src && rates[from.index()] > 1 {
+            a += 4;
+        }
+        a
+    };
+    // Deadline routes have slack by construction (any on-time arrival is
+    // equally good), so they minimise island-pinning first and time second;
+    // open routes minimise arrival time (the consumer starts sooner).
+    let key = |time: u64, aux: u64| -> (u64, u64) {
+        if deadline.is_some() {
+            (aux, time)
+        } else {
+            (time, aux)
+        }
+    };
+    let mut arena: Vec<SearchNode> = vec![SearchNode {
+        tile: src,
+        time: ready,
+        aux: 0,
+        parent: usize::MAX,
+        hop: None,
+    }];
+    let mut heap: BinaryHeap<Reverse<((u64, u64), usize)>> = BinaryHeap::new();
+    heap.push(Reverse((key(ready, 0), 0)));
+    let mut visited: HashSet<(TileId, u64)> = HashSet::new();
+
+    // First hop is overlapped with the producing operation: the FU output
+    // drives the crossbar during the execution window [ready − r, ready),
+    // so a neighbour receives the value at `ready` with no extra latency
+    // (this is what lets the paper's Fig. 1 chain the critical cycle across
+    // neighbouring tiles at II = RecMII).
+    let r_src = rates[src.index()] as u64;
+    if ready >= r_src {
+        let window = ready - r_src;
+        for (dir, nbr) in cfg.neighbors(src) {
+            if mrrg.link_free(src, dir, window, r_src as u32)
+                && deadline.is_none_or(|d| ready <= d)
+            {
+                let aux = hop_aux(src);
+                arena.push(SearchNode {
+                    tile: nbr,
+                    time: ready,
+                    aux,
+                    parent: 0,
+                    hop: Some((src, dir, window, r_src as u32)),
+                });
+                heap.push(Reverse((key(ready, aux), arena.len() - 1)));
+            }
+        }
+    }
+
+    while let Some(Reverse((_key, idx))) = heap.pop() {
+        let node = arena[idx];
+        let time = node.time;
+        if !visited.insert((node.tile, time)) {
+            continue;
+        }
+        if node.tile == dst {
+            if deadline.is_some_and(|d| time > d) {
+                return None; // earliest arrival already misses the deadline
+            }
+            return Some(commit(cfg, mrrg, src, arena, idx, txn));
+        }
+        let r = rates[node.tile.index()] as u64;
+        for (dir, nbr) in cfg.neighbors(node.tile) {
+            // Earliest phase-aligned slow cycle >= current time with a free
+            // link, holding the value in registers while waiting. The
+            // producer's own tile holds its result in the FU output latch,
+            // so waiting there is free and shared across fan-out edges.
+            let mut w = time.div_ceil(r) * r;
+            while w + r <= horizon {
+                if node.tile != src
+                    && !mrrg.reg_available(node.tile, time, w.saturating_sub(time))
+                {
+                    break; // cannot hold the value this long here
+                }
+                if mrrg.link_free(node.tile, dir, w, r as u32) {
+                    let arrive = w + r;
+                    // States past the deadline can never lead to an on-time
+                    // arrival (time only grows).
+                    let on_time = deadline.is_none_or(|d| arrive <= d);
+                    if on_time && !visited.contains(&(nbr, arrive)) {
+                        let aux = node.aux + hop_aux(node.tile);
+                        arena.push(SearchNode {
+                            tile: nbr,
+                            time: arrive,
+                            aux,
+                            parent: idx,
+                            hop: Some((node.tile, dir, w, r as u32)),
+                        });
+                        heap.push(Reverse((key(arrive, aux), arena.len() - 1)));
+                    }
+                    break;
+                }
+                w += r;
+            }
+        }
+    }
+    None
+}
+
+/// Walks the parent chain, committing link occupancy and wait-holds.
+fn commit(
+    cfg: &CgraConfig,
+    mrrg: &mut Mrrg,
+    src: TileId,
+    arena: Vec<SearchNode>,
+    goal: usize,
+    txn: &mut Txn,
+) -> FoundRoute {
+    let mut chain = Vec::new();
+    let mut idx = goal;
+    while idx != usize::MAX {
+        chain.push(idx);
+        idx = arena[idx].parent;
+    }
+    chain.reverse();
+    let mut hops = Vec::new();
+    for pair in chain.windows(2) {
+        let prev = arena[pair[0]];
+        let cur = arena[pair[1]];
+        let (from, dir, depart, len) = cur.hop.expect("non-root nodes carry hop info");
+        // Hold at `from` while waiting for the link slot; free at the
+        // producer's tile (FU output latch, shared by all fan-out edges).
+        if from != src {
+            txn.occupy_reg(mrrg, from, prev.time, depart.saturating_sub(prev.time));
+        }
+        txn.occupy_link(mrrg, from, dir, depart, len);
+        let to = cfg.neighbor(from, dir).expect("hop used an existing link");
+        hops.push(Hop {
+            from,
+            to,
+            dir,
+            depart,
+            arrive: cur.time,
+        });
+    }
+    FoundRoute {
+        arrival: arena[goal].time,
+        hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iced_arch::CgraConfig;
+
+    fn setup(n: usize) -> (CgraConfig, Mrrg, Vec<u32>, Vec<bool>) {
+        let cfg = CgraConfig::square(n).unwrap();
+        let mrrg = Mrrg::new(&cfg, 4).unwrap();
+        let rates = vec![1u32; cfg.tile_count()];
+        let virgin = vec![false; cfg.tile_count()];
+        (cfg, mrrg, rates, virgin)
+    }
+
+    #[test]
+    fn straight_line_route_takes_manhattan_hops() {
+        let (cfg, mut mrrg, rates, virgin) = setup(4);
+        let mut txn = Txn::default();
+        let src = cfg.tile_at(0, 0);
+        let dst = cfg.tile_at(0, 3);
+        let r = route(&cfg, &mut mrrg, &rates, &virgin, src, 1, dst, None, 64, &mut txn).unwrap();
+        assert_eq!(r.hops.len(), 3);
+        // First hop overlaps the producing cycle (arrival at (0,1) at time
+        // 1), then one cycle per store-and-forward hop.
+        assert_eq!(r.arrival, 3);
+        assert_eq!(r.hops[0].dir, Dir::East);
+    }
+
+    #[test]
+    fn same_tile_route_is_free() {
+        let (cfg, mut mrrg, rates, virgin) = setup(4);
+        let mut txn = Txn::default();
+        let t = cfg.tile_at(1, 1);
+        let r = route(&cfg, &mut mrrg, &rates, &virgin, t, 7, t, None, 64, &mut txn).unwrap();
+        assert!(r.hops.is_empty());
+        assert_eq!(r.arrival, 7);
+    }
+
+    #[test]
+    fn busy_link_forces_wait_or_detour() {
+        let (cfg, mut mrrg, rates, virgin) = setup(4);
+        let src = cfg.tile_at(0, 0);
+        let dst = cfg.tile_at(0, 1);
+        // Block the direct east link at every cycle of the period except 3.
+        for c in 0..3 {
+            mrrg.occupy_link(src, Dir::East, c, 1);
+        }
+        let mut txn = Txn::default();
+        let r = route(&cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn).unwrap();
+        // Either waits for cycle 3 or detours south->east->north (3 hops).
+        assert!(r.arrival >= 3 || r.hops.len() == 3, "arrival {}", r.arrival);
+    }
+
+    #[test]
+    fn deadline_rejects_late_arrivals() {
+        let (cfg, mut mrrg, rates, virgin) = setup(4);
+        let mut txn = Txn::default();
+        let src = cfg.tile_at(0, 0);
+        let dst = cfg.tile_at(3, 3);
+        // Manhattan distance 6, ready at 0 → arrival >= 6 > deadline 3.
+        assert!(route(&cfg, &mut mrrg, &rates, &virgin, src, 0, dst, Some(3), 64, &mut txn).is_none());
+    }
+
+    #[test]
+    fn slow_tile_departures_are_phase_aligned() {
+        let cfg = CgraConfig::square(4).unwrap();
+        let mut mrrg = Mrrg::new(&cfg, 4).unwrap();
+        let mut rates = vec![1u32; cfg.tile_count()];
+        let virgin = vec![false; cfg.tile_count()];
+        let src = cfg.tile_at(0, 0);
+        rates[src.index()] = 4; // rest tile
+        let dst = cfg.tile_at(0, 1);
+        let mut txn = Txn::default();
+        // Value ready at 4 (one rest cycle in), link transfer spans 4..8.
+        let r = route(&cfg, &mut mrrg, &rates, &virgin, src, 4, dst, None, 64, &mut txn).unwrap();
+        assert_eq!(r.hops[0].depart % 4, 0);
+        assert_eq!(r.arrival, r.hops[0].depart + 4);
+    }
+
+    #[test]
+    fn rollback_restores_mrrg() {
+        let (cfg, mut mrrg, rates, virgin) = setup(4);
+        let mut txn = Txn::default();
+        let src = cfg.tile_at(0, 0);
+        let dst = cfg.tile_at(0, 2);
+        route(&cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn).unwrap();
+        assert!(!mrrg.link_free(src, Dir::East, 0, 1));
+        txn.rollback(&mut mrrg);
+        assert!(mrrg.link_free(src, Dir::East, 0, 1));
+        for t in cfg.tiles() {
+            assert_eq!(mrrg.link_busy_cycles(t), 0);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Mapper integration tests across feature combinations: island budgets,
+//! level restrictions, heterogeneous fabrics, ablation knobs, and the
+//! bitstream layer — each against the full Table I kernel suite where the
+//! run time allows.
+
+use iced_arch::{CgraConfig, DvfsLevel, FuLayout, IslandId, TileId};
+use iced_kernels::{Kernel, UnrollFactor};
+use iced_mapper::{
+    check_dependencies, map_baseline, map_dvfs_aware, map_with, relax_islands, Bitstream,
+    MapperOptions,
+};
+use std::collections::HashSet;
+
+#[test]
+fn island_budget_monotonicity() {
+    // More islands never hurt the II.
+    let cfg = CgraConfig::iced_prototype();
+    for kernel in [Kernel::GcnAggregate, Kernel::LuSolver0, Kernel::Spmv] {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let mut prev: Option<u32> = None;
+        for k in 1..=9usize {
+            let opts = MapperOptions {
+                dvfs_aware: false,
+                allowed_levels: vec![DvfsLevel::Normal],
+                island_budget: Some(k),
+                ..MapperOptions::default()
+            };
+            let Ok(m) = map_with(&dfg, &cfg, &opts) else {
+                continue; // too few islands for this kernel
+            };
+            if let Some(p) = prev {
+                assert!(
+                    m.ii() <= p,
+                    "{}: II went {} -> {} when islands grew to {k}",
+                    kernel.name(),
+                    p,
+                    m.ii()
+                );
+            }
+            prev = Some(m.ii());
+            // Placements stay inside the granted islands.
+            let allowed: HashSet<TileId> = (0..k)
+                .flat_map(|i| cfg.island_tiles(IslandId(i as u16)))
+                .collect();
+            for p in m.placements() {
+                assert!(allowed.contains(&p.tile), "{}", kernel.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn restricted_levels_never_assign_rest() {
+    let cfg = CgraConfig::iced_prototype();
+    let opts = MapperOptions {
+        allowed_levels: vec![DvfsLevel::Normal, DvfsLevel::Relax],
+        ..MapperOptions::default()
+    };
+    for kernel in [Kernel::Fir, Kernel::Conv, Kernel::Histogram] {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let m = map_with(&dfg, &cfg, &opts).unwrap();
+        for island in cfg.islands() {
+            assert_ne!(
+                m.island_level(island),
+                DvfsLevel::Rest,
+                "{} assigned rest under a normal/relax restriction",
+                kernel.name()
+            );
+        }
+        assert!(check_dependencies(&dfg, &m));
+    }
+}
+
+#[test]
+fn heterogeneous_fabric_maps_the_mul_heavy_suite() {
+    let cfg = CgraConfig::builder(6, 6)
+        .fu_layout(FuLayout::CheckerboardMul)
+        .build()
+        .unwrap();
+    for kernel in [Kernel::Gemm, Kernel::Mvt, Kernel::LuDeterminant] {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let m = map_dvfs_aware(&dfg, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        for node in dfg.nodes() {
+            if node.op().class() == iced_dfg::OpcodeClass::Mul {
+                assert!(cfg.tile_has_multiplier(m.placement(node.id()).tile));
+            }
+        }
+    }
+}
+
+#[test]
+fn ablation_knobs_change_behaviour_but_not_correctness() {
+    let cfg = CgraConfig::iced_prototype();
+    let dfg = Kernel::Spmv.dfg(UnrollFactor::X1);
+    for (cycle_first, label_ladder) in
+        [(true, true), (false, true), (true, false), (false, false)]
+    {
+        let opts = MapperOptions {
+            cycle_first,
+            label_ladder,
+            ..MapperOptions::default()
+        };
+        let m = map_with(&dfg, &cfg, &opts)
+            .unwrap_or_else(|e| panic!("cf={cycle_first} ll={label_ladder}: {e}"));
+        assert!(
+            check_dependencies(&dfg, &m),
+            "cf={cycle_first} ll={label_ladder}"
+        );
+    }
+}
+
+#[test]
+fn island_relaxation_never_touches_placements_or_ii() {
+    let cfg = CgraConfig::iced_prototype();
+    for kernel in Kernel::STANDALONE {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let m = map_dvfs_aware(&dfg, &cfg).unwrap();
+        let relaxed = relax_islands(&dfg, &m);
+        assert_eq!(relaxed.ii(), m.ii(), "{}", kernel.name());
+        for n in dfg.node_ids() {
+            assert_eq!(relaxed.placement(n), m.placement(n), "{}", kernel.name());
+        }
+        // Levels only go down or stay.
+        for t in cfg.tiles() {
+            assert!(
+                relaxed.tile_level(t) <= m.tile_level(t),
+                "{}: {} rose",
+                kernel.name(),
+                t
+            );
+        }
+    }
+}
+
+#[test]
+fn bitstream_is_deterministic_per_mapping() {
+    let cfg = CgraConfig::iced_prototype();
+    let dfg = Kernel::Relu.dfg(UnrollFactor::X1);
+    let m = map_baseline(&dfg, &cfg).unwrap();
+    let a = Bitstream::assemble(&dfg, &m);
+    let b = Bitstream::assemble(&dfg, &m);
+    assert_eq!(a, b);
+    assert_eq!(a.words().len(), 36 * m.ii() as usize);
+}
+
+#[test]
+fn mapper_is_fully_deterministic() {
+    let cfg = CgraConfig::iced_prototype();
+    for kernel in [Kernel::Fft, Kernel::Dtw] {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let a = map_dvfs_aware(&dfg, &cfg).unwrap();
+        let b = map_dvfs_aware(&dfg, &cfg).unwrap();
+        assert_eq!(a.ii(), b.ii());
+        for n in dfg.node_ids() {
+            assert_eq!(a.placement(n), b.placement(n), "{}", kernel.name());
+        }
+    }
+}

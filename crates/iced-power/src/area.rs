@@ -1,0 +1,112 @@
+//! Area model and the Figure 8 breakdown.
+
+use iced_arch::CgraConfig;
+
+/// Published area of the 6×6 array without SRAM macros (mm²).
+pub const ARRAY_AREA_MM2: f64 = 6.63;
+/// Published SRAM area (32 KB / 8 banks, CACTI 6.5 @ 22 nm), mm².
+pub const SRAM_AREA_MM2: f64 = 0.559;
+
+/// Area model calibrated to the published 6×6 layout.
+///
+/// The published 6.63 mm² covers 36 tiles plus 9 island DVFS units
+/// (LDO + ADPLL + control). With the per-tile DVFS overhead pinned at 30 %
+/// of a tile (the paper quotes "more than 30 %" for UE-CGRA's controller),
+/// solving `36·A_tile + 9·0.3·A_tile = 6.63` gives the tile area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    tile_mm2: f64,
+    controller_mm2: f64,
+    sram_mm2: f64,
+}
+
+impl AreaModel {
+    /// The ASAP7 calibration described above.
+    pub fn asap7() -> Self {
+        let tile = ARRAY_AREA_MM2 / (36.0 + 9.0 * 0.30);
+        AreaModel {
+            tile_mm2: tile,
+            controller_mm2: 0.30 * tile,
+            sram_mm2: SRAM_AREA_MM2,
+        }
+    }
+
+    /// Area of one tile (FU + crossbar + registers + config memory), mm².
+    pub fn tile_mm2(&self) -> f64 {
+        self.tile_mm2
+    }
+
+    /// Area of one DVFS unit (LDO + ADPLL + control), mm².
+    pub fn controller_mm2(&self) -> f64 {
+        self.controller_mm2
+    }
+
+    /// SRAM macro area, mm².
+    pub fn sram_mm2(&self) -> f64 {
+        self.sram_mm2
+    }
+
+    /// Full-chip breakdown for an arbitrary configuration (Figure 8 is the
+    /// 6×6 / 2×2-island instance).
+    pub fn breakdown(&self, config: &CgraConfig) -> Fig8Breakdown {
+        let tiles = config.tile_count() as f64 * self.tile_mm2;
+        let dvfs = config.island_count() as f64 * self.controller_mm2;
+        Fig8Breakdown {
+            tiles_mm2: tiles,
+            dvfs_mm2: dvfs,
+            sram_mm2: self.sram_mm2,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::asap7()
+    }
+}
+
+/// Area breakdown of one ICED instance (paper Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Breakdown {
+    /// Total tile area (mm²).
+    pub tiles_mm2: f64,
+    /// Total DVFS-support area: LDOs + ADPLLs + control units (mm²).
+    pub dvfs_mm2: f64,
+    /// SRAM macro area (mm²).
+    pub sram_mm2: f64,
+}
+
+impl Fig8Breakdown {
+    /// Array area without SRAM macros (the paper's headline 6.63 mm²).
+    pub fn array_mm2(&self) -> f64 {
+        self.tiles_mm2 + self.dvfs_mm2
+    }
+
+    /// Total chip area including SRAM.
+    pub fn total_mm2(&self) -> f64 {
+        self.array_mm2() + self.sram_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_breakdown_matches_published_total() {
+        let b = AreaModel::asap7().breakdown(&CgraConfig::iced_prototype());
+        assert!((b.array_mm2() - ARRAY_AREA_MM2).abs() < 1e-9);
+        assert!((b.sram_mm2 - SRAM_AREA_MM2).abs() < 1e-12);
+        assert!(b.total_mm2() > b.array_mm2());
+    }
+
+    #[test]
+    fn per_tile_dvfs_costs_more_area() {
+        let m = AreaModel::asap7();
+        let island = m.breakdown(&CgraConfig::iced_prototype());
+        let per_tile = m.breakdown(&CgraConfig::square_per_tile(6).unwrap());
+        assert!(per_tile.dvfs_mm2 > island.dvfs_mm2 * 3.9);
+        // UE-CGRA-style overhead: >30% of the tile area.
+        assert!(per_tile.dvfs_mm2 / per_tile.tiles_mm2 >= 0.30);
+    }
+}

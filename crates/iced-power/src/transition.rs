@@ -1,0 +1,122 @@
+//! DVFS transition costs.
+//!
+//! ICED's islands switch levels at runtime through an on-chip LDO and an
+//! all-digital PLL (paper §III-A); the paper emphasises that the adopted
+//! regulator is "capable of ns-scale fine-grained on-chip DVFS". A level
+//! switch is not free, though: the island's supply rail and decoupling
+//! capacitance must be charged or discharged across the voltage step, and
+//! the ADPLL needs a relock interval. This module models both so the
+//! streaming simulator can charge every controller decision.
+//!
+//! The model is first-order and documented rather than fitted: transition
+//! energy is `C_island · |V₁² − V₂²|` with the island capacitance derived
+//! from the calibrated dynamic power (`P = C·V²·f` at nominal), and the
+//! latency is a fixed regulator settle time per step, defaulting to 100 ns
+//! (ns-scale, as published) plus the power-gate wake penalty when leaving
+//! the gated state.
+
+use iced_arch::DvfsLevel;
+
+use crate::vf::VfPoint;
+
+/// First-order DVFS transition cost model for one island.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionModel {
+    island_capacitance_nf: f64,
+    settle_ns_per_step: f64,
+    wake_ns: f64,
+}
+
+impl TransitionModel {
+    /// Model for a 2×2-tile island of the calibrated prototype.
+    ///
+    /// Island switched capacitance follows from the calibrated tile
+    /// dynamic power: `C = P_dyn / (V² · f)` per tile, four tiles per
+    /// island, plus an equal share of rail decoupling (factor 2).
+    pub fn prototype_island() -> TransitionModel {
+        let nominal = VfPoint::nominal();
+        let tile_dyn_mw = 0.95 * 113.95 / 36.0;
+        // C in nF: P[mW] = C[nF] * V^2 * f[MHz] * 1e-3  =>  C = P/(V^2 f) * 1e3
+        let c_tile_nf = tile_dyn_mw / (nominal.voltage_v().powi(2) * nominal.freq_mhz()) * 1e3;
+        TransitionModel {
+            island_capacitance_nf: 2.0 * 4.0 * c_tile_nf,
+            settle_ns_per_step: 100.0,
+            wake_ns: 500.0,
+        }
+    }
+
+    /// Energy to move one island from `from` to `to`, in nJ.
+    ///
+    /// Rail energy is `C · |V₁² − V₂²|`; entering the power-gated state is
+    /// free (the rail discharges), leaving it charges from zero.
+    pub fn energy_nj(&self, from: DvfsLevel, to: DvfsLevel) -> f64 {
+        let v = |l: DvfsLevel| VfPoint::of(l).map_or(0.0, |p| p.voltage_v());
+        let (v1, v2) = (v(from), v(to));
+        if v2 <= v1 {
+            return 0.0; // stepping down recovers no energy but costs none
+        }
+        self.island_capacitance_nf * (v2 * v2 - v1 * v1)
+    }
+
+    /// Settle latency of the transition, in ns.
+    pub fn latency_ns(&self, from: DvfsLevel, to: DvfsLevel) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let steps = {
+            let idx = |l: DvfsLevel| match l {
+                DvfsLevel::PowerGated => 0i32,
+                DvfsLevel::Rest => 1,
+                DvfsLevel::Relax => 2,
+                DvfsLevel::Normal => 3,
+            };
+            (idx(from) - idx(to)).unsigned_abs() as f64
+        };
+        let wake = if from == DvfsLevel::PowerGated { self.wake_ns } else { 0.0 };
+        wake + steps * self.settle_ns_per_step
+    }
+}
+
+impl Default for TransitionModel {
+    fn default() -> Self {
+        TransitionModel::prototype_island()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stepping_up_costs_energy_down_does_not() {
+        let m = TransitionModel::prototype_island();
+        let up = m.energy_nj(DvfsLevel::Rest, DvfsLevel::Normal);
+        assert!(up > 0.0);
+        assert_eq!(m.energy_nj(DvfsLevel::Normal, DvfsLevel::Rest), 0.0);
+        // Bigger voltage step, bigger energy.
+        let small = m.energy_nj(DvfsLevel::Relax, DvfsLevel::Normal);
+        assert!(up > small);
+    }
+
+    #[test]
+    fn latency_is_ns_scale_and_wake_is_heavier() {
+        let m = TransitionModel::prototype_island();
+        assert_eq!(m.latency_ns(DvfsLevel::Normal, DvfsLevel::Normal), 0.0);
+        let step = m.latency_ns(DvfsLevel::Relax, DvfsLevel::Normal);
+        assert!(step > 0.0 && step < 1000.0, "ns-scale: {step}");
+        let wake = m.latency_ns(DvfsLevel::PowerGated, DvfsLevel::Rest);
+        assert!(wake > step);
+    }
+
+    #[test]
+    fn transition_energy_is_small_versus_a_window() {
+        // Sanity: one switch costs far less than the island burns in a
+        // 10-input window (ms scale), justifying the paper's "trivial
+        // overhead" claim for the controller.
+        let m = TransitionModel::prototype_island();
+        let e_switch = m.energy_nj(DvfsLevel::Rest, DvfsLevel::Normal);
+        // One island at nominal for 1 ms ≈ 4 tiles × 3.165 mW × 1000 µs.
+        let e_window = 4.0 * 3.165 * 1000.0;
+        assert!(e_switch < e_window / 100.0, "{e_switch} vs {e_window}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Voltage/frequency operating points.
+
+use iced_arch::DvfsLevel;
+
+/// One voltage/frequency operating point of a DVFS island.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfPoint {
+    voltage_v: f64,
+    freq_mhz: f64,
+}
+
+impl VfPoint {
+    /// The paper's operating point for `level`, or `None` when power-gated.
+    ///
+    /// The points are co-designed with the compiler so that Equation (1)
+    /// (`f_normal = 2·f_relax = 4·f_rest`) holds exactly.
+    pub fn of(level: DvfsLevel) -> Option<VfPoint> {
+        match level {
+            DvfsLevel::Normal => Some(VfPoint {
+                voltage_v: 0.70,
+                freq_mhz: 434.0,
+            }),
+            DvfsLevel::Relax => Some(VfPoint {
+                voltage_v: 0.50,
+                freq_mhz: 217.0,
+            }),
+            DvfsLevel::Rest => Some(VfPoint {
+                voltage_v: 0.42,
+                freq_mhz: 108.5,
+            }),
+            DvfsLevel::PowerGated => None,
+        }
+    }
+
+    /// Supply voltage in volts.
+    pub fn voltage_v(self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Clock frequency in MHz.
+    pub fn freq_mhz(self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// The nominal operating point (normal level).
+    pub fn nominal() -> VfPoint {
+        VfPoint::of(DvfsLevel::Normal).expect("normal is never gated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_match_paper() {
+        let n = VfPoint::of(DvfsLevel::Normal).unwrap();
+        let rl = VfPoint::of(DvfsLevel::Relax).unwrap();
+        let rs = VfPoint::of(DvfsLevel::Rest).unwrap();
+        assert_eq!((n.voltage_v(), n.freq_mhz()), (0.70, 434.0));
+        assert_eq!((rl.voltage_v(), rl.freq_mhz()), (0.50, 217.0));
+        assert_eq!((rs.voltage_v(), rs.freq_mhz()), (0.42, 108.5));
+        assert!(VfPoint::of(DvfsLevel::PowerGated).is_none());
+    }
+
+    #[test]
+    fn equation_one_holds_on_frequencies() {
+        let f = |l| VfPoint::of(l).unwrap().freq_mhz();
+        assert_eq!(f(DvfsLevel::Normal), 2.0 * f(DvfsLevel::Relax));
+        assert_eq!(f(DvfsLevel::Normal), 4.0 * f(DvfsLevel::Rest));
+    }
+}

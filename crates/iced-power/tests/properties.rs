@@ -1,0 +1,68 @@
+//! Property-based tests on the power model: physical monotonicities that
+//! must hold for any calibration.
+
+use iced_arch::DvfsLevel;
+use iced_power::{PowerModel, TransitionModel};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = PowerModel> {
+    (0.0f64..=0.6, 0.0f64..=0.8, 0.0f64..=0.9)
+        .prop_map(|(sf, cf, ss)| PowerModel::with_fractions(sf, cf, ss))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn power_is_monotone_in_activity(model in arb_model(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for lvl in DvfsLevel::ACTIVE {
+            prop_assert!(model.tile_power_mw(lvl, lo) <= model.tile_power_mw(lvl, hi) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_level(model in arb_model(), a in 0.0f64..=1.0) {
+        let n = model.tile_power_mw(DvfsLevel::Normal, a);
+        let rl = model.tile_power_mw(DvfsLevel::Relax, a);
+        let rs = model.tile_power_mw(DvfsLevel::Rest, a);
+        let pg = model.tile_power_mw(DvfsLevel::PowerGated, a);
+        prop_assert!(n >= rl && rl >= rs && rs >= pg);
+        prop_assert_eq!(pg, 0.0);
+    }
+
+    #[test]
+    fn full_array_calibration_anchor_holds(model in arb_model()) {
+        // Whatever the fractions, a fully-active nominal array must draw
+        // exactly the published power: the split redistributes it only.
+        let p = 36.0 * model.tile_power_mw(DvfsLevel::Normal, 1.0);
+        prop_assert!((p - 113.95).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn controller_power_is_linear(model in arb_model(), n in 0usize..64, m in 0usize..64) {
+        let pn = model.controllers_power_mw(n);
+        let pm = model.controllers_power_mw(m);
+        prop_assert!((model.controllers_power_mw(n + m) - (pn + pm)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_power_is_bounded_and_monotone(model in arb_model(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(model.sram_power_mw(lo) <= model.sram_power_mw(hi) + 1e-12);
+        prop_assert!(model.sram_power_mw(1.0) <= 62.653 + 1e-9);
+        prop_assert!(model.sram_power_mw(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn transitions_bigger_steps_cost_more(_x in 0u8..1) {
+        let t = TransitionModel::prototype_island();
+        let rest_to_normal = t.energy_nj(DvfsLevel::Rest, DvfsLevel::Normal);
+        let relax_to_normal = t.energy_nj(DvfsLevel::Relax, DvfsLevel::Normal);
+        let gated_to_normal = t.energy_nj(DvfsLevel::PowerGated, DvfsLevel::Normal);
+        prop_assert!(gated_to_normal >= rest_to_normal);
+        prop_assert!(rest_to_normal >= relax_to_normal);
+        prop_assert!(t.latency_ns(DvfsLevel::PowerGated, DvfsLevel::Normal)
+            > t.latency_ns(DvfsLevel::Relax, DvfsLevel::Normal));
+    }
+}

@@ -1,0 +1,38 @@
+//! Cycle-level simulation and accounting for mapped ICED kernels.
+//!
+//! The paper's evaluation is "based on a cycle-accurate simulation according
+//! to the kernel mapping" (§V-B) combined with the post-layout power model.
+//! This crate provides the equivalents:
+//!
+//! * [`FabricStats`] — per-tile activity extracted from a [`Mapping`]'s
+//!   modulo schedule: busy windows (FU + crossbar) in each tile's own clock
+//!   domain, the utilization and average-DVFS-level metrics of Figs. 9/10/12;
+//! * [`validate_schedule`] — an independent re-check that a mapping's
+//!   schedule respects every dependency and never double-books a resource
+//!   (used by tests and as a sanity gate by the benchmark harness);
+//! * [`energy`] — Equation (2)–(4) accounting: activity-scaled tile power,
+//!   DVFS controller overhead, SRAM activity, execution time → mW / nJ;
+//! * [`functional`] — a token-dataflow interpreter plus a *schedule replay*
+//!   simulator with elastic-buffer edge semantics: replaying the mapped
+//!   schedule must reproduce the reference interpretation value-for-value,
+//!   which catches timing bugs that structural checks cannot;
+//! * [`engine`] — a cycle-stepped machine simulation (tick-by-tick FU
+//!   firings, link transfers, per-edge token FIFOs) that cross-checks the
+//!   analytic metrics and values;
+//! * [`render`] — ASCII schedule tables and DVFS level grids, the textual
+//!   equivalent of the paper's Figure 1/3 panels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod engine;
+pub mod functional;
+mod metrics;
+pub mod render;
+mod validate;
+
+pub use energy::{DvfsSupport, EnergyBreakdown};
+pub use engine::{run as run_engine, EngineError, EngineReport};
+pub use metrics::{FabricStats, TileStats};
+pub use validate::{validate_schedule, ScheduleError};

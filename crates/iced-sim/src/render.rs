@@ -1,0 +1,142 @@
+//! Human-readable rendering of mappings — the textual equivalent of the
+//! paper's Figure 1/3 panels: a tile grid annotated with DVFS levels and a
+//! per-cycle schedule table showing which node executes where.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use iced_arch::DvfsLevel;
+use iced_dfg::Dfg;
+use iced_mapper::Mapping;
+
+/// Renders the island DVFS map as a tile grid (Figure 3's bottom row).
+///
+/// Each cell shows the tile's level: `NORM`, `RLX`, `REST`, or `----`
+/// (power-gated).
+pub fn level_grid(mapping: &Mapping) -> String {
+    let cfg = mapping.config();
+    let mut out = String::new();
+    for r in 0..cfg.rows() {
+        let cells: Vec<&str> = (0..cfg.cols())
+            .map(|c| match mapping.tile_level(cfg.tile_at(r, c)) {
+                DvfsLevel::Normal => "NORM",
+                DvfsLevel::Relax => "RLX ",
+                DvfsLevel::Rest => "REST",
+                DvfsLevel::PowerGated => "----",
+            })
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(" | "));
+    }
+    out
+}
+
+/// Renders the modulo schedule as a cycle × tile table (Figure 1's
+/// right-hand panel): one row per base cycle of the II, one column per
+/// *used* tile, each cell naming the node that starts there.
+pub fn schedule_table(dfg: &Dfg, mapping: &Mapping) -> String {
+    let cfg = mapping.config();
+    let ii = mapping.ii() as u64;
+    // Used tiles in id order.
+    let used: Vec<_> = cfg.tiles().filter(|&t| mapping.tile_is_used(t)).collect();
+    // (tile, cycle mod II) -> node label.
+    let mut cells: HashMap<(usize, u64), String> = HashMap::new();
+    for node in dfg.node_ids() {
+        let p = mapping.placement(node);
+        cells.insert(
+            (p.tile.index(), p.start % ii),
+            format!("{node}"),
+        );
+    }
+    let width = 7usize;
+    let mut out = String::new();
+    let _ = write!(out, "{:>width$} ", "cycle");
+    for t in &used {
+        let _ = write!(out, "{:>width$} ", t.to_string());
+    }
+    out.push('\n');
+    for c in 0..ii {
+        let _ = write!(out, "{c:>width$} ");
+        for t in &used {
+            let cell = cells
+                .get(&(t.index(), c))
+                .map(String::as_str)
+                .unwrap_or(".");
+            let _ = write!(out, "{cell:>width$} ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Full report: kernel header, schedule table, and level grid.
+pub fn report(dfg: &Dfg, mapping: &Mapping) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "kernel {} on {}x{} (II = {}, avg DVFS level {:.0}%)",
+        mapping.kernel(),
+        mapping.config().rows(),
+        mapping.config().cols(),
+        mapping.ii(),
+        100.0 * mapping.average_dvfs_level(),
+    );
+    out.push('\n');
+    out.push_str(&schedule_table(dfg, mapping));
+    out.push('\n');
+    out.push_str(&level_grid(mapping));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iced_arch::CgraConfig;
+    use iced_kernels::{Kernel, UnrollFactor};
+    use iced_mapper::{map_baseline, map_dvfs_aware, relax_islands};
+
+    #[test]
+    fn grid_has_one_row_per_tile_row() {
+        let cfg = CgraConfig::square(4).unwrap();
+        let dfg = Kernel::Fir.dfg(UnrollFactor::X1);
+        let m = map_baseline(&dfg, &cfg).unwrap();
+        let grid = level_grid(&m);
+        assert_eq!(grid.lines().count(), 4);
+        assert!(grid.contains("NORM"));
+    }
+
+    #[test]
+    fn iced_grid_shows_gated_islands() {
+        let cfg = CgraConfig::iced_prototype();
+        let dfg = Kernel::Fir.dfg(UnrollFactor::X1);
+        let m = relax_islands(&dfg, &map_dvfs_aware(&dfg, &cfg).unwrap());
+        let grid = level_grid(&m);
+        assert!(grid.contains("----"), "expected gated cells:\n{grid}");
+    }
+
+    #[test]
+    fn schedule_table_mentions_every_node_once() {
+        let cfg = CgraConfig::iced_prototype();
+        let dfg = Kernel::Histogram.dfg(UnrollFactor::X1);
+        let m = map_baseline(&dfg, &cfg).unwrap();
+        let table = schedule_table(&dfg, &m);
+        for node in dfg.node_ids() {
+            assert!(
+                table.contains(&format!("{node}")),
+                "missing {node} in:\n{table}"
+            );
+        }
+        // Row count = II + header.
+        assert_eq!(table.lines().count() as u32, m.ii() + 1);
+    }
+
+    #[test]
+    fn report_combines_all_sections() {
+        let cfg = CgraConfig::square(4).unwrap();
+        let dfg = Kernel::Relu.dfg(UnrollFactor::X1);
+        let m = map_dvfs_aware(&dfg, &cfg).unwrap();
+        let r = report(&dfg, &m);
+        assert!(r.contains("relu"));
+        assert!(r.contains("cycle"));
+        assert!(r.contains("II ="));
+    }
+}

@@ -1,0 +1,224 @@
+//! Independent validation of a mapping's modulo schedule.
+//!
+//! The mapper reserves resources incrementally; this module re-derives every
+//! constraint from the finished [`Mapping`] alone, so a bookkeeping bug in
+//! the mapper cannot hide itself. Checked invariants:
+//!
+//! * every dependency is satisfied: producer ready ≤ consumer read time
+//!   (with `distance · II` slack for loop-carried edges);
+//! * every route is structurally sound: hops chain from the producer's tile
+//!   to the consumer's, departures are phase-aligned and never before the
+//!   value exists, the arrival is no later than the consume time;
+//! * no FU executes two ops in one of its slow-cycle windows;
+//! * no directed link carries two transfers in overlapping windows;
+//! * op starts are phase-aligned to their tile's rate;
+//! * memory ops sit on SPM-connected tiles.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use iced_arch::TileId;
+use iced_dfg::{Dfg, EdgeId, NodeId};
+use iced_mapper::Mapping;
+
+/// A violated schedule invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// Consumer reads before the producer's value can arrive.
+    DependencyViolated {
+        /// The edge in question.
+        edge: EdgeId,
+    },
+    /// Two ops share an FU window.
+    FuConflict {
+        /// The tile.
+        tile: TileId,
+        /// The offending window index.
+        window: u64,
+    },
+    /// Two transfers share a link window.
+    LinkConflict {
+        /// The driving tile.
+        tile: TileId,
+    },
+    /// An op starts off its tile's clock phase.
+    MisalignedStart {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A route's hops do not chain from producer to consumer.
+    BrokenRoute {
+        /// The edge in question.
+        edge: EdgeId,
+    },
+    /// A memory operation sits on a tile without SPM access.
+    MemoryPlacement {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::DependencyViolated { edge } => {
+                write!(f, "dependency violated on edge {edge}")
+            }
+            ScheduleError::FuConflict { tile, window } => {
+                write!(f, "fu conflict on {tile} window {window}")
+            }
+            ScheduleError::LinkConflict { tile } => write!(f, "link conflict on {tile}"),
+            ScheduleError::MisalignedStart { node } => {
+                write!(f, "misaligned start for {node}")
+            }
+            ScheduleError::BrokenRoute { edge } => write!(f, "broken route for edge {edge}"),
+            ScheduleError::MemoryPlacement { node } => {
+                write!(f, "memory op {node} on a non-SPM tile")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// Validates the schedule of `mapping` against `dfg`.
+///
+/// # Errors
+///
+/// Returns the first violated invariant (see module docs).
+pub fn validate_schedule(dfg: &Dfg, mapping: &Mapping) -> Result<(), ScheduleError> {
+    let cfg = mapping.config();
+    let ii = mapping.ii() as u64;
+
+    // Placement-level checks.
+    for node in dfg.nodes() {
+        let p = mapping.placement(node.id());
+        if p.start % p.rate as u64 != 0 {
+            return Err(ScheduleError::MisalignedStart { node: node.id() });
+        }
+        if node.op().is_memory() && !cfg.is_memory_tile(p.tile) {
+            return Err(ScheduleError::MemoryPlacement { node: node.id() });
+        }
+    }
+
+    // Dependency + route-structure checks.
+    let routes: HashMap<EdgeId, &iced_mapper::Route> =
+        mapping.routes().iter().map(|r| (r.edge, r)).collect();
+    for e in dfg.edges() {
+        let src = mapping.placement(e.src());
+        let dst = mapping.placement(e.dst());
+        let read = dst.start + e.kind().distance() as u64 * ii;
+        if read < src.ready() {
+            return Err(ScheduleError::DependencyViolated { edge: e.id() });
+        }
+        if let Some(route) = routes.get(&e.id()) {
+            if route.arrival > route.consume_at || route.consume_at != read {
+                return Err(ScheduleError::DependencyViolated { edge: e.id() });
+            }
+            // Hop chaining.
+            let mut at = src.tile;
+            let mut t = src.ready();
+            for hop in &route.hops {
+                let ok = hop.from == at
+                    && cfg.neighbor(hop.from, hop.dir) == Some(hop.to)
+                    && hop.arrive > hop.depart
+                    // The overlapped first hop departs inside the producing
+                    // op's execution window; later hops after the value
+                    // exists at the tile.
+                    && hop.depart + (hop.arrive - hop.depart) >= t;
+                if !ok {
+                    return Err(ScheduleError::BrokenRoute { edge: e.id() });
+                }
+                at = hop.to;
+                t = hop.arrive;
+            }
+            if at != dst.tile || t > route.arrival {
+                return Err(ScheduleError::BrokenRoute { edge: e.id() });
+            }
+        } else if src.tile != dst.tile {
+            // Cross-tile edges must have a route.
+            return Err(ScheduleError::BrokenRoute { edge: e.id() });
+        }
+    }
+
+    // FU window conflicts (per tile, in the tile's own clock domain).
+    let mut fu: HashMap<(TileId, u64), NodeId> = HashMap::new();
+    for node in dfg.node_ids() {
+        let p = mapping.placement(node);
+        let window = (p.start % ii) / p.rate as u64;
+        if let Some(_prev) = fu.insert((p.tile, window), node) {
+            return Err(ScheduleError::FuConflict {
+                tile: p.tile,
+                window,
+            });
+        }
+    }
+
+    // Link window conflicts: occupancy per (tile, dir, base-cycle mod II).
+    let mut link: HashMap<(TileId, u8, u64), EdgeId> = HashMap::new();
+    for route in mapping.routes() {
+        for hop in &route.hops {
+            for c in hop.depart..hop.arrive {
+                let key = (hop.from, hop.dir.index() as u8, c % ii);
+                if let Some(prev) = link.insert(key, route.edge) {
+                    if prev != route.edge {
+                        return Err(ScheduleError::LinkConflict { tile: hop.from });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iced_arch::CgraConfig;
+    use iced_kernels::{Kernel, UnrollFactor};
+    use iced_mapper::{map_baseline, map_dvfs_aware};
+
+    #[test]
+    fn all_standalone_kernels_validate_on_the_prototype() {
+        let cfg = CgraConfig::iced_prototype();
+        for k in Kernel::STANDALONE {
+            for uf in UnrollFactor::ALL {
+                let dfg = k.dfg(uf);
+                let b = map_baseline(&dfg, &cfg).unwrap();
+                validate_schedule(&dfg, &b)
+                    .unwrap_or_else(|e| panic!("{} {uf:?} baseline: {e}", k.name()));
+                let d = map_dvfs_aware(&dfg, &cfg).unwrap();
+                validate_schedule(&dfg, &d)
+                    .unwrap_or_else(|e| panic!("{} {uf:?} iced: {e}", k.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_kernels_validate_too() {
+        let cfg = CgraConfig::iced_prototype();
+        for k in [
+            Kernel::GcnAggregate,
+            Kernel::GcnCombRelu,
+            Kernel::LuSolver1,
+            Kernel::LuDeterminant,
+        ] {
+            let dfg = k.dfg(UnrollFactor::X1);
+            let d = map_dvfs_aware(&dfg, &cfg).unwrap();
+            validate_schedule(&dfg, &d).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+        }
+    }
+
+    #[test]
+    fn validates_across_array_sizes() {
+        for n in [2usize, 4, 8] {
+            let cfg = CgraConfig::square(n).unwrap();
+            let dfg = Kernel::Fir.dfg(UnrollFactor::X1);
+            let m = map_dvfs_aware(&dfg, &cfg).unwrap();
+            validate_schedule(&dfg, &m).unwrap_or_else(|e| panic!("{n}x{n}: {e}"));
+        }
+    }
+}

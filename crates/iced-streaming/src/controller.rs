@@ -1,0 +1,151 @@
+//! The runtime DVFS Controller (paper §III-B).
+//!
+//! The controller keeps an `exeTable` of the execution times each kernel
+//! reported over the current window (10 inputs, like DRIPS) and a
+//! `mapTable` associating kernels with their islands. When the window
+//! closes it identifies the bottleneck kernel (largest average execution
+//! time), raises its islands one V/F level, and lowers every other
+//! kernel's islands one level — all islands of one kernel move together
+//! (§IV-B), and `rest` is the lowest runtime level.
+
+use iced_arch::DvfsLevel;
+
+/// What the controller decided at a window boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControllerDecision {
+    /// Index of the bottleneck kernel this window.
+    pub bottleneck: usize,
+    /// New level per kernel.
+    pub levels: Vec<DvfsLevel>,
+}
+
+/// Windowed DVFS controller state.
+#[derive(Debug, Clone)]
+pub struct DvfsController {
+    window: usize,
+    exe_table: Vec<Vec<f64>>,
+    levels: Vec<DvfsLevel>,
+}
+
+impl DvfsController {
+    /// Creates a controller for `kernels` pipeline kernels with the given
+    /// window length (the paper and DRIPS use 10).
+    pub fn new(kernels: usize, window: usize) -> Self {
+        DvfsController {
+            window: window.max(1),
+            exe_table: vec![Vec::new(); kernels],
+            levels: vec![DvfsLevel::Normal; kernels],
+        }
+    }
+
+    /// Current level of kernel `k`.
+    pub fn level(&self, k: usize) -> DvfsLevel {
+        self.levels[k]
+    }
+
+    /// All current levels.
+    pub fn levels(&self) -> &[DvfsLevel] {
+        &self.levels
+    }
+
+    /// Records a kernel's termination signal for one input (updates the
+    /// `exeTable`). Once every kernel has reported `window` executions the
+    /// DVFS switch triggers and the decision is returned.
+    pub fn record(&mut self, kernel: usize, exec_time_us: f64) -> Option<ControllerDecision> {
+        self.exe_table[kernel].push(exec_time_us);
+        if self.exe_table.iter().any(|t| t.len() < self.window) {
+            return None;
+        }
+        let avgs: Vec<f64> = self
+            .exe_table
+            .iter()
+            .map(|t| t.iter().sum::<f64>() / t.len() as f64)
+            .collect();
+        let bottleneck = avgs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
+            .map(|(i, _)| i)
+            .expect("at least one kernel");
+        let worst = avgs[bottleneck];
+        for (k, lvl) in self.levels.iter_mut().enumerate() {
+            if k == bottleneck {
+                *lvl = lvl.raised();
+                continue;
+            }
+            // Lower "if possible" (§III-B): halving a kernel's frequency
+            // doubles its execution time; only do it when the slack keeps
+            // it clearly under the bottleneck, otherwise the slowed kernel
+            // would immediately become the new bottleneck and throughput —
+            // which ICED promises not to sacrifice — would drop.
+            let cur_div = lvl.rate_divisor().unwrap_or(4) as f64;
+            let new_div = lvl.lowered().rate_divisor().unwrap_or(4) as f64;
+            let projected = avgs[k] * new_div / cur_div;
+            if projected <= worst * 0.95 {
+                *lvl = lvl.lowered();
+            } else if avgs[k] > worst * 0.95 {
+                // Close to the bottleneck itself: recover headroom.
+                *lvl = lvl.raised();
+            }
+        }
+        for t in &mut self.exe_table {
+            t.clear();
+        }
+        Some(ControllerDecision {
+            bottleneck,
+            levels: self.levels.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_triggers_after_ten_reports_per_kernel() {
+        let mut c = DvfsController::new(2, 10);
+        for i in 0..9 {
+            assert!(c.record(0, 5.0).is_none(), "round {i}");
+            assert!(c.record(1, 1.0).is_none());
+        }
+        assert!(c.record(0, 5.0).is_none());
+        let d = c.record(1, 1.0).expect("10th report closes the window");
+        assert_eq!(d.bottleneck, 0);
+        assert_eq!(d.levels[0], DvfsLevel::Normal); // raised() saturates
+        assert_eq!(d.levels[1], DvfsLevel::Relax); // non-bottleneck lowered
+    }
+
+    #[test]
+    fn non_bottleneck_floors_at_rest() {
+        let mut c = DvfsController::new(2, 1);
+        for _ in 0..5 {
+            c.record(0, 9.0);
+            c.record(1, 1.0);
+        }
+        assert_eq!(c.level(0), DvfsLevel::Normal);
+        assert_eq!(c.level(1), DvfsLevel::Rest);
+    }
+
+    #[test]
+    fn bottleneck_shift_raises_the_new_bottleneck() {
+        let mut c = DvfsController::new(2, 1);
+        c.record(0, 9.0);
+        c.record(1, 1.0);
+        assert_eq!(c.level(1), DvfsLevel::Relax);
+        // Kernel 1 becomes the bottleneck (denser input).
+        c.record(0, 1.0);
+        let d = c.record(1, 20.0).unwrap();
+        assert_eq!(d.bottleneck, 1);
+        assert_eq!(c.level(1), DvfsLevel::Normal);
+        assert_eq!(c.level(0), DvfsLevel::Relax);
+    }
+
+    #[test]
+    fn exe_table_clears_between_windows() {
+        let mut c = DvfsController::new(1, 2);
+        assert!(c.record(0, 1.0).is_none());
+        assert!(c.record(0, 1.0).is_some());
+        assert!(c.record(0, 1.0).is_none()); // new window started fresh
+    }
+}

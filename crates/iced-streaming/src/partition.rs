@@ -1,0 +1,289 @@
+//! CGRA partitioning across pipeline kernels.
+//!
+//! Each kernel of a streaming application occupies at least one island
+//! (§IV-B "CGRA Partitioning"). Offline, the compiler profiles every kernel
+//! on every feasible island count, then exhaustively searches the
+//! allocation that minimises the pipeline's bottleneck latency over a set
+//! of profiling inputs (the paper uses 50 random instances). At runtime the
+//! allocation is fixed; only DVFS levels change.
+
+use iced_arch::{CgraConfig, DvfsLevel};
+use iced_kernels::pipelines::{Pipeline, StageKernel};
+use iced_kernels::UnrollFactor;
+use iced_mapper::{map_with, MapError, MapperOptions};
+use iced_sim::FabricStats;
+
+/// Profile of one pipeline kernel: achieved II and activity per island
+/// budget.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// The stage kernel this profiles.
+    pub stage: StageKernel,
+    /// `ii_by_islands[k - 1]` = II in base cycles when mapped on `k`
+    /// islands (`None` when unmappable within that budget).
+    pub ii_by_islands: Vec<Option<u32>>,
+    /// Average busy fraction of the active tiles at the Table I allocation
+    /// (used for power accounting).
+    pub activity: f64,
+}
+
+impl KernelProfile {
+    /// Profiles `stage` on `config` for island budgets `1..=max_islands`.
+    ///
+    /// Streaming kernels are mapped with a uniform `normal` level (§IV-B
+    /// maps partitions at normal/relax; we keep partitions uniform so the
+    /// runtime controller can scale a kernel's whole island group one level
+    /// at a time).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel cannot be mapped even on the full
+    /// fabric.
+    pub fn measure(
+        stage: StageKernel,
+        config: &CgraConfig,
+        max_islands: usize,
+    ) -> Result<KernelProfile, MapError> {
+        let dfg = stage.kernel.dfg(UnrollFactor::X1);
+        let mut ii_by_islands = Vec::with_capacity(max_islands);
+        let mut activity = 0.25;
+        for k in 1..=max_islands {
+            let opts = MapperOptions {
+                dvfs_aware: false,
+                allowed_levels: vec![DvfsLevel::Normal],
+                island_budget: Some(k),
+                ..MapperOptions::default()
+            };
+            match map_with(&dfg, config, &opts) {
+                Ok(m) => {
+                    if k == stage.islands.min(max_islands) {
+                        let stats = FabricStats::analyze(&m);
+                        // Busy fraction of the tiles actually granted to
+                        // this kernel.
+                        let tpi = config.island_rows() * config.island_cols();
+                        let used = (k * tpi).max(1);
+                        let busy: f64 = stats
+                            .tiles()
+                            .iter()
+                            .take(used)
+                            .map(|t| t.utilization())
+                            .sum();
+                        activity = busy / used as f64;
+                    }
+                    ii_by_islands.push(Some(m.ii()));
+                }
+                Err(MapError::IiExceeded { .. }) | Err(MapError::MemoryPressure) => {
+                    ii_by_islands.push(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if ii_by_islands.iter().all(Option::is_none) {
+            return Err(MapError::IiExceeded { max_ii: 0 });
+        }
+        Ok(KernelProfile {
+            stage,
+            ii_by_islands,
+            activity,
+        })
+    }
+
+    /// II when granted `islands` islands (falling back to the smallest
+    /// feasible budget above it).
+    pub fn ii(&self, islands: usize) -> Option<u32> {
+        let idx = islands.clamp(1, self.ii_by_islands.len()) - 1;
+        self.ii_by_islands[idx..].iter().flatten().next().copied()
+    }
+
+    /// Smallest island budget this kernel can be mapped with.
+    pub fn min_islands(&self) -> usize {
+        1 + self
+            .ii_by_islands
+            .iter()
+            .position(Option::is_some)
+            .expect("measure() guarantees at least one feasible budget")
+    }
+}
+
+/// A complete static partitioning of the fabric across pipeline kernels.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Per stage: the kernels with their granted islands, in stage order.
+    /// `allocations[s][k]` corresponds to `pipeline.stages[s].kernels[k]`.
+    pub allocations: Vec<Vec<usize>>,
+    /// The kernel profiles, flattened in stage order.
+    pub profiles: Vec<KernelProfile>,
+}
+
+impl Partition {
+    /// Uses the island allocation published in Table I.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from profiling.
+    pub fn table1(pipeline: &Pipeline, config: &CgraConfig) -> Result<Partition, MapError> {
+        let mut allocations = Vec::new();
+        let mut profiles = Vec::new();
+        for stage in &pipeline.stages {
+            let mut row = Vec::new();
+            for sk in &stage.kernels {
+                row.push(sk.islands);
+                profiles.push(KernelProfile::measure(*sk, config, config.island_count())?);
+            }
+            allocations.push(row);
+        }
+        Ok(Partition {
+            allocations,
+            profiles,
+        })
+    }
+
+    /// Offline exhaustive search: enumerate all island allocations (each
+    /// kernel ≥ its feasible minimum, total ≤ the fabric's island count)
+    /// and pick the one minimising the average bottleneck latency over the
+    /// profiling inputs `profile_units` (work units per input).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from profiling.
+    pub fn exhaustive(
+        pipeline: &Pipeline,
+        config: &CgraConfig,
+        profile_units: &[u64],
+    ) -> Result<Partition, MapError> {
+        let mut profiles = Vec::new();
+        for stage in &pipeline.stages {
+            for sk in &stage.kernels {
+                profiles.push(KernelProfile::measure(*sk, config, config.island_count())?);
+            }
+        }
+        let total = config.island_count();
+        let mins: Vec<usize> = profiles.iter().map(KernelProfile::min_islands).collect();
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut current = mins.clone();
+        search(&profiles, profile_units, &mins, total, 0, &mut current, &mut best);
+        let flat = best.map(|(_, a)| a).unwrap_or(mins);
+        // Unflatten into stage shape.
+        let mut allocations = Vec::new();
+        let mut it = flat.into_iter();
+        for stage in &pipeline.stages {
+            allocations.push(stage.kernels.iter().map(|_| it.next().expect("arity")).collect());
+        }
+        Ok(Partition {
+            allocations,
+            profiles,
+        })
+    }
+
+    /// Islands granted to flattened kernel index `i`.
+    pub fn islands_of(&self, i: usize) -> usize {
+        let mut idx = 0;
+        for row in &self.allocations {
+            for &a in row {
+                if idx == i {
+                    return a;
+                }
+                idx += 1;
+            }
+        }
+        panic!("kernel index {i} out of range");
+    }
+
+    /// Total islands allocated.
+    pub fn total_islands(&self) -> usize {
+        self.allocations.iter().flatten().sum()
+    }
+}
+
+/// Average bottleneck latency (in base cycles) of an allocation over the
+/// profiling inputs.
+fn bottleneck_cost(profiles: &[KernelProfile], alloc: &[usize], units: &[u64]) -> f64 {
+    let mut acc = 0.0;
+    for &u in units {
+        let mut worst = 0.0f64;
+        for (p, &k) in profiles.iter().zip(alloc) {
+            let ii = p.ii(k).unwrap_or(u32::MAX) as f64;
+            let iters = p.stage.work.iterations(u) as f64;
+            worst = worst.max(ii * iters);
+        }
+        acc += worst;
+    }
+    acc / units.len().max(1) as f64
+}
+
+fn search(
+    profiles: &[KernelProfile],
+    units: &[u64],
+    mins: &[usize],
+    remaining: usize,
+    idx: usize,
+    current: &mut Vec<usize>,
+    best: &mut Option<(f64, Vec<usize>)>,
+) {
+    if idx == profiles.len() {
+        let cost = bottleneck_cost(profiles, current, units);
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            *best = Some((cost, current.clone()));
+        }
+        return;
+    }
+    let others_min: usize = mins[idx + 1..].iter().sum();
+    let max_here = remaining.saturating_sub(others_min);
+    for k in mins[idx]..=max_here.max(mins[idx]) {
+        if k > remaining {
+            break;
+        }
+        current[idx] = k;
+        search(profiles, units, mins, remaining - k, idx + 1, current, best);
+    }
+    current[idx] = mins[idx];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iced_kernels::Kernel;
+
+    #[test]
+    fn profiles_improve_with_more_islands() {
+        let cfg = CgraConfig::iced_prototype();
+        let p = Pipeline::gcn();
+        let sk = *p
+            .stage_kernels()
+            .find(|k| k.kernel == Kernel::GcnAggregate)
+            .unwrap();
+        let prof = KernelProfile::measure(sk, &cfg, 9).unwrap();
+        let small = prof.ii(prof.min_islands()).unwrap();
+        let large = prof.ii(9).unwrap();
+        assert!(large <= small, "II {large} on 9 islands vs {small}");
+        assert!(prof.activity > 0.0 && prof.activity <= 1.0);
+    }
+
+    #[test]
+    fn table1_partition_fills_the_fabric() {
+        let cfg = CgraConfig::iced_prototype();
+        let p = Pipeline::lu();
+        let part = Partition::table1(&p, &cfg).unwrap();
+        assert_eq!(part.total_islands(), 9);
+        assert_eq!(part.profiles.len(), 6);
+    }
+
+    #[test]
+    fn exhaustive_search_respects_bounds_and_beats_naive() {
+        let cfg = CgraConfig::iced_prototype();
+        let p = Pipeline::gcn();
+        let units: Vec<u64> = (0..10).map(|i| 20 + 15 * i).collect();
+        let part = Partition::exhaustive(&p, &cfg, &units).unwrap();
+        assert!(part.total_islands() <= 9);
+        for (i, prof) in part.profiles.iter().enumerate() {
+            assert!(part.islands_of(i) >= prof.min_islands());
+        }
+        // The chosen allocation is no worse than the all-minimum one.
+        let flat: Vec<usize> = (0..part.profiles.len()).map(|i| part.islands_of(i)).collect();
+        let mins: Vec<usize> = part.profiles.iter().map(KernelProfile::min_islands).collect();
+        assert!(
+            bottleneck_cost(&part.profiles, &flat, &units)
+                <= bottleneck_cost(&part.profiles, &mins, &units) + 1e-9
+        );
+    }
+}

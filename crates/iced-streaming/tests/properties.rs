@@ -1,0 +1,98 @@
+//! Property-based tests for the streaming layer: the windowed controller
+//! must behave sanely under arbitrary execution-time sequences, and the
+//! pipeline simulator must conserve inputs and produce finite, positive
+//! measurements for any workload.
+
+use iced_arch::{CgraConfig, DvfsLevel};
+use iced_kernels::pipelines::Pipeline;
+use iced_power::PowerModel;
+use iced_streaming::{simulate_with_window, DvfsController, Partition, RuntimePolicy};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Partitions are expensive to profile; share one across cases.
+fn gcn_partition() -> &'static (Pipeline, Partition) {
+    static CACHE: OnceLock<(Pipeline, Partition)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let cfg = CgraConfig::iced_prototype();
+        let p = Pipeline::gcn();
+        let part = Partition::table1(&p, &cfg).expect("gcn partition maps");
+        (p, part)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn controller_levels_stay_active_and_bounded(
+        times in proptest::collection::vec((1u32..1000, 1u32..1000, 1u32..1000), 1..60),
+    ) {
+        let mut c = DvfsController::new(3, 10);
+        for (a, b, d) in times {
+            c.record(0, a as f64);
+            c.record(1, b as f64);
+            c.record(2, d as f64);
+            for k in 0..3 {
+                // Runtime levels never gate a kernel and never exceed normal.
+                prop_assert!(c.level(k).is_active());
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_bottleneck_converges_to_normal(
+        slack in proptest::collection::vec(1u32..50, 30..40),
+    ) {
+        let mut c = DvfsController::new(2, 10);
+        for &s in &slack {
+            c.record(0, 1000.0); // immovable bottleneck
+            c.record(1, s as f64); // huge slack
+        }
+        prop_assert_eq!(c.level(0), DvfsLevel::Normal);
+        // The slack kernel has been lowered at least one level.
+        prop_assert!(c.level(1) < DvfsLevel::Normal);
+    }
+
+    #[test]
+    fn simulator_conserves_inputs_and_stays_finite(
+        units in proptest::collection::vec(1u64..300, 1..50),
+        window in 1usize..=20,
+        drips in any::<bool>(),
+    ) {
+        let (pipeline, partition) = gcn_partition();
+        let model = PowerModel::asap7();
+        let policy = if drips { RuntimePolicy::Drips } else { RuntimePolicy::IcedDvfs };
+        let r = simulate_with_window(pipeline, partition, &model, &units, policy, window);
+        prop_assert_eq!(r.inputs, units.len());
+        prop_assert_eq!(r.samples.len(), units.len().div_ceil(window));
+        prop_assert!(r.total_time_us.is_finite() && r.total_time_us > 0.0);
+        prop_assert!(r.avg_power_mw().is_finite() && r.avg_power_mw() > 0.0);
+        prop_assert!(r.perf_per_watt().is_finite() && r.perf_per_watt() > 0.0);
+        for s in &r.samples {
+            prop_assert!(s.power_mw > 0.0 && s.throughput > 0.0);
+            prop_assert_eq!(s.levels.len(), partition.profiles.len());
+        }
+    }
+
+    #[test]
+    fn static_policy_power_is_input_insensitive(
+        a in proptest::collection::vec(10u64..50, 20..25),
+        b in proptest::collection::vec(200u64..250, 20..25),
+    ) {
+        // Under StaticNormal everything runs at nominal; per-window power
+        // varies only through busy fractions, which are bounded — so power
+        // stays within the all-idle..all-busy envelope for any inputs.
+        let (pipeline, partition) = gcn_partition();
+        let model = PowerModel::asap7();
+        for units in [&a, &b] {
+            let r = simulate_with_window(
+                pipeline, partition, &model, units, RuntimePolicy::StaticNormal, 10,
+            );
+            let idle_floor = model.sram_power_mw(0.35);
+            let busy_ceiling = idle_floor + 36.0 * model.tile_power_mw(DvfsLevel::Normal, 1.0);
+            prop_assert!(r.avg_power_mw() > idle_floor);
+            prop_assert!(r.avg_power_mw() < busy_ceiling);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Inspect every artifact the toolchain produces for one kernel — the
+//! text-serialised DFG, the mapping rendered as the paper's schedule
+//! tables, and the configuration bitstream the DMA would preload.
+//!
+//! ```sh
+//! cargo run --release --example toolchain_artifacts
+//! ```
+
+use iced::dfg::text;
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::mapper::Bitstream;
+use iced::sim::render;
+use iced::{Strategy, Toolchain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = Kernel::Histogram;
+    let dfg = kernel.dfg(UnrollFactor::X1);
+
+    println!("=== DFG (text interchange format) ===");
+    print!("{}", text::to_text(&dfg));
+    // The format round-trips losslessly:
+    assert_eq!(text::parse(&text::to_text(&dfg))?, dfg);
+
+    let toolchain = Toolchain::prototype();
+    let compiled = toolchain.compile(&dfg, Strategy::IcedIslands)?;
+
+    println!("\n=== Mapping (schedule + DVFS level grid) ===");
+    print!("{}", render::report(&dfg, compiled.mapping()));
+
+    println!("\n=== Configuration bitstream ===");
+    let bs = Bitstream::assemble(&dfg, compiled.mapping());
+    println!("{bs}");
+    // Show the first configured tile's words.
+    let busy_tile = toolchain
+        .config()
+        .tiles()
+        .find(|&t| compiled.mapping().tile_is_used(t))
+        .expect("a mapped kernel uses at least one tile");
+    println!("\nwords of {busy_tile}:");
+    for c in 0..compiled.mapping().ii() {
+        let w = bs.word(busy_tile, c);
+        println!(
+            "  cycle {c}: 0x{:08x}  fu={:?} level={}",
+            w.pack(),
+            w.fu_op.map(|o| o.mnemonic()),
+            w.level
+        );
+    }
+
+    println!("\n=== SPM plan ===");
+    let plan = kernel.spm_plan()?;
+    println!(
+        "tiling x{}, {} B total across banks {:?}",
+        plan.tiling_factor,
+        plan.total_bytes(),
+        plan.bank_bytes
+    );
+    Ok(())
+}

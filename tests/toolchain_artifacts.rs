@@ -1,0 +1,113 @@
+//! Integration tests for the toolchain's artifact layers: configuration
+//! bitstreams, the cycle-stepped engine, text serialisation, mapping
+//! rendering, and SPM planning — everything a downstream hardware flow
+//! would consume.
+
+use iced::kernels::{spm, Kernel, UnrollFactor};
+use iced::mapper::Bitstream;
+use iced::sim::{engine, render};
+use iced::{Strategy, Toolchain};
+
+#[test]
+fn bitstreams_assemble_and_round_trip_for_the_suite() {
+    let tc = Toolchain::prototype();
+    for kernel in Kernel::STANDALONE {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        for strategy in [Strategy::Baseline, Strategy::IcedIslands] {
+            let c = tc.compile(&dfg, strategy).unwrap();
+            let bs = Bitstream::assemble(&dfg, c.mapping());
+            // One word per (tile, cycle); every word decodes.
+            assert_eq!(
+                bs.words().len(),
+                tc.config().tile_count() * c.mapping().ii() as usize,
+                "{}",
+                kernel.name()
+            );
+            let decoded = bs.disassemble();
+            let ops_in_image = decoded.iter().filter(|w| w.fu_op.is_some()).count();
+            assert_eq!(ops_in_image, dfg.node_count(), "{}", kernel.name());
+            // The config memory of the prototype holds 4 B x II per tile;
+            // every mapped kernel must fit a sane config budget (<= 1 KiB).
+            assert!(bs.bytes_per_tile() <= 1024, "{}", kernel.name());
+        }
+    }
+}
+
+#[test]
+fn engine_executes_unrolled_kernels_bit_exactly() {
+    let tc = Toolchain::prototype();
+    for kernel in [Kernel::Fir, Kernel::Spmv, Kernel::Histogram] {
+        let dfg = kernel.dfg(UnrollFactor::X2);
+        let c = tc.compile(&dfg, Strategy::IcedIslands).unwrap();
+        let r = engine::run(&dfg, c.mapping(), 10, 77)
+            .unwrap_or_else(|e| panic!("{} x2: {e}", kernel.name()));
+        assert_eq!(r.ops_executed, 10 * dfg.node_count() as u64);
+    }
+}
+
+#[test]
+fn engine_agrees_with_metrics_on_dvfs_mappings() {
+    let tc = Toolchain::prototype();
+    let dfg = Kernel::Gemm.dfg(UnrollFactor::X1);
+    let c = tc.compile(&dfg, Strategy::IcedIslands).unwrap();
+    let iters = 32u64;
+    let r = engine::run(&dfg, c.mapping(), iters, 8).unwrap();
+    // Total FU base-cycles = Σ per-op rate × iterations, exactly.
+    let expected: u64 = c.mapping().placements().iter().map(|p| p.rate as u64 * iters).sum();
+    assert_eq!(r.fu_busy.iter().sum::<u64>(), expected);
+}
+
+#[test]
+fn kernel_dfgs_round_trip_through_the_text_format() {
+    for kernel in Kernel::ALL {
+        for uf in UnrollFactor::ALL {
+            let dfg = kernel.dfg(uf);
+            let text = iced::dfg::text::to_text(&dfg);
+            let back = iced::dfg::text::parse(&text)
+                .unwrap_or_else(|e| panic!("{} {uf:?}: {e}", kernel.name()));
+            assert_eq!(dfg, back, "{} {uf:?}", kernel.name());
+        }
+    }
+}
+
+#[test]
+fn renderer_shows_schedule_and_levels() {
+    let tc = Toolchain::prototype();
+    let dfg = Kernel::Fir.dfg(UnrollFactor::X1);
+    let c = tc.compile(&dfg, Strategy::IcedIslands).unwrap();
+    let report = render::report(&dfg, c.mapping());
+    assert!(report.contains("fir"));
+    assert!(report.contains("cycle"));
+    // Gated islands are visible for a small kernel on the 6x6.
+    assert!(report.contains("----"), "{report}");
+}
+
+#[test]
+fn spm_plans_exist_for_every_kernel_and_respect_banking() {
+    for kernel in Kernel::ALL {
+        let plan = kernel.spm_plan().unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        assert!(plan.total_bytes() <= 32 * 1024, "{}", kernel.name());
+        assert!(plan.tiling_factor.is_power_of_two(), "{}", kernel.name());
+        for &bank in &plan.bank_of {
+            assert!(bank < 8, "{}", kernel.name());
+        }
+    }
+    // Deterministic: the same kernel always gets the same plan.
+    assert_eq!(Kernel::Gemm.spm_plan().unwrap(), Kernel::Gemm.spm_plan().unwrap());
+    let _ = spm::allocate(&Kernel::Fir.buffers(), 8, 4).unwrap();
+}
+
+#[test]
+fn metrics_match_table1_for_the_suite() {
+    use iced::dfg::DfgMetrics;
+    for kernel in Kernel::ALL {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let m = DfgMetrics::measure(&dfg);
+        let (n, e, r) = kernel.table1(UnrollFactor::X1);
+        assert_eq!(m.nodes(), n, "{}", kernel.name());
+        assert_eq!(m.edges(), e, "{}", kernel.name());
+        assert_eq!(m.rec_mii(), r, "{}", kernel.name());
+        assert!(m.memory_ops() >= 2, "{}", kernel.name());
+        assert!(m.depth() >= m.rec_mii() as usize, "{}", kernel.name());
+    }
+}
