@@ -1,0 +1,231 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! crates.io is unreachable in this build environment, so this
+//! workspace-local crate provides the benchmarking API surface the
+//! workspace's `benches/` use: [`Criterion`], benchmark groups with
+//! `sample_size`/`measurement_time`, [`BenchmarkId`], `Bencher::iter`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass followed by timed
+//! samples, reporting min/mean — but it is a real wall-clock measurement,
+//! so `cargo bench` remains usable for before/after comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks `f` under `id` with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `iters_per_sample` calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up + calibration: one sample of one iteration.
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    let once = b.samples.first().copied().unwrap_or(Duration::ZERO);
+    // Pick an iteration count that keeps the whole run inside the budget.
+    let per_sample = budget.as_nanos() / sample_size.max(1) as u128;
+    let iters = if once.as_nanos() == 0 {
+        1000
+    } else {
+        (per_sample / once.as_nanos()).clamp(1, 100_000) as u64
+    };
+
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+    };
+    let deadline = Instant::now() + budget;
+    for _ in 0..sample_size {
+        f(&mut b);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|s| s.as_nanos() as f64 / iters as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "{id:<48} time: [min {} mean {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        per_iter.len(),
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function calling each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(20));
+        let input = 17u64;
+        g.bench_with_input(BenchmarkId::new("square", input), &input, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.finish();
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 6).0, "f/6");
+        assert_eq!(BenchmarkId::from_parameter("fir").0, "fir");
+    }
+}

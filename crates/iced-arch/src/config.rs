@@ -47,7 +47,9 @@ pub struct CgraConfig {
 impl CgraConfig {
     /// The paper's 6×6 prototype with 2×2 DVFS islands.
     pub fn iced_prototype() -> Self {
-        CgraConfig::builder(6, 6).build().expect("prototype config is valid")
+        CgraConfig::builder(6, 6)
+            .build()
+            .expect("prototype config is valid")
     }
 
     /// A square `n×n` array with the default 2×2 island geometry (clamped to
@@ -342,12 +344,15 @@ mod tests {
         assert_eq!(c.island_count(), 9);
         assert_eq!(c.spm_banks(), 8);
         assert_eq!(c.spm_kib(), 32);
-        assert_eq!(c.island_tiles(IslandId(0)), vec![
-            c.tile_at(0, 0),
-            c.tile_at(0, 1),
-            c.tile_at(1, 0),
-            c.tile_at(1, 1)
-        ]);
+        assert_eq!(
+            c.island_tiles(IslandId(0)),
+            vec![
+                c.tile_at(0, 0),
+                c.tile_at(0, 1),
+                c.tile_at(1, 0),
+                c.tile_at(1, 1)
+            ]
+        );
     }
 
     #[test]
@@ -422,7 +427,10 @@ mod tests {
             .fu_layout(FuLayout::CheckerboardMul)
             .build()
             .unwrap();
-        let with_mul = check.tiles().filter(|&t| check.tile_has_multiplier(t)).count();
+        let with_mul = check
+            .tiles()
+            .filter(|&t| check.tile_has_multiplier(t))
+            .count();
         assert_eq!(with_mul, 8);
         assert!(check.tile_has_multiplier(check.tile_at(0, 0)));
         assert!(!check.tile_has_multiplier(check.tile_at(0, 1)));

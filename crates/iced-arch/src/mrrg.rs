@@ -214,7 +214,11 @@ mod tests {
 
     #[test]
     fn register_capacity_is_enforced() {
-        let cfg = CgraConfig::builder(2, 2).island(1, 1).reg_capacity(2).build().unwrap();
+        let cfg = CgraConfig::builder(2, 2)
+            .island(1, 1)
+            .reg_capacity(2)
+            .build()
+            .unwrap();
         let mut m = Mrrg::new(&cfg, 2).unwrap();
         let t = TileId(3);
         assert!(m.reg_available(t, 0, 2));

@@ -6,12 +6,10 @@ use iced_arch::{CgraConfig, Dir, Mrrg, TileId};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = CgraConfig> {
-    (1usize..=8, 1usize..=8, 1usize..=3, 1usize..=3).prop_filter_map(
-        "island fits array",
-        |(rows, cols, ir, ic)| {
+    (1usize..=8, 1usize..=8, 1usize..=3, 1usize..=3)
+        .prop_filter_map("island fits array", |(rows, cols, ir, ic)| {
             CgraConfig::builder(rows, cols).island(ir, ic).build().ok()
-        },
-    )
+        })
 }
 
 proptest! {

@@ -63,5 +63,11 @@ fn bench_mrrg(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_recurrence, bench_labeling, bench_unroll, bench_mrrg);
+criterion_group!(
+    benches,
+    bench_recurrence,
+    bench_labeling,
+    bench_unroll,
+    bench_mrrg
+);
 criterion_main!(benches);

@@ -43,9 +43,15 @@ fn bench_fig9_pipeline(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     g.bench_function("three_strategies", |b| {
         b.iter(|| {
-            let base = tc.compile(black_box(&dfg), Strategy::Baseline).expect("maps");
-            let pt = tc.compile(black_box(&dfg), Strategy::PerTileDvfs).expect("maps");
-            let ic = tc.compile(black_box(&dfg), Strategy::IcedIslands).expect("maps");
+            let base = tc
+                .compile(black_box(&dfg), Strategy::Baseline)
+                .expect("maps");
+            let pt = tc
+                .compile(black_box(&dfg), Strategy::PerTileDvfs)
+                .expect("maps");
+            let ic = tc
+                .compile(black_box(&dfg), Strategy::IcedIslands)
+                .expect("maps");
             (
                 base.average_utilization_all_tiles(),
                 pt.average_utilization(),
@@ -61,7 +67,10 @@ fn bench_fig13_stream(c: &mut Criterion) {
     let model = PowerModel::asap7();
     let pipeline = Pipeline::gcn();
     let partition = Partition::table1(&pipeline, &cfg).expect("partition maps");
-    let inputs: Vec<u64> = workloads::enzymes_like(50, 9).iter().map(|g| g.nnz()).collect();
+    let inputs: Vec<u64> = workloads::enzymes_like(50, 9)
+        .iter()
+        .map(|g| g.nnz())
+        .collect();
     let mut g = c.benchmark_group("fig13_stream");
     g.sample_size(20).measurement_time(Duration::from_secs(2));
     g.bench_function("gcn_50_inputs_iced", |b| {
@@ -89,5 +98,11 @@ fn bench_fig13_stream(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_table1, bench_fig8, bench_fig9_pipeline, bench_fig13_stream);
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig8,
+    bench_fig9_pipeline,
+    bench_fig13_stream
+);
 criterion_main!(benches);

@@ -46,7 +46,9 @@ fn bench_functional(c: &mut Criterion) {
         b.iter(|| functional::interpret(black_box(&dfg), 256, 42))
     });
     g.bench_function("replay_256", |b| {
-        b.iter(|| functional::replay(black_box(&dfg), compiled.mapping(), 256, 42, 128).expect("legal"))
+        b.iter(|| {
+            functional::replay(black_box(&dfg), compiled.mapping(), 256, 42, 128).expect("legal")
+        })
     });
     g.finish();
 }

@@ -19,7 +19,7 @@ struct Variant {
     island_relax: bool,
 }
 
-fn main() {
+fn run() {
     let cfg = CgraConfig::iced_prototype();
     let model = PowerModel::asap7();
     let variants = [
@@ -74,7 +74,11 @@ fn main() {
             let Ok(m) = map_with(&dfg, &cfg, &v.opts) else {
                 continue;
             };
-            let m = if v.island_relax { relax_islands(&dfg, &m) } else { m };
+            let m = if v.island_relax {
+                relax_islands(&dfg, &m)
+            } else {
+                m
+            };
             let stats = FabricStats::analyze(&m);
             ii_sum += m.ii() as f64;
             lvl_sum += stats.average_dvfs_level();
@@ -97,4 +101,8 @@ fn main() {
          cycle-first placement costs II on recurrence-heavy kernels; the label \
          ladder protects II when aggressive labels fail."
     );
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

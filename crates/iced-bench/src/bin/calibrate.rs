@@ -7,7 +7,7 @@ use iced::power::PowerModel;
 use iced::sim::EnergyBreakdown;
 use iced::{Strategy, Toolchain};
 
-fn main() {
+fn run() {
     let tc = Toolchain::prototype();
     // Precompute all mappings once.
     let mut compiled = Vec::new();
@@ -30,7 +30,11 @@ fn main() {
                 for (dfg, per) in &compiled {
                     for (i, (s, c)) in per.iter().enumerate() {
                         sums[i] += EnergyBreakdown::account(
-                            dfg, c.mapping(), &model, s.dvfs_support(), 4096,
+                            dfg,
+                            c.mapping(),
+                            &model,
+                            s.dvfs_support(),
+                            4096,
                         )
                         .total_power_mw();
                     }
@@ -50,5 +54,12 @@ fn main() {
             }
         }
     }
-    println!("best: static={:.2} clock={:.2} sram_static={:.1}", best.1, best.2, best.3);
+    println!(
+        "best: static={:.2} clock={:.2} sram_static={:.1}",
+        best.1, best.2, best.3
+    );
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

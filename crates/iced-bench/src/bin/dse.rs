@@ -16,8 +16,14 @@ use iced::kernels::{Kernel, UnrollFactor};
 use iced::power::AreaModel;
 use iced::{Strategy, Toolchain};
 
-fn main() {
-    let kernels = [Kernel::Fir, Kernel::Spmv, Kernel::Conv, Kernel::Histogram, Kernel::Gemm];
+fn run() {
+    let kernels = [
+        Kernel::Fir,
+        Kernel::Spmv,
+        Kernel::Conv,
+        Kernel::Histogram,
+        Kernel::Gemm,
+    ];
     let sizes = [4usize, 6, 8];
     let islands: [(usize, usize); 3] = [(1, 1), (2, 2), (4, 4)];
     let layouts = [FuLayout::Homogeneous, FuLayout::CheckerboardMul];
@@ -33,7 +39,10 @@ fn main() {
                 continue;
             }
             for &layout in &layouts {
-                let Ok(cfg) = CgraConfig::builder(n, n).island(ir, ic).fu_layout(layout).build()
+                let Ok(cfg) = CgraConfig::builder(n, n)
+                    .island(ir, ic)
+                    .fu_layout(layout)
+                    .build()
                 else {
                     continue;
                 };
@@ -74,4 +83,8 @@ fn main() {
          and the DVFS-unit area; per-tile (1x1) pays ~4x the controller area \
          for little level benefit once island relaxation runs."
     );
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

@@ -11,7 +11,7 @@ use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Strategy, Toolchain};
 use iced_bench::pct;
 
-fn main() {
+fn run() {
     let sizes = [4usize, 6, 8];
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -55,4 +55,8 @@ fn main() {
         pct(sums[5] / n),
     );
     println!("\nshape check: utilization decreases as the fabric grows (paper Fig. 2)");
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

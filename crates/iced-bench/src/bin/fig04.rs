@@ -10,7 +10,7 @@ use iced::arch::CgraConfig;
 use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Strategy, Toolchain};
 
-fn main() {
+fn run() {
     let geometries: [(usize, usize); 5] = [(1, 1), (2, 2), (3, 3), (4, 4), (8, 8)];
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -21,7 +21,10 @@ fn main() {
         let dfg = k.dfg(UnrollFactor::X1);
         let mut iis = Vec::new();
         for &(ir, ic) in &geometries {
-            let cfg = CgraConfig::builder(8, 8).island(ir, ic).build().expect("valid");
+            let cfg = CgraConfig::builder(8, 8)
+                .island(ir, ic)
+                .build()
+                .expect("valid");
             let tc = Toolchain::new(cfg);
             let strategy = if (ir, ic) == (1, 1) {
                 Strategy::PerTileDvfs
@@ -63,4 +66,8 @@ fn main() {
         "\nshape check: 2x2 stays at ~1.0 (no degradation vs per-tile); larger \
          islands fall below 1.0 (paper Fig. 4)"
     );
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

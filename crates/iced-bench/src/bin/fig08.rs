@@ -8,7 +8,7 @@
 use iced::arch::{CgraConfig, DvfsLevel};
 use iced::power::{AreaModel, PowerModel};
 
-fn main() {
+fn run() {
     let cfg = CgraConfig::iced_prototype();
     let area = AreaModel::asap7();
     let power = PowerModel::asap7();
@@ -16,10 +16,24 @@ fn main() {
 
     println!("6x6 ICED CGRA @ 0.7 V / 434 MHz (ASAP7 calibration)\n");
     println!("area breakdown:");
-    println!("  tiles ({}):            {:>7.3} mm2", cfg.tile_count(), b.tiles_mm2);
-    println!("  DVFS units ({} islands): {:>7.3} mm2", cfg.island_count(), b.dvfs_mm2);
-    println!("  array total (no SRAM):  {:>7.3} mm2  (published: 6.630 mm2)", b.array_mm2());
-    println!("  SRAM (32 KB, 8 banks):  {:>7.3} mm2  (published: 0.559 mm2)", b.sram_mm2);
+    println!(
+        "  tiles ({}):            {:>7.3} mm2",
+        cfg.tile_count(),
+        b.tiles_mm2
+    );
+    println!(
+        "  DVFS units ({} islands): {:>7.3} mm2",
+        cfg.island_count(),
+        b.dvfs_mm2
+    );
+    println!(
+        "  array total (no SRAM):  {:>7.3} mm2  (published: 6.630 mm2)",
+        b.array_mm2()
+    );
+    println!(
+        "  SRAM (32 KB, 8 banks):  {:>7.3} mm2  (published: 0.559 mm2)",
+        b.sram_mm2
+    );
     println!("  chip total:             {:>7.3} mm2", b.total_mm2());
 
     let tile_full = power.tile_power_mw(DvfsLevel::Normal, 1.0);
@@ -56,4 +70,8 @@ fn main() {
             power.tile_power_mw(lvl, 0.0),
         );
     }
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

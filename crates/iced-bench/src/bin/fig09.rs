@@ -10,7 +10,7 @@ use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Strategy, Toolchain};
 use iced_bench::{emit_csv, pct};
 
-fn main() {
+fn run() {
     let tc = Toolchain::prototype();
     let mut csv: Vec<Vec<String>> = Vec::new();
     for uf in UnrollFactor::ALL {
@@ -44,7 +44,13 @@ fn main() {
                 pct(pt),
                 pct(ic),
             ]);
-            println!("{:<12} {:>10} {:>10} {:>10}", k.name(), pct(base), pct(pt), pct(ic));
+            println!(
+                "{:<12} {:>10} {:>10} {:>10}",
+                k.name(),
+                pct(base),
+                pct(pt),
+                pct(ic)
+            );
         }
         let n = Kernel::STANDALONE.len() as f64;
         println!(
@@ -59,8 +65,18 @@ fn main() {
     }
     emit_csv(
         "fig09_utilization",
-        &["kernel", "unroll", "baseline_pct", "per_tile_pct", "iced_pct"],
+        &[
+            "kernel",
+            "unroll",
+            "baseline_pct",
+            "per_tile_pct",
+            "iced_pct",
+        ],
         &csv,
     );
     println!("paper anchors: 33% -> 76% (2.3x) at UF1; 44% -> 71% (1.6x) at UF2");
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

@@ -10,7 +10,7 @@ use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Strategy, Toolchain};
 use iced_bench::{emit_csv, pct};
 
-fn main() {
+fn run() {
     let tc = Toolchain::prototype();
     let mut csv: Vec<Vec<String>> = Vec::new();
     for uf in UnrollFactor::ALL {
@@ -52,4 +52,8 @@ fn main() {
         &csv,
     );
     println!("paper anchors: iced 35% vs per-tile 26% (UF1); 53% vs 37% (UF2)");
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

@@ -11,7 +11,7 @@ use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Strategy, Toolchain};
 use iced_bench::{emit_csv, POWER_ITERATIONS};
 
-fn main() {
+fn run() {
     let tc = Toolchain::prototype();
     let mut csv: Vec<Vec<String>> = Vec::new();
     for uf in UnrollFactor::ALL {
@@ -68,10 +68,19 @@ fn main() {
     }
     emit_csv(
         "fig11_power",
-        &["kernel", "unroll", "baseline_mw", "baseline_pg_mw", "per_tile_mw", "iced_mw"],
+        &[
+            "kernel",
+            "unroll",
+            "baseline_mw",
+            "baseline_pg_mw",
+            "per_tile_mw",
+            "iced_mw",
+        ],
         &csv,
     );
-    println!(
-        "paper anchors (UF2): 160.4 / 143.8 / 193.9 / 121.3 mW -> 1.32x and 1.6x"
-    );
+    println!("paper anchors (UF2): 160.4 / 143.8 / 193.9 / 121.3 mW -> 1.32x and 1.6x");
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

@@ -11,7 +11,7 @@ use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Strategy, Toolchain};
 use iced_bench::pct;
 
-fn main() {
+fn run() {
     println!(
         "{:<8} {:>12} {:>12} {:>12}",
         "fabric", "per-tile", "iced", "gap (pts)"
@@ -49,4 +49,8 @@ fn main() {
         "\nshape check: the iced-vs-per-tile gap shrinks on larger fabrics, where \
          whole islands power-gate (paper Fig. 12)"
     );
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

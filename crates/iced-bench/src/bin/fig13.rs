@@ -18,7 +18,13 @@ fn run(name: &str, pipeline: &Pipeline, inputs: &[u64]) {
     let cfg = CgraConfig::iced_prototype();
     let model = PowerModel::asap7();
     let partition = Partition::table1(pipeline, &cfg).expect("table1 partition maps");
-    let iced = simulate(pipeline, &partition, &model, inputs, RuntimePolicy::IcedDvfs);
+    let iced = simulate(
+        pipeline,
+        &partition,
+        &model,
+        inputs,
+        RuntimePolicy::IcedDvfs,
+    );
     let drips = simulate(pipeline, &partition, &model, inputs, RuntimePolicy::Drips);
 
     println!("--- {name}: ICED/DRIPS perf-per-watt per 10-input interval ---");
@@ -51,11 +57,14 @@ fn run(name: &str, pipeline: &Pipeline, inputs: &[u64]) {
     );
 }
 
-fn main() {
+fn generate() {
     // The paper profiles the first 50 inputs to seed the initial mapping
     // and then streams the datasets (ENZYMES inference split / 150 sparse
     // matrices).
-    let gcn_inputs: Vec<u64> = workloads::enzymes_like(150, 9).iter().map(|g| g.nnz()).collect();
+    let gcn_inputs: Vec<u64> = workloads::enzymes_like(150, 9)
+        .iter()
+        .map(|g| g.nnz())
+        .collect();
     run("GCN", &Pipeline::gcn(), &gcn_inputs);
     let lu_inputs: Vec<u64> = workloads::suitesparse_like(150, 11)
         .iter()
@@ -63,4 +72,8 @@ fn main() {
         .collect();
     run("LU", &Pipeline::lu(), &lu_inputs);
     println!("paper anchors: GCN ~1.12x, LU ~1.26x (up to 1.26x)");
+}
+
+fn main() {
+    iced_bench::with_tracing(generate);
 }

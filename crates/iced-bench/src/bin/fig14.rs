@@ -23,8 +23,11 @@ const LITERATURE: [(&str, f64, f64); 4] = [
     ("SNAFU", 0.27, 28.0),
 ];
 
-fn main() {
-    println!("{:<16} {:>10} {:>10} {:>12}", "architecture", "power mW", "MOPS", "MOPS/mW");
+fn run() {
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "architecture", "power mW", "MOPS", "MOPS/mW"
+    );
     for (name, p, mops) in LITERATURE {
         println!("{:<16} {:>10.2} {:>10.0} {:>12.1}", name, p, mops, mops / p);
     }
@@ -52,4 +55,8 @@ fn main() {
          model vs silicon at other nodes); the plot situates ICED's \
          power/performance point as the paper's Fig. 14 does"
     );
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

@@ -7,10 +7,10 @@
 
 use iced::kernels::{Kernel, UnrollFactor};
 
-fn main() {
+fn run() {
     println!(
-        "{:<12} {:<10} | {:>5} {:>5} {:>6} | {:>5} {:>5} {:>6} | {}",
-        "kernel", "domain", "n@1", "e@1", "rec@1", "n@2", "e@2", "rec@2", "islands"
+        "{:<12} {:<10} | {:>5} {:>5} {:>6} | {:>5} {:>5} {:>6} | islands",
+        "kernel", "domain", "n@1", "e@1", "rec@1", "n@2", "e@2", "rec@2"
     );
     println!("{}", "-".repeat(88));
     for k in Kernel::ALL {
@@ -37,4 +37,8 @@ fn main() {
         "\nall rows regenerated from the kernel specs; `kernels::tests::table1_exact` \
          asserts equality with the published table"
     );
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

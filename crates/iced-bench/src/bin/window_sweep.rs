@@ -16,24 +16,33 @@ use iced::kernels::workloads;
 use iced::power::PowerModel;
 use iced::streaming::{simulate_with_window, Partition, RuntimePolicy};
 
-fn main() {
+fn run() {
     let cfg = CgraConfig::iced_prototype();
     let model = PowerModel::asap7();
     for (name, pipeline, inputs) in [
         (
             "gcn",
             Pipeline::gcn(),
-            workloads::enzymes_like(150, 9).iter().map(|g| g.nnz()).collect::<Vec<_>>(),
+            workloads::enzymes_like(150, 9)
+                .iter()
+                .map(|g| g.nnz())
+                .collect::<Vec<_>>(),
         ),
         (
             "lu",
             Pipeline::lu(),
-            workloads::suitesparse_like(150, 11).iter().map(|m| m.nnz as u64).collect(),
+            workloads::suitesparse_like(150, 11)
+                .iter()
+                .map(|m| m.nnz as u64)
+                .collect(),
         ),
     ] {
         let partition = Partition::table1(&pipeline, &cfg).expect("partition maps");
         println!("--- {name} ---");
-        println!("{:>8} {:>12} {:>10} {:>14}", "window", "thr /s", "power mW", "ppw");
+        println!(
+            "{:>8} {:>12} {:>10} {:>14}",
+            "window", "thr /s", "power mW", "ppw"
+        );
         for window in [1usize, 2, 5, 10, 20, 50] {
             let r = simulate_with_window(
                 &pipeline,
@@ -54,4 +63,8 @@ fn main() {
         println!();
     }
     println!("shorter windows adapt sooner (the paper's ns-scale DVFS headroom)");
+}
+
+fn main() {
+    iced_bench::with_tracing(run);
 }

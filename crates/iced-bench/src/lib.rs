@@ -69,6 +69,69 @@ pub fn emit_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// An active `ICED_TRACE` recording session: the collector to drain and
+/// the path to export to when the binary finishes.
+#[derive(Debug)]
+pub struct TraceSession {
+    path: std::path::PathBuf,
+    collector: std::sync::Arc<iced::trace::RecordingCollector>,
+}
+
+/// Installs a process-wide [`iced::trace::RecordingCollector`] when the
+/// `ICED_TRACE` environment variable names an output file. Set
+/// `ICED_TRACE_DETAIL=1` as well to record one event per simulated FU
+/// firing (large, but gives full timeline replay). Returns `None` — and
+/// leaves tracing disabled, costing nothing — when `ICED_TRACE` is unset.
+pub fn init_tracing() -> Option<TraceSession> {
+    let path = std::path::PathBuf::from(std::env::var_os("ICED_TRACE")?);
+    let collector = std::sync::Arc::new(iced::trace::RecordingCollector::new());
+    if iced::trace::install(collector.clone()).is_err() {
+        eprintln!("iced-bench: a trace collector is already installed");
+        return None;
+    }
+    if std::env::var_os("ICED_TRACE_DETAIL").is_some() {
+        iced::trace::set_detail(true);
+    }
+    Some(TraceSession { path, collector })
+}
+
+/// Exports a recording finished by [`init_tracing`] and prints its
+/// [`iced::trace::TraceSummary`]. A path ending in `.jsonl` exports
+/// line-delimited JSON; anything else gets Chrome `trace_event` JSON
+/// (loadable in Perfetto / `chrome://tracing`).
+pub fn finish_tracing(session: Option<TraceSession>) {
+    let Some(TraceSession { path, collector }) = session else {
+        return;
+    };
+    let records = collector.records();
+    let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+    let mut out = Vec::new();
+    let res = if jsonl {
+        iced::trace::export::write_jsonl(&records, &mut out)
+    } else {
+        iced::trace::export::write_chrome_trace(&records, &mut out)
+    };
+    if let Err(e) = res.and_then(|()| std::fs::write(&path, &out)) {
+        eprintln!("iced-bench: cannot write trace {}: {e}", path.display());
+        return;
+    }
+    eprintln!(
+        "wrote {} ({} records, {})",
+        path.display(),
+        records.len(),
+        if jsonl { "jsonl" } else { "chrome trace" }
+    );
+    eprint!("{}", iced::trace::TraceSummary::from_records(&records));
+}
+
+/// Runs a bench binary's body under the `ICED_TRACE` tracing session:
+/// every `fn main` in `src/bin/` is `iced_bench::with_tracing(run)`.
+pub fn with_tracing(body: impl FnOnce()) {
+    let session = init_tracing();
+    body();
+    finish_tracing(session);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

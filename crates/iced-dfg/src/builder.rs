@@ -142,7 +142,9 @@ mod tests {
     #[test]
     fn chain_builds_linear_edges() {
         let mut b = DfgBuilder::new("chain");
-        let ids: Vec<NodeId> = (0..4).map(|i| b.node(Opcode::Add, format!("a{i}"))).collect();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| b.node(Opcode::Add, format!("a{i}")))
+            .collect();
         b.data_chain(&ids).unwrap();
         let g = b.finish().unwrap();
         assert_eq!(g.edge_count(), 3);
@@ -153,10 +155,7 @@ mod tests {
         let mut b = DfgBuilder::new("u");
         let a = b.node(Opcode::Add, "a");
         let ghost = NodeId(42);
-        assert_eq!(
-            b.data(a, ghost).unwrap_err(),
-            DfgError::UnknownNode(ghost)
-        );
+        assert_eq!(b.data(a, ghost).unwrap_err(), DfgError::UnknownNode(ghost));
     }
 
     #[test]

@@ -245,12 +245,16 @@ impl Dfg {
 
     /// Outgoing edges of `id` (all kinds).
     pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> + '_ {
-        self.out_edges[id.index()].iter().map(|e| &self.edges[e.index()])
+        self.out_edges[id.index()]
+            .iter()
+            .map(|e| &self.edges[e.index()])
     }
 
     /// Incoming edges of `id` (all kinds).
     pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> + '_ {
-        self.in_edges[id.index()].iter().map(|e| &self.edges[e.index()])
+        self.in_edges[id.index()]
+            .iter()
+            .map(|e| &self.edges[e.index()])
     }
 
     /// Successor nodes through intra-iteration data edges only.
@@ -331,10 +335,16 @@ impl Dfg {
                 return Err(DfgError::UnknownNode(e.dst));
             }
             if e.kind.is_loop_carried() && e.kind.distance() == 0 {
-                return Err(DfgError::ZeroDistance { src: e.src, dst: e.dst });
+                return Err(DfgError::ZeroDistance {
+                    src: e.src,
+                    dst: e.dst,
+                });
             }
             if !seen.insert((e.src, e.dst, e.kind)) {
-                return Err(DfgError::DuplicateEdge { src: e.src, dst: e.dst });
+                return Err(DfgError::DuplicateEdge {
+                    src: e.src,
+                    dst: e.dst,
+                });
             }
         }
         // Kahn over data edges; leftovers indicate a data cycle.
@@ -366,7 +376,10 @@ impl Dfg {
                 .iter()
                 .find(|e| !e.kind.is_loop_carried() && indeg[e.dst.index()] > 0)
                 .expect("a data cycle implies a residual data edge");
-            return Err(DfgError::DataCycle { src: bad.src, dst: bad.dst });
+            return Err(DfgError::DataCycle {
+                src: bad.src,
+                dst: bad.dst,
+            });
         }
         Ok(())
     }

@@ -55,6 +55,6 @@ pub mod transform;
 pub use builder::DfgBuilder;
 pub use error::DfgError;
 pub use graph::{Dfg, Edge, EdgeId, EdgeKind, Node, NodeId};
-pub use op::{Opcode, OpcodeClass};
 pub use metrics::DfgMetrics;
+pub use op::{Opcode, OpcodeClass};
 pub use recurrence::{RecurrenceCycle, RecurrenceReport};

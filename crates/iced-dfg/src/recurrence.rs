@@ -123,8 +123,8 @@ fn has_positive_cycle(dfg: &Dfg, ii: u32) -> bool {
     for round in 0..n {
         let mut changed = false;
         for e in dfg.edges() {
-            let w = dfg.node(e.src()).op().latency() as i64
-                - ii as i64 * e.kind().distance() as i64;
+            let w =
+                dfg.node(e.src()).op().latency() as i64 - ii as i64 * e.kind().distance() as i64;
             let cand = dist[e.src().index()] + w;
             if cand > dist[e.dst().index()] {
                 dist[e.dst().index()] = cand;
@@ -164,7 +164,16 @@ pub fn enumerate_cycles(dfg: &Dfg) -> Vec<RecurrenceCycle> {
         let mut path = vec![v];
         let mut on_path = vec![false; dfg.node_count()];
         on_path[v.index()] = true;
-        dfs_paths(dfg, v, u, d, &mut path, &mut on_path, &mut cycles, &mut seen);
+        dfs_paths(
+            dfg,
+            v,
+            u,
+            d,
+            &mut path,
+            &mut on_path,
+            &mut cycles,
+            &mut seen,
+        );
         if cycles.len() >= MAX_CYCLES {
             break;
         }
@@ -230,9 +239,12 @@ mod tests {
     /// distance `dist`.
     fn ring(len: usize, dist: u32) -> Dfg {
         let mut b = DfgBuilder::new("ring");
-        let ids: Vec<_> = (0..len).map(|i| b.node(Opcode::Add, format!("r{i}"))).collect();
+        let ids: Vec<_> = (0..len)
+            .map(|i| b.node(Opcode::Add, format!("r{i}")))
+            .collect();
         b.data_chain(&ids).unwrap();
-        b.edge(ids[len - 1], ids[0], EdgeKind::loop_carried(dist)).unwrap();
+        b.edge(ids[len - 1], ids[0], EdgeKind::loop_carried(dist))
+            .unwrap();
         b.finish().unwrap()
     }
 
@@ -262,8 +274,12 @@ mod tests {
     fn longest_cycle_dominates() {
         // Two cycles sharing no nodes: lengths 3 and 5.
         let mut b = DfgBuilder::new("two");
-        let xs: Vec<_> = (0..3).map(|i| b.node(Opcode::Add, format!("x{i}"))).collect();
-        let ys: Vec<_> = (0..5).map(|i| b.node(Opcode::Mul, format!("y{i}"))).collect();
+        let xs: Vec<_> = (0..3)
+            .map(|i| b.node(Opcode::Add, format!("x{i}")))
+            .collect();
+        let ys: Vec<_> = (0..5)
+            .map(|i| b.node(Opcode::Mul, format!("y{i}")))
+            .collect();
         b.data_chain(&xs).unwrap();
         b.data_chain(&ys).unwrap();
         b.carry(xs[2], xs[0]).unwrap();

@@ -157,8 +157,7 @@ pub fn parse(input: &str) -> Result<Dfg, ParseError> {
                     return Err(ParseError::BadNodeId { line });
                 }
                 next_node += 1;
-                let op =
-                    opcode_from_mnemonic(op_tok).ok_or(ParseError::BadOpcode { line })?;
+                let op = opcode_from_mnemonic(op_tok).ok_or(ParseError::BadOpcode { line })?;
                 let label = parts.collect::<Vec<_>>().join(" ");
                 ids.push(b.node(op, label));
             }
@@ -247,7 +246,9 @@ mod tests {
         // Cross-crate property exercised here structurally: any valid DFG
         // built by this crate round-trips.
         let mut b = DfgBuilder::new("ring");
-        let ids: Vec<_> = (0..6).map(|i| b.node(Opcode::Add, format!("r{i}"))).collect();
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.node(Opcode::Add, format!("r{i}")))
+            .collect();
         b.data_chain(&ids).unwrap();
         b.carry(ids[5], ids[0]).unwrap();
         let g = b.finish().unwrap();

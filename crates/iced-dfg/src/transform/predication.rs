@@ -145,8 +145,15 @@ impl CfgBuilder {
     /// Declares that the final value of `from_var` feeds the live-in
     /// `to_var` of the iteration `distance` later (a loop-carried
     /// dependency; `to_var` becomes a `Phi` node).
-    pub fn loop_carry(&mut self, from_var: impl Into<String>, to_var: impl Into<String>, distance: u32) {
-        self.cfg.carries.push((from_var.into(), to_var.into(), distance));
+    pub fn loop_carry(
+        &mut self,
+        from_var: impl Into<String>,
+        to_var: impl Into<String>,
+        distance: u32,
+    ) {
+        self.cfg
+            .carries
+            .push((from_var.into(), to_var.into(), distance));
     }
 
     /// Finishes the CFG.
@@ -263,7 +270,11 @@ impl Lowering<'_> {
             return id;
         }
         let is_carry_target = self.cfg.carries.iter().any(|(_, to, _)| to == name);
-        let op = if is_carry_target { Opcode::Phi } else { Opcode::Mov };
+        let op = if is_carry_target {
+            Opcode::Phi
+        } else {
+            Opcode::Mov
+        };
         let id = self.b.node(op, name.to_string());
         self.live_ins.insert(name.to_string(), id);
         id
@@ -308,7 +319,12 @@ impl Lowering<'_> {
 
     /// Inserts `Select` nodes for every value whose definition differs
     /// between the two arms.
-    fn merge_envs(&mut self, cond: NodeId, then_env: &Env, else_env: &Env) -> Result<Env, DfgError> {
+    fn merge_envs(
+        &mut self,
+        cond: NodeId,
+        then_env: &Env,
+        else_env: &Env,
+    ) -> Result<Env, DfgError> {
         let mut out = Env::new();
         let mut names: Vec<&String> = then_env.keys().chain(else_env.keys()).collect();
         names.sort();

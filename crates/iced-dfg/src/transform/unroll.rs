@@ -86,9 +86,8 @@ pub fn unroll(dfg: &Dfg, opts: &UnrollOptions) -> Result<Dfg, DfgError> {
         let mut row = Vec::with_capacity(dfg.node_count());
         for node in dfg.nodes() {
             if opts.shared.contains(&node.id()) {
-                let id = *shared_ids[node.id().index()].get_or_insert_with(|| {
-                    b.node(node.op(), node.label().to_string())
-                });
+                let id = *shared_ids[node.id().index()]
+                    .get_or_insert_with(|| b.node(node.op(), node.label().to_string()));
                 row.push(id);
             } else {
                 row.push(b.node(node.op(), format!("{}@{}", node.label(), i)));
@@ -99,8 +98,8 @@ pub fn unroll(dfg: &Dfg, opts: &UnrollOptions) -> Result<Dfg, DfgError> {
     for e in dfg.edges() {
         match e.kind() {
             EdgeKind::Data => {
-                for i in 0..k as usize {
-                    let (s, d) = (copy_of[i][e.src().index()], copy_of[i][e.dst().index()]);
+                for row in copy_of.iter().take(k as usize) {
+                    let (s, d) = (row[e.src().index()], row[e.dst().index()]);
                     add_dedup(&mut b, s, d, EdgeKind::Data)?;
                 }
             }
@@ -131,12 +130,7 @@ pub fn unroll(dfg: &Dfg, opts: &UnrollOptions) -> Result<Dfg, DfgError> {
 
 /// Adds an edge, silently skipping exact duplicates that arise from shared
 /// endpoints.
-fn add_dedup(
-    b: &mut DfgBuilder,
-    src: NodeId,
-    dst: NodeId,
-    kind: EdgeKind,
-) -> Result<(), DfgError> {
+fn add_dedup(b: &mut DfgBuilder, src: NodeId, dst: NodeId, kind: EdgeKind) -> Result<(), DfgError> {
     match b.edge(src, dst, kind) {
         Ok(()) | Err(DfgError::DuplicateEdge { .. }) => Ok(()),
         Err(e) => Err(e),

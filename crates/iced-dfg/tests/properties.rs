@@ -33,8 +33,12 @@ fn arb_dfg() -> impl Strategy<Value = Dfg> {
                 .map(|i| b.node(OPS[i % OPS.len()], format!("r{i}")))
                 .collect();
             b.data_chain(&ring_ids).unwrap();
-            b.edge(ring_ids[ring - 1], ring_ids[0], EdgeKind::loop_carried(dist))
-                .unwrap();
+            b.edge(
+                ring_ids[ring - 1],
+                ring_ids[0],
+                EdgeKind::loop_carried(dist),
+            )
+            .unwrap();
             let mut all = ring_ids.clone();
             for (i, &op) in feeders.iter().enumerate() {
                 let n = b.node(OPS[op], format!("f{i}"));

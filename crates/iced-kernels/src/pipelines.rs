@@ -95,12 +95,18 @@ impl Pipeline {
                 stage(vec![sk(
                     Kernel::GcnCompress,
                     1,
-                    WorkModel::PerUnit { base: 32.0, scale: 0.8 },
+                    WorkModel::PerUnit {
+                        base: 32.0,
+                        scale: 0.8,
+                    },
                 )]),
                 stage(vec![sk(
                     Kernel::GcnAggregate,
                     2,
-                    WorkModel::PerUnit { base: 16.0, scale: 5.0 },
+                    WorkModel::PerUnit {
+                        base: 16.0,
+                        scale: 5.0,
+                    },
                 )]),
                 stage(vec![sk(
                     Kernel::GcnCombine,
@@ -110,7 +116,10 @@ impl Pipeline {
                 stage(vec![sk(
                     Kernel::GcnAggregate,
                     2,
-                    WorkModel::PerUnit { base: 16.0, scale: 5.0 },
+                    WorkModel::PerUnit {
+                        base: 16.0,
+                        scale: 5.0,
+                    },
                 )]),
                 stage(vec![sk(
                     Kernel::GcnCombRelu,
@@ -140,18 +149,27 @@ impl Pipeline {
                 stage(vec![sk(
                     Kernel::LuDecompose,
                     1,
-                    WorkModel::PerUnit { base: 32.0, scale: 0.5 },
+                    WorkModel::PerUnit {
+                        base: 32.0,
+                        scale: 0.5,
+                    },
                 )]),
                 stage(vec![
                     sk(
                         Kernel::LuSolver0,
                         2,
-                        WorkModel::PerUnit { base: 24.0, scale: 1.2 },
+                        WorkModel::PerUnit {
+                            base: 24.0,
+                            scale: 1.2,
+                        },
                     ),
                     sk(
                         Kernel::LuSolver1,
                         2,
-                        WorkModel::PerUnit { base: 24.0, scale: 1.2 },
+                        WorkModel::PerUnit {
+                            base: 24.0,
+                            scale: 1.2,
+                        },
                     ),
                 ]),
                 stage(vec![
@@ -159,7 +177,10 @@ impl Pipeline {
                     sk(
                         Kernel::LuDeterminant,
                         2,
-                        WorkModel::PerUnit { base: 60.0, scale: 0.3 },
+                        WorkModel::PerUnit {
+                            base: 60.0,
+                            scale: 0.3,
+                        },
                     ),
                 ]),
             ],
@@ -229,7 +250,11 @@ mod tests {
     fn iterations_are_at_least_one() {
         assert_eq!(WorkModel::Fixed { iters: 0.0 }.iterations(0), 1);
         assert_eq!(
-            WorkModel::PerUnit { base: 0.0, scale: 0.0 }.iterations(0),
+            WorkModel::PerUnit {
+                base: 0.0,
+                scale: 0.0
+            }
+            .iterations(0),
             1
         );
     }

@@ -45,8 +45,9 @@ impl Csr {
             state
         };
         for r in 0..rows {
-            let mut cols_here: Vec<usize> =
-                (0..per_row).map(|_| next() as usize % cols.max(1)).collect();
+            let mut cols_here: Vec<usize> = (0..per_row)
+                .map(|_| next() as usize % cols.max(1))
+                .collect();
             cols_here.sort_unstable();
             cols_here.dedup();
             for c in cols_here {
@@ -107,13 +108,13 @@ pub fn fir(x: &[i64], coeffs: &[i64]) -> KernelRun {
 pub fn spmv(a: &Csr, x: &[i64]) -> KernelRun {
     let mut trips = 0;
     let mut output = vec![0i64; a.rows()];
-    for r in 0..a.rows() {
+    for (r, out) in output.iter_mut().enumerate() {
         let mut acc = 0i64;
         for k in a.row_ptr[r]..a.row_ptr[r + 1] {
             acc = acc.wrapping_add(a.values[k].wrapping_mul(x[a.col_idx[k]]));
             trips += 1;
         }
-        output[r] = acc;
+        *out = acc;
     }
     KernelRun { output, trips }
 }
@@ -259,7 +260,11 @@ mod tests {
             .unwrap();
         let a1 = agg.work.iterations(100) as f64;
         let a2 = agg.work.iterations(200) as f64;
-        assert!((a2 / a1 - 2.0).abs() < 0.2, "spmv-like scaling: {}", a2 / a1);
+        assert!(
+            (a2 / a1 - 2.0).abs() < 0.2,
+            "spmv-like scaling: {}",
+            a2 / a1
+        );
         assert_eq!(comb.work.iterations(100), comb.work.iterations(200));
     }
 

@@ -98,7 +98,11 @@ impl std::error::Error for SpmError {}
 /// can never fit.
 pub fn allocate(buffers: &[Buffer], banks: usize, bank_kib: usize) -> Result<SpmPlan, SpmError> {
     let capacity = banks * bank_kib * 1024;
-    let resident: usize = buffers.iter().filter(|b| !b.tileable).map(Buffer::bytes).sum();
+    let resident: usize = buffers
+        .iter()
+        .filter(|b| !b.tileable)
+        .map(Buffer::bytes)
+        .sum();
     if resident > capacity {
         return Err(SpmError::ResidentTooLarge {
             needed: resident,
@@ -168,8 +172,16 @@ impl Kernel {
         match self {
             Kernel::Fir => vec![b("x", 64, true), b("coeff", 16, false), b("y", 64, true)],
             Kernel::Latnrm => vec![b("x", 32, true), b("k", 16, false), b("y", 32, true)],
-            Kernel::Fft => vec![b("re", 1024, true), b("im", 1024, true), b("tw", 512, false)],
-            Kernel::Dtw => vec![b("a", 128, false), b("bseq", 128, false), b("d", 128 * 128, true)],
+            Kernel::Fft => vec![
+                b("re", 1024, true),
+                b("im", 1024, true),
+                b("tw", 512, false),
+            ],
+            Kernel::Dtw => vec![
+                b("a", 128, false),
+                b("bseq", 128, false),
+                b("d", 128 * 128, true),
+            ],
             Kernel::Spmv => vec![
                 b("vals", 512, true),
                 b("cols", 512, true),
@@ -177,7 +189,11 @@ impl Kernel {
                 b("x", 512, false),
                 b("y", 512, true),
             ],
-            Kernel::Conv => vec![b("in", 32 * 32, true), b("k", 9, false), b("out", 32 * 32, true)],
+            Kernel::Conv => vec![
+                b("in", 32 * 32, true),
+                b("k", 9, false),
+                b("out", 32 * 32, true),
+            ],
             Kernel::Relu => vec![b("in", 1024, true), b("out", 1024, true)],
             Kernel::Histogram => vec![b("in", 2048, true), b("bins", 256, false)],
             Kernel::Mvt => vec![
@@ -205,10 +221,9 @@ impl Kernel {
                 b("out", 128 * 32, true),
             ],
             Kernel::GcnPooling => vec![b("feat", 128 * 32, true), b("out", 32, true)],
-            Kernel::LuInit | Kernel::LuDecompose | Kernel::LuInvert => vec![
-                b("mat", 100 * 100, true),
-                b("out", 100 * 100, true),
-            ],
+            Kernel::LuInit | Kernel::LuDecompose | Kernel::LuInvert => {
+                vec![b("mat", 100 * 100, true), b("out", 100 * 100, true)]
+            }
             Kernel::LuSolver0 | Kernel::LuSolver1 => vec![
                 b("lu", 100 * 100, true),
                 b("rhs", 100, false),

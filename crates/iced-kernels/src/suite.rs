@@ -324,14 +324,22 @@ impl Kernel {
             Kernel::GcnCombRelu => (
                 if x1 { 30 } else { 59 },
                 if x1 { 42 } else { 85 },
-                if x1 { crit(4, &[Max, Cmp, Select]) } else { crit(7, &[Max, Mul, Add, Cmp, Select, Mov]) },
+                if x1 {
+                    crit(4, &[Max, Cmp, Select])
+                } else {
+                    crit(7, &[Max, Mul, Add, Cmp, Select, Mov])
+                },
                 vec![],
                 gcn(),
             ),
             Kernel::GcnPooling => (
                 if x1 { 16 } else { 31 },
                 if x1 { 21 } else { 43 },
-                if x1 { crit(4, &[Max, Cmp, Select]) } else { crit(7, &[Max, Add, Max, Cmp, Select, Mov]) },
+                if x1 {
+                    crit(4, &[Max, Cmp, Select])
+                } else {
+                    crit(7, &[Max, Add, Max, Cmp, Select, Mov])
+                },
                 vec![],
                 gcn(),
             ),
@@ -345,7 +353,11 @@ impl Kernel {
             Kernel::LuDecompose => (
                 if x1 { 15 } else { 27 },
                 if x1 { 25 } else { 50 },
-                if x1 { crit(4, &[Mul, Sub, Select]) } else { crit(7, &[Mul, Sub, Div, Cmp, Select, Mov]) },
+                if x1 {
+                    crit(4, &[Mul, Sub, Select])
+                } else {
+                    crit(7, &[Mul, Sub, Div, Cmp, Select, Mov])
+                },
                 vec![],
                 lu(),
             ),
@@ -502,11 +514,17 @@ mod tests {
             4
         );
         assert_eq!(
-            Kernel::ALL.iter().filter(|k| k.domain() == Domain::Gcn).count(),
+            Kernel::ALL
+                .iter()
+                .filter(|k| k.domain() == Domain::Gcn)
+                .count(),
             5
         );
         assert_eq!(
-            Kernel::ALL.iter().filter(|k| k.domain() == Domain::Lu).count(),
+            Kernel::ALL
+                .iter()
+                .filter(|k| k.domain() == Domain::Lu)
+                .count(),
             6
         );
     }

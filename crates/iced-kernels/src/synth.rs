@@ -145,7 +145,8 @@ impl SynthSpec {
             candidates.len()
         );
         for &(src, dst) in candidates.iter().take(extra) {
-            b.data(src, dst).expect("extra edges are unique by construction");
+            b.data(src, dst)
+                .expect("extra edges are unique by construction");
         }
 
         let dfg = b.finish().expect("synthesised graph is valid");
@@ -221,7 +222,11 @@ impl SynthSpec {
             let a = self.attach_pos(ci);
             if c > 2 {
                 for off in 1..=2usize {
-                    let pos = if c == 1 { 0 } else { 1 + (a - 1 + off) % (c - 1) };
+                    let pos = if c == 1 {
+                        0
+                    } else {
+                        1 + (a - 1 + off) % (c - 1)
+                    };
                     if pos != a {
                         out.push((last, crit[pos]));
                     }

@@ -50,7 +50,7 @@ pub fn enzymes_like(count: usize, seed: u64) -> Vec<GraphSample> {
             let edges = (e.round() as usize).clamp(2, 126);
             // ENZYMES graphs average ~33 vertices; tie vertices loosely to
             // edge count so dense graphs are also larger.
-            let nodes = (8 + edges / 2 + rng.gen_range(0..12)).min(126);
+            let nodes = (8 + edges / 2 + rng.gen_range(0..12usize)).min(126);
             GraphSample { nodes, edges }
         })
         .collect()

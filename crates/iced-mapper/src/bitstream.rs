@@ -174,8 +174,7 @@ impl Bitstream {
         let cfg = mapping.config();
         let ii = mapping.ii();
         let tiles = cfg.tile_count();
-        let mut decoded =
-            vec![ConfigWord::default(); tiles * ii as usize];
+        let mut decoded = vec![ConfigWord::default(); tiles * ii as usize];
         let idx = |t: TileId, c: u64| t.index() * ii as usize + (c % ii as u64) as usize;
 
         for t in cfg.tiles() {

@@ -72,7 +72,7 @@ impl SlotBudget {
 
     fn island_capacity(&self, level: DvfsLevel) -> usize {
         let div = level.rate_divisor().expect("active level") as usize;
-        if self.ii as usize % div != 0 {
+        if !(self.ii as usize).is_multiple_of(div) {
             return 0; // the slow clock cannot tessellate this II
         }
         self.tiles_per_island * (self.ii as usize / div)
@@ -122,7 +122,7 @@ pub fn label_dvfs_levels(dfg: &Dfg, config: &CgraConfig, ii: u32) -> LabelSummar
     let mut relax_nodes = 0usize;
     let mut rest_nodes = 0usize;
     for cycle in &cycles {
-        let lvl = if cycle.len() <= longest / 2 && ii % 2 == 0 {
+        let lvl = if cycle.len() <= longest / 2 && ii.is_multiple_of(2) {
             DvfsLevel::Relax
         } else {
             DvfsLevel::Normal
@@ -154,8 +154,8 @@ pub fn label_dvfs_levels(dfg: &Dfg, config: &CgraConfig, ii: u32) -> LabelSummar
     for _ in 0..relax_nodes {
         let _ = budget.take(DvfsLevel::Relax);
     }
-    for idx in 0..n {
-        if labels[idx].is_some() {
+    for slot in labels.iter_mut().take(n) {
+        if slot.is_some() {
             continue;
         }
         let lvl = if budget.take(DvfsLevel::Rest) {
@@ -168,11 +168,14 @@ pub fn label_dvfs_levels(dfg: &Dfg, config: &CgraConfig, ii: u32) -> LabelSummar
             normal_nodes += 1;
             DvfsLevel::Normal
         };
-        labels[idx] = Some(lvl);
+        *slot = Some(lvl);
     }
 
     LabelSummary {
-        labels: labels.into_iter().map(|l| l.expect("all nodes labeled")).collect(),
+        labels: labels
+            .into_iter()
+            .map(|l| l.expect("all nodes labeled"))
+            .collect(),
         normal_nodes,
         relax_nodes,
         rest_nodes,
@@ -188,10 +191,14 @@ mod tests {
     /// cycle, and 5 off-cycle feeder nodes (11 nodes total).
     fn fig1_like() -> Dfg {
         let mut b = DfgBuilder::new("fig1");
-        let crit: Vec<_> = (0..4).map(|i| b.node(Opcode::Add, format!("c{i}"))).collect();
+        let crit: Vec<_> = (0..4)
+            .map(|i| b.node(Opcode::Add, format!("c{i}")))
+            .collect();
         b.data_chain(&crit).unwrap();
         b.carry(crit[3], crit[0]).unwrap();
-        let sec: Vec<_> = (0..2).map(|i| b.node(Opcode::Mul, format!("s{i}"))).collect();
+        let sec: Vec<_> = (0..2)
+            .map(|i| b.node(Opcode::Mul, format!("s{i}")))
+            .collect();
         b.data_chain(&sec).unwrap();
         b.carry(sec[1], sec[0]).unwrap();
         b.data(crit[3], sec[0]).unwrap();

@@ -139,7 +139,12 @@ impl Mapping {
     /// Latest event time in the schedule (iteration-0 makespan; the
     /// steady-state period is [`ii`](Mapping::ii)).
     pub fn makespan(&self) -> u64 {
-        let p = self.placements.iter().map(Placement::ready).max().unwrap_or(0);
+        let p = self
+            .placements
+            .iter()
+            .map(Placement::ready)
+            .max()
+            .unwrap_or(0);
         let r = self.routes.iter().map(|r| r.consume_at).max().unwrap_or(0);
         p.max(r)
     }

@@ -19,6 +19,7 @@
 
 use iced_arch::{CgraConfig, DvfsLevel, IslandId, Mrrg, TileId};
 use iced_dfg::{Dfg, NodeId};
+use iced_trace::Phase;
 
 use crate::error::MapError;
 use crate::labeling::label_dvfs_levels;
@@ -138,20 +139,71 @@ pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<
         .max(mem_mii)
         .max(opts.min_ii)
         .max(1);
+    let _map_span = iced_trace::span(
+        Phase::Mapper,
+        "map",
+        &[
+            ("kernel", dfg.name().into()),
+            ("start_ii", u64::from(start_ii).into()),
+            ("max_ii", u64::from(opts.max_ii).into()),
+            ("dvfs_aware", opts.dvfs_aware.into()),
+        ],
+    );
     for ii in start_ii..=opts.max_ii {
+        let _ii_span =
+            iced_trace::span(Phase::Mapper, "ii_attempt", &[("ii", u64::from(ii).into())]);
+        iced_trace::counter(Phase::Mapper, "ii_attempts", 1);
         // Retry ladder: the greedy engine cannot backtrack across nodes, so
         // before paying an II increase it retries the same II with
         // progressively conservative labels (rest → relax, then all-normal).
         // The all-normal attempt makes the DVFS-aware mapper never slower
         // than the baseline at the same II — the paper's Fig. 4 property.
         for (labels, spread) in label_attempts(dfg, config, opts, ii) {
+            iced_trace::counter(Phase::Mapper, "label_attempts", 1);
             let mut engine = Engine::new(dfg, config, opts, ii, labels, spread)?;
             if let Some(mapping) = engine.run() {
+                trace_mapped(&mapping, start_ii);
                 return Ok(mapping);
             }
         }
     }
-    Err(MapError::IiExceeded { max_ii: opts.max_ii })
+    iced_trace::counter(Phase::Mapper, "map_failures", 1);
+    Err(MapError::IiExceeded {
+        max_ii: opts.max_ii,
+    })
+}
+
+/// Emits the final-mapping instant event: achieved II, how far the II
+/// escalated, and the island DVFS-level histogram (the "level histogram"
+/// part of the tentpole trace).
+fn trace_mapped(mapping: &Mapping, start_ii: u32) {
+    if !iced_trace::enabled() {
+        return;
+    }
+    let mut hist = [0u64; 4];
+    for &level in &mapping.island_levels {
+        let slot = match level {
+            DvfsLevel::Normal => 0,
+            DvfsLevel::Relax => 1,
+            DvfsLevel::Rest => 2,
+            DvfsLevel::PowerGated => 3,
+        };
+        hist[slot] += 1;
+    }
+    iced_trace::counter(Phase::Mapper, "maps_succeeded", 1);
+    iced_trace::instant(
+        Phase::Mapper,
+        "mapped",
+        &[
+            ("kernel", mapping.kernel().into()),
+            ("ii", u64::from(mapping.ii()).into()),
+            ("ii_escalations", u64::from(mapping.ii() - start_ii).into()),
+            ("islands_normal", hist[0].into()),
+            ("islands_relax", hist[1].into()),
+            ("islands_rest", hist[2].into()),
+            ("islands_gated", hist[3].into()),
+        ],
+    );
 }
 
 /// Tiles the mapper may use under the island budget.
@@ -314,7 +366,7 @@ impl<'a> Engine<'a> {
         let mut lvl = label;
         loop {
             let div = lvl.rate_divisor().expect("labels are active levels");
-            if self.ii % div == 0 && self.opts.allowed_levels.contains(&lvl) {
+            if self.ii.is_multiple_of(div) && self.opts.allowed_levels.contains(&lvl) {
                 return lvl;
             }
             if lvl == DvfsLevel::Normal {
@@ -339,6 +391,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             label = label.raised();
+            iced_trace::counter(Phase::Mapper, "label_escalations", 1);
         }
         if std::env::var_os("ICED_MAPPER_DEBUG").is_some() {
             eprintln!(
@@ -370,13 +423,24 @@ impl<'a> Engine<'a> {
             }
         }
         candidates.sort_unstable_by_key(|&(c, t)| (c, t));
+        iced_trace::counter(
+            Phase::Mapper,
+            "placement_candidates",
+            candidates.len() as u64,
+        );
         for (_, tile) in candidates {
             if self.commit(node, label, tile) {
+                iced_trace::counter(Phase::Mapper, "nodes_placed", 1);
                 if std::env::var_os("ICED_MAPPER_DEBUG").is_some_and(|v| v == "2") {
                     let p = self.placements[node.index()].expect("just placed");
                     eprintln!(
                         "mapper:   II={} placed {} ({}) on {} start={} rate={}",
-                        self.ii, node, self.dfg.node(node).label(), p.tile, p.start, p.rate
+                        self.ii,
+                        node,
+                        self.dfg.node(node).label(),
+                        p.tile,
+                        p.start,
+                        p.rate
                     );
                 }
                 return true;
@@ -406,7 +470,11 @@ impl<'a> Engine<'a> {
         for e in self.dfg.out_edges(node) {
             match self.placements[e.dst().index()] {
                 Some(p) => {
-                    let w = if e.kind().is_loop_carried() { W_CARRY } else { W_HOP };
+                    let w = if e.kind().is_loop_carried() {
+                        W_CARRY
+                    } else {
+                        W_HOP
+                    };
                     cost += w * self.cfg.manhattan(tile, p.tile) as u64;
                 }
                 None => {
@@ -474,10 +542,15 @@ impl<'a> Engine<'a> {
         // link, so this is conservative — it only pushes the node to a
         // faster island or another tile).
         let egress = self.dfg.out_edges(node).count() as u64;
-        let link_budget: u64 = self.cfg.neighbors(tile).count() as u64
-            * (self.ii as u64 / rate as u64);
+        let link_budget: u64 =
+            self.cfg.neighbors(tile).count() as u64 * (self.ii as u64 / rate as u64);
         if egress > link_budget {
-            self.debug_abort(node, tile, "egress over link budget", iced_dfg::EdgeId::from_index(0));
+            self.debug_abort(
+                node,
+                tile,
+                "egress over link budget",
+                iced_dfg::EdgeId::from_index(0),
+            );
             return self.abort(txn, opened);
         }
 
@@ -502,8 +575,16 @@ impl<'a> Engine<'a> {
             let horizon =
                 ready + 4 * self.cfg.manhattan(p.tile, tile) as u64 + 6 * self.ii as u64 + 32;
             let Some(found) = route(
-                self.cfg, &mut self.mrrg, &self.rates, &self.virgin, p.tile, ready, tile,
-                None, horizon, &mut txn,
+                self.cfg,
+                &mut self.mrrg,
+                &self.rates,
+                &self.virgin,
+                p.tile,
+                ready,
+                tile,
+                None,
+                horizon,
+                &mut txn,
             ) else {
                 self.debug_abort(node, tile, "in-route failed", e.id());
                 return self.abort(txn, opened);
@@ -612,7 +693,7 @@ impl<'a> Engine<'a> {
     }
 
     fn debug_abort(&self, node: NodeId, tile: TileId, why: &str, edge: iced_dfg::EdgeId) {
-        if std::env::var_os("ICED_MAPPER_DEBUG").map_or(true, |v| v != "2") {
+        if std::env::var_os("ICED_MAPPER_DEBUG").is_none_or(|v| v != "2") {
             return;
         }
         eprintln!(
@@ -644,6 +725,7 @@ impl<'a> Engine<'a> {
     }
 
     fn abort(&mut self, txn: Txn, opened: Vec<IslandId>) -> bool {
+        iced_trace::counter(Phase::Mapper, "commit_aborts", 1);
         txn.rollback(&mut self.mrrg);
         for island in opened {
             self.island_assigned[island.index()] = None;
@@ -721,7 +803,13 @@ fn label_attempts(
     }
     let softened: Vec<DvfsLevel> = full
         .iter()
-        .map(|&l| if l == DvfsLevel::Rest { DvfsLevel::Relax } else { l })
+        .map(|&l| {
+            if l == DvfsLevel::Rest {
+                DvfsLevel::Relax
+            } else {
+                l
+            }
+        })
         .collect();
     let mut attempts = vec![(full.clone(), false)];
     for cand in [
@@ -777,7 +865,9 @@ mod tests {
 
     fn ring(len: usize) -> Dfg {
         let mut b = DfgBuilder::new("ring");
-        let ids: Vec<_> = (0..len).map(|i| b.node(Opcode::Add, format!("r{i}"))).collect();
+        let ids: Vec<_> = (0..len)
+            .map(|i| b.node(Opcode::Add, format!("r{i}")))
+            .collect();
         b.data_chain(&ids).unwrap();
         b.carry(ids[len - 1], ids[0]).unwrap();
         b.finish().unwrap()
@@ -936,9 +1026,7 @@ mod tests {
         let m = map_dvfs_aware(&dfg, &cfg).unwrap();
         let slow = cfg
             .islands()
-            .filter(|&i| {
-                matches!(m.island_level(i), DvfsLevel::Rest | DvfsLevel::Relax)
-            })
+            .filter(|&i| matches!(m.island_level(i), DvfsLevel::Rest | DvfsLevel::Relax))
             .count();
         assert!(slow >= 1, "expected at least one slow island");
     }

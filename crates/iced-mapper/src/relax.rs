@@ -49,7 +49,7 @@ pub fn relax_per_tile(dfg: &Dfg, mapping: &Mapping) -> Mapping {
         let mut chosen = DvfsLevel::Normal;
         for level in [DvfsLevel::Rest, DvfsLevel::Relax] {
             let r = level.rate_divisor().expect("active level");
-            if ii % r == 0 && events.legal_at(r, ii, &cycle_nodes) {
+            if ii.is_multiple_of(r) && events.legal_at(r, ii, &cycle_nodes) {
                 chosen = level;
                 break;
             }
@@ -96,7 +96,7 @@ pub fn relax_islands(dfg: &Dfg, mapping: &Mapping) -> Mapping {
         }
         for level in [DvfsLevel::Rest, DvfsLevel::Relax] {
             let r = level.rate_divisor().expect("active level");
-            if ii % r == 0 && events.iter().all(|e| e.legal_at(r, ii, &cycle_nodes)) {
+            if ii.is_multiple_of(r) && events.iter().all(|e| e.legal_at(r, ii, &cycle_nodes)) {
                 for &t in &tiles {
                     out.set_tile_level(t, level);
                 }

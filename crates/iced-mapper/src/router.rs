@@ -13,6 +13,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
 use iced_arch::{CgraConfig, Dir, Mrrg, TileId};
+use iced_trace::Phase;
 
 use crate::mapping::Hop;
 
@@ -30,7 +31,14 @@ impl Txn {
         self.fu.push((tile, start, len));
     }
 
-    pub(crate) fn occupy_link(&mut self, m: &mut Mrrg, tile: TileId, dir: Dir, start: u64, len: u32) {
+    pub(crate) fn occupy_link(
+        &mut self,
+        m: &mut Mrrg,
+        tile: TileId,
+        dir: Dir,
+        start: u64,
+        len: u32,
+    ) {
         m.occupy_link(tile, dir, start, len);
         self.links.push((tile, dir, start, len));
     }
@@ -55,7 +63,6 @@ impl Txn {
             m.release_reg(t, s, l);
         }
     }
-
 }
 
 /// A found route: arrival time plus the hops taken.
@@ -103,6 +110,45 @@ pub(crate) fn route(
     deadline: Option<u64>,
     horizon: u64,
     txn: &mut Txn,
+) -> Option<FoundRoute> {
+    let mut expansions = 0u64;
+    let found = search(
+        cfg,
+        mrrg,
+        rates,
+        virgin,
+        src,
+        ready,
+        dst,
+        deadline,
+        horizon,
+        txn,
+        &mut expansions,
+    );
+    if iced_trace::enabled() {
+        iced_trace::counter(Phase::Router, "routes_requested", 1);
+        iced_trace::counter(Phase::Router, "dijkstra_expansions", expansions);
+        match &found {
+            Some(fr) => iced_trace::counter(Phase::Router, "hops_committed", fr.hops.len() as u64),
+            None => iced_trace::counter(Phase::Router, "route_failures", 1),
+        }
+    }
+    found
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    cfg: &CgraConfig,
+    mrrg: &mut Mrrg,
+    rates: &[u32],
+    virgin: &[bool],
+    src: TileId,
+    ready: u64,
+    dst: TileId,
+    deadline: Option<u64>,
+    horizon: u64,
+    txn: &mut Txn,
+    expansions: &mut u64,
 ) -> Option<FoundRoute> {
     if src == dst {
         if deadline.is_some_and(|d| ready > d) {
@@ -153,8 +199,7 @@ pub(crate) fn route(
     if ready >= r_src {
         let window = ready - r_src;
         for (dir, nbr) in cfg.neighbors(src) {
-            if mrrg.link_free(src, dir, window, r_src as u32)
-                && deadline.is_none_or(|d| ready <= d)
+            if mrrg.link_free(src, dir, window, r_src as u32) && deadline.is_none_or(|d| ready <= d)
             {
                 let aux = hop_aux(src);
                 arena.push(SearchNode {
@@ -170,6 +215,7 @@ pub(crate) fn route(
     }
 
     while let Some(Reverse((_key, idx))) = heap.pop() {
+        *expansions += 1;
         let node = arena[idx];
         let time = node.time;
         if !visited.insert((node.tile, time)) {
@@ -189,8 +235,7 @@ pub(crate) fn route(
             // so waiting there is free and shared across fan-out edges.
             let mut w = time.div_ceil(r) * r;
             while w + r <= horizon {
-                if node.tile != src
-                    && !mrrg.reg_available(node.tile, time, w.saturating_sub(time))
+                if node.tile != src && !mrrg.reg_available(node.tile, time, w.saturating_sub(time))
                 {
                     break; // cannot hold the value this long here
                 }
@@ -280,7 +325,10 @@ mod tests {
         let mut txn = Txn::default();
         let src = cfg.tile_at(0, 0);
         let dst = cfg.tile_at(0, 3);
-        let r = route(&cfg, &mut mrrg, &rates, &virgin, src, 1, dst, None, 64, &mut txn).unwrap();
+        let r = route(
+            &cfg, &mut mrrg, &rates, &virgin, src, 1, dst, None, 64, &mut txn,
+        )
+        .unwrap();
         assert_eq!(r.hops.len(), 3);
         // First hop overlaps the producing cycle (arrival at (0,1) at time
         // 1), then one cycle per store-and-forward hop.
@@ -293,7 +341,10 @@ mod tests {
         let (cfg, mut mrrg, rates, virgin) = setup(4);
         let mut txn = Txn::default();
         let t = cfg.tile_at(1, 1);
-        let r = route(&cfg, &mut mrrg, &rates, &virgin, t, 7, t, None, 64, &mut txn).unwrap();
+        let r = route(
+            &cfg, &mut mrrg, &rates, &virgin, t, 7, t, None, 64, &mut txn,
+        )
+        .unwrap();
         assert!(r.hops.is_empty());
         assert_eq!(r.arrival, 7);
     }
@@ -308,7 +359,10 @@ mod tests {
             mrrg.occupy_link(src, Dir::East, c, 1);
         }
         let mut txn = Txn::default();
-        let r = route(&cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn).unwrap();
+        let r = route(
+            &cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn,
+        )
+        .unwrap();
         // Either waits for cycle 3 or detours south->east->north (3 hops).
         assert!(r.arrival >= 3 || r.hops.len() == 3, "arrival {}", r.arrival);
     }
@@ -320,7 +374,19 @@ mod tests {
         let src = cfg.tile_at(0, 0);
         let dst = cfg.tile_at(3, 3);
         // Manhattan distance 6, ready at 0 → arrival >= 6 > deadline 3.
-        assert!(route(&cfg, &mut mrrg, &rates, &virgin, src, 0, dst, Some(3), 64, &mut txn).is_none());
+        assert!(route(
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            0,
+            dst,
+            Some(3),
+            64,
+            &mut txn
+        )
+        .is_none());
     }
 
     #[test]
@@ -334,7 +400,10 @@ mod tests {
         let dst = cfg.tile_at(0, 1);
         let mut txn = Txn::default();
         // Value ready at 4 (one rest cycle in), link transfer spans 4..8.
-        let r = route(&cfg, &mut mrrg, &rates, &virgin, src, 4, dst, None, 64, &mut txn).unwrap();
+        let r = route(
+            &cfg, &mut mrrg, &rates, &virgin, src, 4, dst, None, 64, &mut txn,
+        )
+        .unwrap();
         assert_eq!(r.hops[0].depart % 4, 0);
         assert_eq!(r.arrival, r.hops[0].depart + 4);
     }
@@ -345,7 +414,10 @@ mod tests {
         let mut txn = Txn::default();
         let src = cfg.tile_at(0, 0);
         let dst = cfg.tile_at(0, 2);
-        route(&cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn).unwrap();
+        route(
+            &cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn,
+        )
+        .unwrap();
         assert!(!mrrg.link_free(src, Dir::East, 0, 1));
         txn.rollback(&mut mrrg);
         assert!(mrrg.link_free(src, Dir::East, 0, 1));

@@ -79,8 +79,7 @@ fn heterogeneous_fabric_maps_the_mul_heavy_suite() {
         .unwrap();
     for kernel in [Kernel::Gemm, Kernel::Mvt, Kernel::LuDeterminant] {
         let dfg = kernel.dfg(UnrollFactor::X1);
-        let m = map_dvfs_aware(&dfg, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let m = map_dvfs_aware(&dfg, &cfg).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
         for node in dfg.nodes() {
             if node.op().class() == iced_dfg::OpcodeClass::Mul {
                 assert!(cfg.tile_has_multiplier(m.placement(node.id()).tile));
@@ -93,8 +92,7 @@ fn heterogeneous_fabric_maps_the_mul_heavy_suite() {
 fn ablation_knobs_change_behaviour_but_not_correctness() {
     let cfg = CgraConfig::iced_prototype();
     let dfg = Kernel::Spmv.dfg(UnrollFactor::X1);
-    for (cycle_first, label_ladder) in
-        [(true, true), (false, true), (true, false), (false, false)]
+    for (cycle_first, label_ladder) in [(true, true), (false, true), (true, false), (false, false)]
     {
         let opts = MapperOptions {
             cycle_first,

@@ -72,7 +72,11 @@ impl TransitionModel {
             };
             (idx(from) - idx(to)).unsigned_abs() as f64
         };
-        let wake = if from == DvfsLevel::PowerGated { self.wake_ns } else { 0.0 };
+        let wake = if from == DvfsLevel::PowerGated {
+            self.wake_ns
+        } else {
+            0.0
+        };
         wake + steps * self.settle_ns_per_step
     }
 }

@@ -61,8 +61,7 @@ impl EnergyBreakdown {
             DvfsSupport::PerIsland => cfg.island_count(),
         };
         let mem_ops = dfg.count_ops(|op| op.is_memory()) as f64;
-        let sram_activity =
-            mem_ops / (cfg.spm_banks() as f64 * mapping.ii() as f64).max(1.0);
+        let sram_activity = mem_ops / (cfg.spm_banks() as f64 * mapping.ii() as f64).max(1.0);
         let base_clock_mhz = VfPoint::nominal().freq_mhz();
         let exec_time_us = iterations as f64 * mapping.ii() as f64 / base_clock_mhz;
         EnergyBreakdown {
@@ -100,7 +99,9 @@ mod tests {
     use super::*;
     use iced_arch::CgraConfig;
     use iced_kernels::{Kernel, UnrollFactor};
-    use iced_mapper::{map_baseline, map_dvfs_aware, power_gate_idle, relax_islands, relax_per_tile};
+    use iced_mapper::{
+        map_baseline, map_dvfs_aware, power_gate_idle, relax_islands, relax_per_tile,
+    };
 
     fn breakdowns(k: Kernel, uf: UnrollFactor) -> (f64, f64, f64, f64) {
         let cfg = CgraConfig::iced_prototype();
@@ -108,9 +109,8 @@ mod tests {
         let dfg = k.dfg(uf);
         let base = map_baseline(&dfg, &cfg).unwrap();
         let iters = 1000;
-        let p_base =
-            EnergyBreakdown::account(&dfg, &base, &model, DvfsSupport::None, iters)
-                .total_power_mw();
+        let p_base = EnergyBreakdown::account(&dfg, &base, &model, DvfsSupport::None, iters)
+            .total_power_mw();
         let p_pg = EnergyBreakdown::account(
             &dfg,
             &power_gate_idle(&dfg, &base),
@@ -129,9 +129,8 @@ mod tests {
         .total_power_mw();
         // Full ICED flow: Algorithm 2 plus the final island relaxation.
         let iced = relax_islands(&dfg, &map_dvfs_aware(&dfg, &cfg).unwrap());
-        let p_iced =
-            EnergyBreakdown::account(&dfg, &iced, &model, DvfsSupport::PerIsland, iters)
-                .total_power_mw();
+        let p_iced = EnergyBreakdown::account(&dfg, &iced, &model, DvfsSupport::PerIsland, iters)
+            .total_power_mw();
         (p_base, p_pg, p_pt, p_iced)
     }
 
@@ -151,9 +150,7 @@ mod tests {
         let model = PowerModel::asap7();
         assert!(pt > iced, "per-tile {pt} vs iced {iced}");
         let _ = base;
-        assert!(
-            model.controllers_power_mw(36) > 4.0 * model.controllers_power_mw(9) - 1e-9
-        );
+        assert!(model.controllers_power_mw(36) > 4.0 * model.controllers_power_mw(9) - 1e-9);
     }
 
     #[test]
@@ -162,10 +159,8 @@ mod tests {
         let model = PowerModel::asap7();
         let dfg = Kernel::Conv.dfg(UnrollFactor::X1);
         let m = map_baseline(&dfg, &cfg).unwrap();
-        let e1 =
-            EnergyBreakdown::account(&dfg, &m, &model, DvfsSupport::None, 100).energy_nj();
-        let e2 =
-            EnergyBreakdown::account(&dfg, &m, &model, DvfsSupport::None, 200).energy_nj();
+        let e1 = EnergyBreakdown::account(&dfg, &m, &model, DvfsSupport::None, 100).energy_nj();
+        let e2 = EnergyBreakdown::account(&dfg, &m, &model, DvfsSupport::None, 200).energy_nj();
         assert!((e2 / e1 - 2.0).abs() < 1e-9);
     }
 
@@ -178,8 +173,7 @@ mod tests {
         let d_big = Kernel::Fft.dfg(UnrollFactor::X1);
         let m_small = map_baseline(&d_small, &cfg).unwrap();
         let m_big = map_baseline(&d_big, &cfg).unwrap();
-        let b_small =
-            EnergyBreakdown::account(&d_small, &m_small, &model, DvfsSupport::None, 1);
+        let b_small = EnergyBreakdown::account(&d_small, &m_small, &model, DvfsSupport::None, 1);
         let b_big = EnergyBreakdown::account(&d_big, &m_big, &model, DvfsSupport::None, 1);
         assert!(b_big.sram_mw > b_small.sram_mw);
     }

@@ -31,6 +31,7 @@ use std::fmt;
 use iced_arch::TileId;
 use iced_dfg::{Dfg, EdgeId, NodeId};
 use iced_mapper::Mapping;
+use iced_trace::Phase;
 
 use crate::functional;
 
@@ -87,7 +88,14 @@ impl fmt::Display for EngineError {
     }
 }
 
-impl Error for EngineError {}
+impl Error for EngineError {
+    // Engine errors are root causes detected by the machine itself — there
+    // is never an underlying error to chain to. Spelled out (rather than
+    // inherited) so the contract is explicit and tested.
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        None
+    }
+}
 
 /// Result of one engine run.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +152,15 @@ pub fn run(
     let cfg = mapping.config();
     let ii = mapping.ii() as u64;
     let tiles = cfg.tile_count();
+    let _run_span = iced_trace::span(
+        Phase::Sim,
+        "engine_run",
+        &[
+            ("kernel", mapping.kernel().into()),
+            ("ii", ii.into()),
+            ("iterations", iterations.into()),
+        ],
+    );
     let reference = functional::interpret(dfg, iterations, seed);
 
     // Build the event timeline: every placement/hop instantiated per
@@ -166,16 +183,31 @@ pub fn run(
                     for (h, _) in route.hops.iter().enumerate() {
                         push(
                             route.hops[h].depart + i * ii,
-                            Event::HopStart { edge: e.id(), hop: h },
+                            Event::HopStart {
+                                edge: e.id(),
+                                hop: h,
+                            },
                         );
                     }
-                    push(route.arrival + i * ii, Event::Deliver { edge: e.id(), iteration: i });
+                    push(
+                        route.arrival + i * ii,
+                        Event::Deliver {
+                            edge: e.id(),
+                            iteration: i,
+                        },
+                    );
                 }
             }
             None => {
                 let src = mapping.placement(e.src());
                 for i in 0..iterations {
-                    push(src.ready() + i * ii, Event::Deliver { edge: e.id(), iteration: i });
+                    push(
+                        src.ready() + i * ii,
+                        Event::Deliver {
+                            edge: e.id(),
+                            iteration: i,
+                        },
+                    );
                 }
             }
         }
@@ -184,10 +216,13 @@ pub fn run(
     // Machine state.
     let mut fu_free_at = vec![0u64; tiles]; // next base cycle each FU is free
     let mut link_free_at: HashMap<(TileId, u8), u64> = HashMap::new();
-    let mut fifos: HashMap<EdgeId, VecDeque<(u64, i64)>> = HashMap::new();
+    // FIFO entries: (iteration, value, base cycle the token landed) — the
+    // delivery cycle feeds the per-tile token-wait counters.
+    let mut fifos: HashMap<EdgeId, VecDeque<(u64, i64, u64)>> = HashMap::new();
     let mut fu_busy = vec![0u64; tiles];
     let mut link_busy_until: Vec<u64> = vec![0u64; tiles];
     let mut link_busy = vec![0u64; tiles];
+    let mut token_wait = vec![0u64; tiles];
     let mut values: HashMap<(NodeId, u64), i64> = HashMap::new();
     let mut ops_executed = 0u64;
     let mut fifo_peak = 0usize;
@@ -209,7 +244,7 @@ pub fn run(
                 let e = dfg.edge(edge);
                 let v = *values.get(&(e.src(), iteration)).unwrap_or(&0);
                 let q = fifos.entry(edge).or_default();
-                q.push_back((iteration, v));
+                q.push_back((iteration, v, cycle));
                 fifo_peak = fifo_peak.max(q.len());
             }
         }
@@ -222,7 +257,10 @@ pub fn run(
                     let key = (h.from, h.dir.index() as u8);
                     let busy_until = link_free_at.get(&key).copied().unwrap_or(0);
                     if busy_until > cycle {
-                        return Err(EngineError::LinkCollision { tile: h.from, cycle });
+                        return Err(EngineError::LinkCollision {
+                            tile: h.from,
+                            cycle,
+                        });
                     }
                     let len = h.arrive - h.depart;
                     link_free_at.insert(key, cycle + len);
@@ -233,7 +271,10 @@ pub fn run(
                     let p = mapping.placement(node);
                     let t = p.tile.index();
                     if fu_free_at[t] > cycle {
-                        return Err(EngineError::FuCollision { tile: p.tile, cycle });
+                        return Err(EngineError::FuCollision {
+                            tile: p.tile,
+                            cycle,
+                        });
                     }
                     fu_free_at[t] = cycle + p.rate as u64;
                     // Gather operand tokens: pop one per in-edge; iterations
@@ -248,8 +289,9 @@ pub fn run(
                         }
                         let q = fifos.entry(e.id()).or_default();
                         match q.pop_front() {
-                            Some((it, v)) => {
+                            Some((it, v, delivered)) => {
                                 debug_assert_eq!(it, iteration - d, "fifo order");
+                                token_wait[t] += cycle - delivered;
                                 inputs.push(v);
                             }
                             None => {
@@ -270,6 +312,18 @@ pub fn run(
                     }
                     values.insert((node, iteration), v);
                     ops_executed += 1;
+                    if iced_trace::detail_enabled() {
+                        // One virtual-time record per firing, laned by tile,
+                        // for timeline replay in Perfetto.
+                        iced_trace::complete(
+                            Phase::Sim,
+                            &p.tile.to_string(),
+                            dfg.node(node).label(),
+                            cycle,
+                            p.rate as u64,
+                            &[("iter", iteration.into())],
+                        );
+                    }
                 }
             }
         }
@@ -282,6 +336,29 @@ pub fn run(
             if link_busy_until[t] > cycle {
                 link_busy[t] += 1;
             }
+        }
+    }
+
+    if iced_trace::enabled() {
+        iced_trace::counter(Phase::Sim, "cycles", horizon);
+        iced_trace::counter(Phase::Sim, "ops_executed", ops_executed);
+        iced_trace::counter(Phase::Sim, "fu_busy_cycles", fu_busy.iter().sum());
+        iced_trace::counter(Phase::Sim, "link_busy_cycles", link_busy.iter().sum());
+        iced_trace::counter(Phase::Sim, "token_wait_cycles", token_wait.iter().sum());
+        // Per-tile activity: one counter triple per tile that hosted work
+        // (stall = cycles the tile's FU sat idle during the run).
+        let mut hosts = vec![false; tiles];
+        for p in mapping.placements() {
+            hosts[p.tile.index()] = true;
+        }
+        for tile in cfg.tiles() {
+            let t = tile.index();
+            if !hosts[t] {
+                continue;
+            }
+            iced_trace::counter(Phase::Sim, &format!("{tile}.fu_busy"), fu_busy[t]);
+            iced_trace::counter(Phase::Sim, &format!("{tile}.stall"), horizon - fu_busy[t]);
+            iced_trace::counter(Phase::Sim, &format!("{tile}.token_wait"), token_wait[t]);
         }
     }
 
@@ -303,6 +380,46 @@ mod tests {
     use iced_mapper::{map_baseline, map_dvfs_aware};
 
     #[test]
+    fn engine_error_messages_name_the_culprit() {
+        let cfg = CgraConfig::iced_prototype();
+        let tile = cfg.tile_at(1, 2);
+        let edge = iced_dfg::EdgeId::from_index(3);
+        let node = {
+            let dfg = Kernel::Fir.dfg(UnrollFactor::X1);
+            dfg.node_ids().nth(2).expect("fir has nodes")
+        };
+        // Every variant's Display must name the resource it concerns and
+        // the cycle/iteration it happened at, so a failure is actionable
+        // without re-running under a debugger.
+        let cases: [(EngineError, [String; 2]); 4] = [
+            (
+                EngineError::TokenNotReady { edge, cycle: 17 },
+                [edge.to_string(), "cycle 17".to_string()],
+            ),
+            (
+                EngineError::FuCollision { tile, cycle: 23 },
+                [tile.to_string(), "cycle 23".to_string()],
+            ),
+            (
+                EngineError::LinkCollision { tile, cycle: 29 },
+                [tile.to_string(), "cycle 29".to_string()],
+            ),
+            (
+                EngineError::ValueMismatch { node, iteration: 7 },
+                [node.to_string(), "iteration 7".to_string()],
+            ),
+        ];
+        for (err, needles) in cases {
+            let msg = err.to_string();
+            for needle in &needles {
+                assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+            }
+            // Root causes: no chained source, ever.
+            assert!(err.source().is_none(), "{msg:?} has a source");
+        }
+    }
+
+    #[test]
     fn engine_runs_the_whole_suite_cleanly() {
         let cfg = CgraConfig::iced_prototype();
         for k in Kernel::STANDALONE {
@@ -311,8 +428,7 @@ mod tests {
                 map_baseline(&dfg, &cfg).unwrap(),
                 map_dvfs_aware(&dfg, &cfg).unwrap(),
             ] {
-                let r = run(&dfg, &mapping, 12, 99)
-                    .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+                let r = run(&dfg, &mapping, 12, 99).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
                 assert_eq!(r.ops_executed, 12 * dfg.node_count() as u64, "{}", k.name());
                 assert!(r.fifo_peak >= 1);
             }

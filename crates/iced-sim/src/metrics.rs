@@ -65,6 +65,14 @@ impl FabricStats {
     /// paper's "receive, compute and send within one rest cycle" reading of
     /// tile9.
     pub fn analyze(mapping: &Mapping) -> FabricStats {
+        let _span = iced_trace::span(
+            iced_trace::Phase::Sim,
+            "fabric_stats",
+            &[
+                ("kernel", mapping.kernel().into()),
+                ("ii", u64::from(mapping.ii()).into()),
+            ],
+        );
         let cfg = mapping.config();
         let ii = mapping.ii() as u64;
         let mut tiles = Vec::with_capacity(cfg.tile_count());
@@ -127,11 +135,7 @@ impl FabricStats {
     /// metric. Power-gated tiles consume nothing and are excluded; a fabric
     /// with no active tiles reports 0.
     pub fn average_utilization(&self) -> f64 {
-        let active: Vec<&TileStats> = self
-            .tiles
-            .iter()
-            .filter(|t| t.level.is_active())
-            .collect();
+        let active: Vec<&TileStats> = self.tiles.iter().filter(|t| t.level.is_active()).collect();
         if active.is_empty() {
             return 0.0;
         }

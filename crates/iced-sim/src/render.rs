@@ -42,10 +42,7 @@ pub fn schedule_table(dfg: &Dfg, mapping: &Mapping) -> String {
     let mut cells: HashMap<(usize, u64), String> = HashMap::new();
     for node in dfg.node_ids() {
         let p = mapping.placement(node);
-        cells.insert(
-            (p.tile.index(), p.start % ii),
-            format!("{node}"),
-        );
+        cells.insert((p.tile.index(), p.start % ii), format!("{node}"));
     }
     let width = 7usize;
     let mut out = String::new();

@@ -95,7 +95,7 @@ pub fn validate_schedule(dfg: &Dfg, mapping: &Mapping) -> Result<(), ScheduleErr
     // Placement-level checks.
     for node in dfg.nodes() {
         let p = mapping.placement(node.id());
-        if p.start % p.rate as u64 != 0 {
+        if !p.start.is_multiple_of(p.rate as u64) {
             return Err(ScheduleError::MisalignedStart { node: node.id() });
         }
         if node.op().is_memory() && !cfg.is_memory_tile(p.tile) {

@@ -9,6 +9,7 @@
 //! (§IV-B), and `rest` is the lowest runtime level.
 
 use iced_arch::DvfsLevel;
+use iced_trace::Phase;
 
 /// What the controller decided at a window boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +69,7 @@ impl DvfsController {
             .map(|(i, _)| i)
             .expect("at least one kernel");
         let worst = avgs[bottleneck];
+        let old_levels = iced_trace::enabled().then(|| self.levels.clone());
         for (k, lvl) in self.levels.iter_mut().enumerate() {
             if k == bottleneck {
                 *lvl = lvl.raised();
@@ -91,10 +93,35 @@ impl DvfsController {
         for t in &mut self.exe_table {
             t.clear();
         }
+        if let Some(old) = old_levels {
+            self.trace_decision(bottleneck, &avgs, worst, &old);
+        }
         Some(ControllerDecision {
             bottleneck,
             levels: self.levels.clone(),
         })
+    }
+
+    /// Emits one instant event per window decision — per-kernel exeTable
+    /// averages and `old→new` level transitions — plus raise/lower counters.
+    fn trace_decision(&self, bottleneck: usize, avgs: &[f64], worst: f64, old: &[DvfsLevel]) {
+        iced_trace::counter(Phase::Controller, "decisions", 1);
+        let mut args: Vec<(String, iced_trace::ArgValue)> = vec![
+            ("bottleneck".to_string(), (bottleneck as u64).into()),
+            ("worst_avg_us".to_string(), worst.into()),
+        ];
+        for (k, (&o, &n)) in old.iter().zip(&self.levels).enumerate() {
+            args.push((format!("k{k}_avg_us"), avgs[k].into()));
+            args.push((format!("k{k}_level"), format!("{o:?}->{n:?}").into()));
+            if n > o {
+                iced_trace::counter(Phase::Controller, "level_raises", 1);
+            } else if n < o {
+                iced_trace::counter(Phase::Controller, "level_lowers", 1);
+            }
+        }
+        let borrowed: Vec<(&str, iced_trace::ArgValue)> =
+            args.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        iced_trace::instant(Phase::Controller, "dvfs_decision", &borrowed);
     }
 }
 
@@ -139,6 +166,62 @@ mod tests {
         assert_eq!(d.bottleneck, 1);
         assert_eq!(c.level(1), DvfsLevel::Normal);
         assert_eq!(c.level(0), DvfsLevel::Relax);
+    }
+
+    #[test]
+    fn bottleneck_raises_exactly_one_level() {
+        let mut c = DvfsController::new(2, 1);
+        // Two quiet windows walk kernel 0 down to rest.
+        c.record(0, 1.0);
+        c.record(1, 9.0);
+        c.record(0, 1.0);
+        c.record(1, 9.0);
+        assert_eq!(c.level(0), DvfsLevel::Rest);
+        // Kernel 0 becomes the bottleneck: raised by one level, not to the top.
+        c.record(0, 50.0);
+        let d = c.record(1, 1.0).unwrap();
+        assert_eq!(d.bottleneck, 0);
+        assert_eq!(d.levels[0], DvfsLevel::Relax);
+    }
+
+    #[test]
+    fn all_non_bottlenecks_lower_one_level_when_slack_allows() {
+        let mut c = DvfsController::new(3, 1);
+        c.record(0, 20.0);
+        c.record(1, 1.0);
+        let d = c.record(2, 2.0).unwrap();
+        assert_eq!(d.bottleneck, 0);
+        assert_eq!(
+            d.levels,
+            vec![DvfsLevel::Normal, DvfsLevel::Relax, DvfsLevel::Relax]
+        );
+    }
+
+    #[test]
+    fn levels_clamp_at_normal_and_rest() {
+        let mut c = DvfsController::new(2, 1);
+        for _ in 0..5 {
+            c.record(0, 9.0);
+            c.record(1, 0.1);
+        }
+        // Bottleneck saturates at normal; the idle kernel floors at rest.
+        assert_eq!(c.level(0), DvfsLevel::Normal);
+        assert_eq!(c.level(1), DvfsLevel::Rest);
+    }
+
+    #[test]
+    fn tie_break_picks_the_last_equal_bottleneck() {
+        // Equal averages: `max_by` keeps the last maximum, so the highest
+        // kernel index deterministically wins the tie.
+        let mut c = DvfsController::new(3, 1);
+        c.record(0, 5.0);
+        c.record(1, 5.0);
+        let d = c.record(2, 5.0).unwrap();
+        assert_eq!(d.bottleneck, 2);
+        // Every tied kernel sits within 5% of the bottleneck: lowering
+        // would immediately stall the pipeline, so nobody is lowered —
+        // instead the near-bottleneck kernels recover headroom.
+        assert_eq!(d.levels, vec![DvfsLevel::Normal; 3]);
     }
 
     #[test]

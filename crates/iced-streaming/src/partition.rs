@@ -161,13 +161,27 @@ impl Partition {
         let mins: Vec<usize> = profiles.iter().map(KernelProfile::min_islands).collect();
         let mut best: Option<(f64, Vec<usize>)> = None;
         let mut current = mins.clone();
-        search(&profiles, profile_units, &mins, total, 0, &mut current, &mut best);
+        search(
+            &profiles,
+            profile_units,
+            &mins,
+            total,
+            0,
+            &mut current,
+            &mut best,
+        );
         let flat = best.map(|(_, a)| a).unwrap_or(mins);
         // Unflatten into stage shape.
         let mut allocations = Vec::new();
         let mut it = flat.into_iter();
         for stage in &pipeline.stages {
-            allocations.push(stage.kernels.iter().map(|_| it.next().expect("arity")).collect());
+            allocations.push(
+                stage
+                    .kernels
+                    .iter()
+                    .map(|_| it.next().expect("arity"))
+                    .collect(),
+            );
         }
         Ok(Partition {
             allocations,
@@ -279,8 +293,14 @@ mod tests {
             assert!(part.islands_of(i) >= prof.min_islands());
         }
         // The chosen allocation is no worse than the all-minimum one.
-        let flat: Vec<usize> = (0..part.profiles.len()).map(|i| part.islands_of(i)).collect();
-        let mins: Vec<usize> = part.profiles.iter().map(KernelProfile::min_islands).collect();
+        let flat: Vec<usize> = (0..part.profiles.len())
+            .map(|i| part.islands_of(i))
+            .collect();
+        let mins: Vec<usize> = part
+            .profiles
+            .iter()
+            .map(KernelProfile::min_islands)
+            .collect();
         assert!(
             bottleneck_cost(&part.profiles, &flat, &units)
                 <= bottleneck_cost(&part.profiles, &mins, &units) + 1e-9

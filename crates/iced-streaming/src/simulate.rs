@@ -278,9 +278,7 @@ fn rebalance(partition: &Partition, alloc: &mut [usize], lats: &[Vec<f64>]) {
     let donor = times
         .iter()
         .enumerate()
-        .filter(|&(k, _)| {
-            k != bottleneck && alloc[k] > partition.profiles[k].min_islands()
-        })
+        .filter(|&(k, _)| k != bottleneck && alloc[k] > partition.profiles[k].min_islands())
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| i);
     if let Some(d) = donor {
@@ -315,7 +313,13 @@ mod tests {
     #[test]
     fn iced_beats_drips_on_energy_efficiency() {
         let (pipeline, partition, model, inputs) = gcn_setup();
-        let iced = simulate(&pipeline, &partition, &model, &inputs, RuntimePolicy::IcedDvfs);
+        let iced = simulate(
+            &pipeline,
+            &partition,
+            &model,
+            &inputs,
+            RuntimePolicy::IcedDvfs,
+        );
         let drips = simulate(&pipeline, &partition, &model, &inputs, RuntimePolicy::Drips);
         let ratio = iced.perf_per_watt() / drips.perf_per_watt();
         assert!(
@@ -328,8 +332,20 @@ mod tests {
     #[test]
     fn dvfs_lowers_power_versus_static() {
         let (pipeline, partition, model, inputs) = gcn_setup();
-        let iced = simulate(&pipeline, &partition, &model, &inputs, RuntimePolicy::IcedDvfs);
-        let stat = simulate(&pipeline, &partition, &model, &inputs, RuntimePolicy::StaticNormal);
+        let iced = simulate(
+            &pipeline,
+            &partition,
+            &model,
+            &inputs,
+            RuntimePolicy::IcedDvfs,
+        );
+        let stat = simulate(
+            &pipeline,
+            &partition,
+            &model,
+            &inputs,
+            RuntimePolicy::StaticNormal,
+        );
         // Static-normal has no controller overhead but never slows idle
         // kernels; ICED must still come out ahead on average power.
         assert!(
@@ -343,11 +359,20 @@ mod tests {
     #[test]
     fn window_samples_cover_the_stream() {
         let (pipeline, partition, model, inputs) = gcn_setup();
-        let r = simulate(&pipeline, &partition, &model, &inputs, RuntimePolicy::IcedDvfs);
+        let r = simulate(
+            &pipeline,
+            &partition,
+            &model,
+            &inputs,
+            RuntimePolicy::IcedDvfs,
+        );
         assert_eq!(r.samples.len(), inputs.len().div_ceil(10));
         assert_eq!(r.inputs, inputs.len());
         assert!(r.total_time_us > 0.0);
-        assert!(r.samples.iter().all(|s| s.power_mw > 0.0 && s.throughput > 0.0));
+        assert!(r
+            .samples
+            .iter()
+            .all(|s| s.power_mw > 0.0 && s.throughput > 0.0));
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! The collector trait, record model, and the two built-in collectors.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Which layer of the toolchain a record came from. Exporters map phases
+/// to Chrome-trace threads so each layer gets its own lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// `iced-mapper`: Algorithm 1/2, placement, II escalation.
+    Mapper,
+    /// The mapper's Dijkstra router (split out because its counters dwarf
+    /// the rest of the mapper's).
+    Router,
+    /// `iced-sim`: cycle-stepped engine and analytic metrics.
+    Sim,
+    /// `iced-streaming`: runtime DVFS controller and pipeline simulation.
+    Controller,
+    /// Harness-level spans (figure binaries, suite sweeps).
+    Bench,
+}
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Mapper,
+        Phase::Router,
+        Phase::Sim,
+        Phase::Controller,
+        Phase::Bench,
+    ];
+
+    /// Stable lowercase name used in exports and summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Mapper => "mapper",
+            Phase::Router => "router",
+            Phase::Sim => "sim",
+            Phase::Controller => "controller",
+            Phase::Bench => "bench",
+        }
+    }
+
+    /// Chrome-trace thread id for this phase's lane.
+    pub fn tid(self) -> u32 {
+        match self {
+            Phase::Mapper => 1,
+            Phase::Router => 2,
+            Phase::Sim => 3,
+            Phase::Controller => 4,
+            Phase::Bench => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed argument value attached to spans and events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+macro_rules! arg_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for ArgValue {
+            fn from(v: $t) -> ArgValue {
+                ArgValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+
+arg_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    u16 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64
+);
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> ArgValue {
+        ArgValue::Str(if v { "true" } else { "false" }.to_string())
+    }
+}
+
+/// Handle for an open span. `SpanId(0)` is the null span (emitted by
+/// disabled collectors); ending it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span.
+    pub const NULL: SpanId = SpanId(0);
+}
+
+/// Sink for trace records. Implementations must be cheap to call — the
+/// toolchain's hot paths emit through this trait — and thread-safe, since
+/// the collector is installed process-wide.
+pub trait Collector: Send + Sync {
+    /// Whether this collector records anything. The global emit helpers
+    /// cache this at install time; a `false` here makes every emit site a
+    /// single atomic load.
+    fn enabled(&self) -> bool;
+
+    /// Opens a wall-clock span. Returns a handle for [`Collector::span_end`].
+    fn span_begin(&self, phase: Phase, name: &str, args: &[(&str, ArgValue)]) -> SpanId;
+
+    /// Closes a span opened by [`Collector::span_begin`].
+    fn span_end(&self, id: SpanId);
+
+    /// Records an instantaneous event.
+    fn instant(&self, phase: Phase, name: &str, args: &[(&str, ArgValue)]);
+
+    /// Records a virtual-time complete event on a named track (`start` and
+    /// `dur` in the caller's timeline unit, e.g. simulator base cycles).
+    fn complete(
+        &self,
+        phase: Phase,
+        track: &str,
+        name: &str,
+        start: u64,
+        dur: u64,
+        args: &[(&str, ArgValue)],
+    );
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, phase: Phase, name: &str, delta: u64);
+}
+
+/// Collector that records nothing. Installing it keeps tracing disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn span_begin(&self, _: Phase, _: &str, _: &[(&str, ArgValue)]) -> SpanId {
+        SpanId::NULL
+    }
+    fn span_end(&self, _: SpanId) {}
+    fn instant(&self, _: Phase, _: &str, _: &[(&str, ArgValue)]) {}
+    fn complete(&self, _: Phase, _: &str, _: &str, _: u64, _: u64, _: &[(&str, ArgValue)]) {}
+    fn counter(&self, _: Phase, _: &str, _: u64) {}
+}
+
+/// One recorded trace entry. Wall-clock timestamps (`t_us`) are
+/// microseconds since the collector was created, so they are monotonic
+/// within a recording.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A span opened.
+    SpanBegin {
+        /// Span handle (matches the corresponding [`Record::SpanEnd`]).
+        id: u64,
+        /// Originating phase.
+        phase: Phase,
+        /// Span name.
+        name: String,
+        /// Microseconds since recording start.
+        t_us: u64,
+        /// Attached arguments.
+        args: Vec<(String, ArgValue)>,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span handle.
+        id: u64,
+        /// Phase of the matching begin.
+        phase: Phase,
+        /// Microseconds since recording start.
+        t_us: u64,
+    },
+    /// An instantaneous event.
+    Instant {
+        /// Originating phase.
+        phase: Phase,
+        /// Event name.
+        name: String,
+        /// Microseconds since recording start.
+        t_us: u64,
+        /// Attached arguments.
+        args: Vec<(String, ArgValue)>,
+    },
+    /// A virtual-time complete event (timeline unit chosen by the emitter).
+    Complete {
+        /// Originating phase.
+        phase: Phase,
+        /// Track (lane) name, e.g. `"t12"` for tile 12.
+        track: String,
+        /// Event name.
+        name: String,
+        /// Start on the virtual timeline.
+        start: u64,
+        /// Duration on the virtual timeline.
+        dur: u64,
+        /// Attached arguments.
+        args: Vec<(String, ArgValue)>,
+    },
+    /// A counter update carrying the new running total.
+    Counter {
+        /// Originating phase.
+        phase: Phase,
+        /// Counter name.
+        name: String,
+        /// Microseconds since recording start.
+        t_us: u64,
+        /// Running total after this update.
+        total: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Recording {
+    records: Vec<Record>,
+    counters: HashMap<(Phase, String), u64>,
+    open_spans: HashMap<u64, Phase>,
+    next_span: u64,
+}
+
+/// In-memory recording collector. Cheap enough for development runs; for
+/// release-quality numbers run with tracing off (the emit sites cost one
+/// atomic load each).
+#[derive(Debug)]
+pub struct RecordingCollector {
+    start: Instant,
+    inner: Mutex<Recording>,
+}
+
+impl Default for RecordingCollector {
+    fn default() -> Self {
+        RecordingCollector::new()
+    }
+}
+
+impl RecordingCollector {
+    /// A fresh, empty recording starting now.
+    pub fn new() -> Self {
+        RecordingCollector {
+            start: Instant::now(),
+            inner: Mutex::new(Recording {
+                next_span: 1, // 0 is the null span
+                ..Recording::default()
+            }),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn own_args(args: &[(&str, ArgValue)]) -> Vec<(String, ArgValue)> {
+        args.iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Snapshot of everything recorded so far, in emission order.
+    pub fn records(&self) -> Vec<Record> {
+        self.inner.lock().expect("trace lock").records.clone()
+    }
+
+    /// Current total of one counter (0 if never touched).
+    pub fn counter_total(&self, phase: Phase, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("trace lock")
+            .counters
+            .get(&(phase, name.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All counter totals, sorted by phase then descending total.
+    pub fn counter_totals(&self) -> Vec<(Phase, String, u64)> {
+        let inner = self.inner.lock().expect("trace lock");
+        let mut v: Vec<_> = inner
+            .counters
+            .iter()
+            .map(|((p, n), t)| (*p, n.clone(), *t))
+            .collect();
+        v.sort_by(|a, b| {
+            (a.0, std::cmp::Reverse(a.2), &a.1).cmp(&(b.0, std::cmp::Reverse(b.2), &b.1))
+        });
+        v
+    }
+
+    /// Condenses the recording into a per-phase summary.
+    pub fn summary(&self) -> crate::TraceSummary {
+        crate::TraceSummary::from_records(&self.records())
+    }
+}
+
+impl Collector for RecordingCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_begin(&self, phase: Phase, name: &str, args: &[(&str, ArgValue)]) -> SpanId {
+        let t_us = self.now_us();
+        let mut inner = self.inner.lock().expect("trace lock");
+        let id = inner.next_span;
+        inner.next_span += 1;
+        inner.open_spans.insert(id, phase);
+        inner.records.push(Record::SpanBegin {
+            id,
+            phase,
+            name: name.to_string(),
+            t_us,
+            args: Self::own_args(args),
+        });
+        SpanId(id)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id == SpanId::NULL {
+            return;
+        }
+        let t_us = self.now_us();
+        let mut inner = self.inner.lock().expect("trace lock");
+        let Some(phase) = inner.open_spans.remove(&id.0) else {
+            return; // double-end or foreign id: drop silently
+        };
+        inner.records.push(Record::SpanEnd {
+            id: id.0,
+            phase,
+            t_us,
+        });
+    }
+
+    fn instant(&self, phase: Phase, name: &str, args: &[(&str, ArgValue)]) {
+        let t_us = self.now_us();
+        let mut inner = self.inner.lock().expect("trace lock");
+        inner.records.push(Record::Instant {
+            phase,
+            name: name.to_string(),
+            t_us,
+            args: Self::own_args(args),
+        });
+    }
+
+    fn complete(
+        &self,
+        phase: Phase,
+        track: &str,
+        name: &str,
+        start: u64,
+        dur: u64,
+        args: &[(&str, ArgValue)],
+    ) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        inner.records.push(Record::Complete {
+            phase,
+            track: track.to_string(),
+            name: name.to_string(),
+            start,
+            dur,
+            args: Self::own_args(args),
+        });
+    }
+
+    fn counter(&self, phase: Phase, name: &str, delta: u64) {
+        let t_us = self.now_us();
+        let mut inner = self.inner.lock().expect("trace lock");
+        let total = {
+            let slot = inner.counters.entry((phase, name.to_string())).or_insert(0);
+            *slot += delta;
+            *slot
+        };
+        inner.records.push(Record::Counter {
+            phase,
+            name: name.to_string(),
+            t_us,
+            total,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_pair_and_nest() {
+        let c = RecordingCollector::new();
+        let outer = c.span_begin(Phase::Mapper, "outer", &[("ii", 4u64.into())]);
+        let inner = c.span_begin(Phase::Mapper, "inner", &[]);
+        c.span_end(inner);
+        c.span_end(outer);
+        let r = c.records();
+        assert_eq!(r.len(), 4);
+        match (&r[0], &r[1], &r[2], &r[3]) {
+            (
+                Record::SpanBegin {
+                    id: b0, name: n0, ..
+                },
+                Record::SpanBegin { id: b1, .. },
+                Record::SpanEnd { id: e0, .. },
+                Record::SpanEnd { id: e1, .. },
+            ) => {
+                assert_eq!(n0, "outer");
+                assert_eq!(e0, b1, "inner closes first");
+                assert_eq!(e1, b0, "outer closes last");
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let c = RecordingCollector::new();
+        for i in 0..50 {
+            c.instant(Phase::Sim, "tick", &[("i", (i as u64).into())]);
+        }
+        let mut last = 0;
+        for r in c.records() {
+            if let Record::Instant { t_us, .. } = r {
+                assert!(t_us >= last);
+                last = t_us;
+            }
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_per_phase() {
+        let c = RecordingCollector::new();
+        c.counter(Phase::Router, "expansions", 10);
+        c.counter(Phase::Router, "expansions", 5);
+        c.counter(Phase::Mapper, "expansions", 1);
+        assert_eq!(c.counter_total(Phase::Router, "expansions"), 15);
+        assert_eq!(c.counter_total(Phase::Mapper, "expansions"), 1);
+        assert_eq!(c.counter_total(Phase::Sim, "expansions"), 0);
+        let totals = c.counter_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].0, Phase::Mapper); // phase order first
+    }
+
+    #[test]
+    fn double_end_is_ignored() {
+        let c = RecordingCollector::new();
+        let s = c.span_begin(Phase::Bench, "s", &[]);
+        c.span_end(s);
+        c.span_end(s);
+        c.span_end(SpanId::NULL);
+        assert_eq!(c.records().len(), 2);
+    }
+
+    #[test]
+    fn null_collector_records_nothing() {
+        let c = NullCollector;
+        assert!(!c.enabled());
+        let s = c.span_begin(Phase::Mapper, "x", &[]);
+        assert_eq!(s, SpanId::NULL);
+        c.span_end(s);
+        c.counter(Phase::Mapper, "c", 1);
+    }
+}

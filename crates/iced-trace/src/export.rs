@@ -1,0 +1,397 @@
+//! Exporters: Chrome `trace_event` JSON and line-delimited JSONL.
+//!
+//! The Chrome format is the ["Trace Event Format"] consumed by
+//! `chrome://tracing` and Perfetto: a JSON object with a `traceEvents`
+//! array of `B`/`E` (span begin/end), `i` (instant), `X` (complete), and
+//! `C` (counter) events. Wall-clock records land on per-phase threads
+//! (`tid` = phase lane) of `pid` 0; virtual-time complete events land on
+//! `pid` 1 with one thread per track (e.g. one lane per tile), so a
+//! simulated kernel renders as a per-tile timeline.
+//!
+//! ["Trace Event Format"]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! No serde is available in this build environment, so JSON is written by
+//! hand; [`escape_json`] covers the string subset we emit.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use crate::collector::{ArgValue, Phase, Record};
+
+/// Escapes `s` as the body of a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn arg_json(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(u) => u.to_string(),
+        ArgValue::I64(i) => i.to_string(),
+        ArgValue::F64(f) if f.is_finite() => {
+            // Bare {} prints integers without a dot; keep JSON number form.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        ArgValue::F64(_) => "null".to_string(),
+        ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+    }
+}
+
+fn args_json(args: &[(String, ArgValue)]) -> String {
+    let fields: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape_json(k), arg_json(v)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Writes `records` as a Chrome `trace_event` JSON document.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace(records: &[Record], w: &mut impl Write) -> io::Result<()> {
+    // Virtual-time tracks get stable tids on pid 1, in first-seen order.
+    let mut track_tids: HashMap<&str, u32> = HashMap::new();
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + Phase::ALL.len() + 4);
+
+    // Process/thread names so the viewer labels the lanes.
+    events.push(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"iced (wall clock)\"}}".to_string(),
+    );
+    events.push(
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"iced (virtual cycles)\"}}".to_string(),
+    );
+    for p in Phase::ALL {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            p.tid(),
+            p.as_str()
+        ));
+    }
+
+    for r in records {
+        match r {
+            Record::SpanBegin { phase, name, t_us, args, .. } => events.push(format!(
+                "{{\"ph\":\"B\",\"pid\":0,\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{}}}",
+                phase.tid(),
+                t_us,
+                escape_json(name),
+                args_json(args)
+            )),
+            Record::SpanEnd { phase, t_us, .. } => events.push(format!(
+                "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
+                phase.tid(),
+                t_us
+            )),
+            Record::Instant { phase, name, t_us, args } => events.push(format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{}}}",
+                phase.tid(),
+                t_us,
+                escape_json(name),
+                args_json(args)
+            )),
+            Record::Complete { track, name, start, dur, args, .. } => {
+                let next = track_tids.len() as u32 + 1;
+                let tid = *track_tids.entry(track.as_str()).or_insert(next);
+                events.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"args\":{}}}",
+                    tid,
+                    start,
+                    (*dur).max(1),
+                    escape_json(name),
+                    args_json(args)
+                ));
+            }
+            Record::Counter { phase, name, t_us, total } => events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{{\"{}\":{}}}}}",
+                phase.tid(),
+                t_us,
+                escape_json(name),
+                escape_json(name),
+                total
+            )),
+        }
+    }
+
+    // Virtual-track thread names, mapped after the walk fixed the tids.
+    let mut tracks: Vec<(&str, u32)> = track_tids.into_iter().collect();
+    tracks.sort_by_key(|&(_, tid)| tid);
+    for (track, tid) in tracks {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(track)
+        ));
+    }
+
+    writeln!(w, "{{\"traceEvents\":[")?;
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        writeln!(w, "{e}{sep}")?;
+    }
+    writeln!(w, "],\"displayTimeUnit\":\"ms\"}}")
+}
+
+/// Writes `records` as JSONL: one JSON object per line, each with a
+/// `"kind"` discriminant.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_jsonl(records: &[Record], w: &mut impl Write) -> io::Result<()> {
+    for r in records {
+        match r {
+            Record::SpanBegin { id, phase, name, t_us, args } => writeln!(
+                w,
+                "{{\"kind\":\"span_begin\",\"id\":{id},\"phase\":\"{}\",\"name\":\"{}\",\"t_us\":{t_us},\"args\":{}}}",
+                phase.as_str(),
+                escape_json(name),
+                args_json(args)
+            )?,
+            Record::SpanEnd { id, phase, t_us } => writeln!(
+                w,
+                "{{\"kind\":\"span_end\",\"id\":{id},\"phase\":\"{}\",\"t_us\":{t_us}}}",
+                phase.as_str()
+            )?,
+            Record::Instant { phase, name, t_us, args } => writeln!(
+                w,
+                "{{\"kind\":\"instant\",\"phase\":\"{}\",\"name\":\"{}\",\"t_us\":{t_us},\"args\":{}}}",
+                phase.as_str(),
+                escape_json(name),
+                args_json(args)
+            )?,
+            Record::Complete { phase, track, name, start, dur, args } => writeln!(
+                w,
+                "{{\"kind\":\"complete\",\"phase\":\"{}\",\"track\":\"{}\",\"name\":\"{}\",\"start\":{start},\"dur\":{dur},\"args\":{}}}",
+                phase.as_str(),
+                escape_json(track),
+                escape_json(name),
+                args_json(args)
+            )?,
+            Record::Counter { phase, name, t_us, total } => writeln!(
+                w,
+                "{{\"kind\":\"counter\",\"phase\":\"{}\",\"name\":\"{}\",\"t_us\":{t_us},\"total\":{total}}}",
+                phase.as_str(),
+                escape_json(name)
+            )?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{Collector, RecordingCollector};
+
+    /// Minimal recursive-descent JSON validity checker (values only, no
+    /// number edge cases beyond what we emit). Returns remaining input.
+    fn json_value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        let Some(c) = s.chars().next() else {
+            return Err("empty".into());
+        };
+        match c {
+            '{' => {
+                let mut s = s[1..].trim_start();
+                if let Some(rest) = s.strip_prefix('}') {
+                    return Ok(rest);
+                }
+                loop {
+                    s = json_string(s)?.trim_start();
+                    s = s
+                        .strip_prefix(':')
+                        .ok_or_else(|| "expected :".to_string())?;
+                    s = json_value(s)?.trim_start();
+                    if let Some(rest) = s.strip_prefix(',') {
+                        s = rest.trim_start();
+                        continue;
+                    }
+                    return s
+                        .strip_prefix('}')
+                        .ok_or_else(|| format!("expected }} at {s:.20}"));
+                }
+            }
+            '[' => {
+                let mut s = s[1..].trim_start();
+                if let Some(rest) = s.strip_prefix(']') {
+                    return Ok(rest);
+                }
+                loop {
+                    s = json_value(s)?.trim_start();
+                    if let Some(rest) = s.strip_prefix(',') {
+                        s = rest;
+                        continue;
+                    }
+                    return s
+                        .strip_prefix(']')
+                        .ok_or_else(|| format!("expected ] at {s:.20}"));
+                }
+            }
+            '"' => json_string(s),
+            't' => s
+                .strip_prefix("true")
+                .ok_or_else(|| "bad literal".to_string()),
+            'f' => s
+                .strip_prefix("false")
+                .ok_or_else(|| "bad literal".to_string()),
+            'n' => s
+                .strip_prefix("null")
+                .ok_or_else(|| "bad literal".to_string()),
+            '-' | '0'..='9' => {
+                let end = s
+                    .find(|c: char| !matches!(c, '-' | '+' | '.' | 'e' | 'E' | '0'..='9'))
+                    .unwrap_or(s.len());
+                s[..end].parse::<f64>().map_err(|e| e.to_string())?;
+                Ok(&s[end..])
+            }
+            other => Err(format!("unexpected {other}")),
+        }
+    }
+
+    fn json_string(s: &str) -> Result<&str, String> {
+        let mut chars = s
+            .strip_prefix('"')
+            .ok_or_else(|| "expected string".to_string())?
+            .char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => return Ok(&s[1 + i + 1..]),
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn assert_valid_json(doc: &str) {
+        let rest = json_value(doc).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{doc}"));
+        assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40}");
+    }
+
+    fn sample_recording() -> RecordingCollector {
+        let c = RecordingCollector::new();
+        let outer = c.span_begin(Phase::Mapper, "map \"fir\"", &[("ii", 2u64.into())]);
+        let inner = c.span_begin(Phase::Router, "route", &[("level", (-1i64).into())]);
+        c.counter(Phase::Router, "expansions", 42);
+        c.span_end(inner);
+        c.instant(
+            Phase::Controller,
+            "decision",
+            &[("avg", 1.5f64.into()), ("who", "k0\n".into())],
+        );
+        c.complete(Phase::Sim, "t3", "fir.add", 8, 4, &[("iter", 0u64.into())]);
+        c.complete(Phase::Sim, "t3", "fir.add", 12, 4, &[("iter", 1u64.into())]);
+        c.span_end(outer);
+        c
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&sample_recording().records(), &mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        assert_valid_json(&doc);
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\":\"B\""));
+        assert!(doc.contains("\"ph\":\"E\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        // Escaped quote from the span name survived escaping.
+        assert!(doc.contains("map \\\"fir\\\""));
+    }
+
+    #[test]
+    fn chrome_span_events_nest_and_are_monotonic() {
+        let records = sample_recording().records();
+        let mut buf = Vec::new();
+        write_chrome_trace(&records, &mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        // Per-tid B/E events must pair like parentheses with non-decreasing ts.
+        let mut depth: std::collections::HashMap<u64, i64> = Default::default();
+        let mut last_ts: std::collections::HashMap<u64, u64> = Default::default();
+        for line in doc
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"B\"") || l.contains("\"ph\":\"E\""))
+        {
+            let tid = field_u64(line, "\"tid\":");
+            let ts = field_u64(line, "\"ts\":");
+            let last = last_ts.entry(tid).or_insert(0);
+            assert!(ts >= *last, "ts regressed on tid {tid}: {line}");
+            *last = ts;
+            let d = depth.entry(tid).or_insert(0);
+            *d += if line.contains("\"ph\":\"B\"") { 1 } else { -1 };
+            assert!(*d >= 0, "E without B on tid {tid}");
+        }
+        assert!(depth.values().all(|&d| d == 0), "unclosed spans: {depth:?}");
+    }
+
+    fn field_u64(line: &str, key: &str) -> u64 {
+        let at = line
+            .find(key)
+            .unwrap_or_else(|| panic!("{key} missing in {line}"))
+            + key.len();
+        line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn jsonl_lines_are_individually_valid() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_recording().records(), &mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 8, "one line per record");
+        for line in &lines {
+            assert_valid_json(line);
+            assert!(line.contains("\"kind\":\""));
+        }
+        // Span begin/end pairing survives the export.
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"span_begin\""))
+                .count(),
+            lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"span_end\""))
+                .count(),
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let c = RecordingCollector::new();
+        c.instant(
+            Phase::Bench,
+            "bad",
+            &[("x", f64::NAN.into()), ("y", f64::INFINITY.into())],
+        );
+        let mut buf = Vec::new();
+        write_jsonl(&c.records(), &mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        assert_valid_json(doc.trim());
+        assert!(doc.contains("\"x\":null"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Structured tracing, counters, and trace export for the ICED toolchain.
+//!
+//! Every interesting decision in the toolchain — Algorithm 2's II
+//! escalation and routing retries in `iced-mapper`, per-tile activity in
+//! `iced-sim`'s cycle-stepped engine, window-boundary level changes in
+//! `iced-streaming`'s runtime DVFS controller — can emit into a
+//! process-wide [`Collector`]:
+//!
+//! * [`NullCollector`] — the default; every emit site is behind a single
+//!   relaxed atomic load, so instrumentation is free when tracing is off.
+//! * [`RecordingCollector`] — in-memory recording with wall-clock span
+//!   timestamps, virtual-time (cycle-stamped) complete events, and
+//!   monotonic running counters.
+//!
+//! Recordings export to two formats (see [`export`]):
+//!
+//! * **Chrome `trace_event` JSON** — open in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev) to see mapper II attempts and
+//!   simulator tile timelines as a flame/track view.
+//! * **JSONL** — one record per line, for ad-hoc `jq`/script analysis.
+//!
+//! [`TraceSummary`] condenses a recording into per-phase top-k counters
+//! and span totals for terminal output.
+//!
+//! # Wiring
+//!
+//! The bench binaries install a collector when `ICED_TRACE=path` is set
+//! (see `iced-bench`). Library code emits through the free functions:
+//!
+//! ```
+//! use iced_trace::{Phase, span, counter};
+//!
+//! {
+//!     let _s = span(Phase::Mapper, "ii_attempt", &[("ii", 4u64.into())]);
+//!     counter(Phase::Mapper, "placement_candidates", 12);
+//! } // span closed on drop
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+pub mod export;
+mod summary;
+
+pub use collector::{
+    ArgValue, Collector, NullCollector, Phase, Record, RecordingCollector, SpanId,
+};
+pub use summary::{PhaseSummary, TraceSummary};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DETAIL: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: OnceLock<Arc<dyn Collector>> = OnceLock::new();
+
+/// Installs the process-wide collector. Returns `Err` with the rejected
+/// collector if one was already installed (first install wins).
+pub fn install(c: Arc<dyn Collector>) -> Result<(), Arc<dyn Collector>> {
+    let enabled = c.enabled();
+    match COLLECTOR.set(c) {
+        Ok(()) => {
+            ENABLED.store(enabled, Ordering::Release);
+            Ok(())
+        }
+        Err(rejected) => Err(rejected),
+    }
+}
+
+/// The installed collector, if any.
+pub fn collector() -> Option<&'static Arc<dyn Collector>> {
+    COLLECTOR.get()
+}
+
+/// Whether an enabled collector is installed. Emit sites gate on this —
+/// a single relaxed atomic load — so the disabled path stays free.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether per-event detail records (e.g. one record per FU firing in the
+/// simulator) should be emitted. Off by default even when tracing is on,
+/// because firing records scale with cycles simulated.
+#[inline]
+pub fn detail_enabled() -> bool {
+    enabled() && DETAIL.load(Ordering::Relaxed)
+}
+
+/// Turns per-event detail records on or off (see [`detail_enabled`]).
+pub fn set_detail(on: bool) {
+    DETAIL.store(on, Ordering::Release);
+}
+
+/// Adds `delta` to a named monotonic counter. No-op when disabled.
+#[inline]
+pub fn counter(phase: Phase, name: &str, delta: u64) {
+    if enabled() {
+        if let Some(c) = collector() {
+            c.counter(phase, name, delta);
+        }
+    }
+}
+
+/// Emits an instantaneous event. No-op when disabled.
+#[inline]
+pub fn instant(phase: Phase, name: &str, args: &[(&str, ArgValue)]) {
+    if enabled() {
+        if let Some(c) = collector() {
+            c.instant(phase, name, args);
+        }
+    }
+}
+
+/// Emits a virtual-time complete event (`start`/`dur` in whatever unit the
+/// caller's timeline uses — the simulator uses base cycles). `track` names
+/// the horizontal lane (e.g. a tile). No-op when disabled.
+#[inline]
+pub fn complete(
+    phase: Phase,
+    track: &str,
+    name: &str,
+    start: u64,
+    dur: u64,
+    args: &[(&str, ArgValue)],
+) {
+    if enabled() {
+        if let Some(c) = collector() {
+            c.complete(phase, track, name, start, dur, args);
+        }
+    }
+}
+
+/// Opens a wall-clock span closed when the returned guard drops.
+/// No-op (and allocation-free) when disabled.
+#[inline]
+pub fn span(phase: Phase, name: &str, args: &[(&str, ArgValue)]) -> SpanGuard {
+    if enabled() {
+        if let Some(c) = collector() {
+            return SpanGuard {
+                open: Some((c.as_ref(), c.span_begin(phase, name, args))),
+            };
+        }
+    }
+    SpanGuard { open: None }
+}
+
+/// RAII guard for a span opened with [`span`]; ends the span on drop.
+pub struct SpanGuard {
+    open: Option<(&'static dyn Collector, SpanId)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((c, id)) = self.open.take() {
+            c.span_end(id);
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("active", &self.open.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global is process-wide and tests share one process, so the
+    // global-install path is covered by a single test; everything else
+    // drives collectors directly.
+    #[test]
+    fn install_enables_and_second_install_is_rejected() {
+        assert!(!enabled());
+        counter(Phase::Mapper, "noop", 1); // no collector: must not panic
+        let rec = Arc::new(RecordingCollector::new());
+        assert!(install(rec.clone()).is_ok(), "first install");
+        assert!(enabled());
+        counter(Phase::Mapper, "c", 2);
+        {
+            let _s = span(Phase::Sim, "s", &[("k", "v".into())]);
+            instant(Phase::Controller, "i", &[]);
+        }
+        complete(Phase::Sim, "t0", "fire", 3, 2, &[]);
+        let records = rec.records();
+        assert!(records.len() >= 4);
+        assert!(install(Arc::new(NullCollector)).is_err());
+        // Collector reference survives; counter totals visible.
+        assert_eq!(rec.counter_total(Phase::Mapper, "c"), 2);
+    }
+}

@@ -38,11 +38,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let iced = simulate(&pipeline, &partition, &model, &inference, RuntimePolicy::IcedDvfs);
-    let drips = simulate(&pipeline, &partition, &model, &inference, RuntimePolicy::Drips);
+    let iced = simulate(
+        &pipeline,
+        &partition,
+        &model,
+        &inference,
+        RuntimePolicy::IcedDvfs,
+    );
+    let drips = simulate(
+        &pipeline,
+        &partition,
+        &model,
+        &inference,
+        RuntimePolicy::Drips,
+    );
 
     println!("\nper-window energy efficiency (ICED / DRIPS), one row per 10 inputs:");
-    println!("{:>6} {:>14} {:>14} {:>8}", "window", "iced ppw", "drips ppw", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "window", "iced ppw", "drips ppw", "ratio"
+    );
     for (a, b) in iced.samples.iter().zip(&drips.samples).take(15) {
         println!(
             "{:>6} {:>14.0} {:>14.0} {:>8.3}",

@@ -1,0 +1,46 @@
+//! Trace replay: compile a kernel, run it on the cycle-stepped engine with
+//! per-firing detail tracing, and export a Chrome trace whose virtual-time
+//! lanes show every FU firing per tile — open the file in
+//! <https://ui.perfetto.dev> to scrub through the steady-state schedule.
+//!
+//! ```sh
+//! cargo run --example trace_replay            # writes trace_replay.json
+//! cargo run --example trace_replay -- out.json
+//! ```
+
+use std::sync::Arc;
+
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::trace::{RecordingCollector, TraceSummary};
+use iced::{Strategy, Toolchain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_replay.json".to_string());
+
+    // Record everything, including one event per simulated FU firing.
+    let collector = Arc::new(RecordingCollector::new());
+    iced::trace::install(collector.clone()).map_err(|_| "a collector is already installed")?;
+    iced::trace::set_detail(true);
+
+    let toolchain = Toolchain::prototype();
+    let dfg = Kernel::Fir.dfg(UnrollFactor::X1);
+    let compiled = toolchain.compile(&dfg, Strategy::IcedIslands)?;
+    let report = iced::sim::run_engine(&dfg, compiled.mapping(), 16, 7)?;
+    println!(
+        "fir @ II={}: {} ops over {} cycles ({}% FU activity)",
+        compiled.mapping().ii(),
+        report.ops_executed,
+        report.cycles,
+        (100.0 * report.fu_activity()).round()
+    );
+
+    let records = collector.records();
+    let mut json = Vec::new();
+    iced::trace::export::write_chrome_trace(&records, &mut json)?;
+    std::fs::write(&out, &json)?;
+    println!("wrote {out} ({} records)", records.len());
+    print!("{}", TraceSummary::from_records(&records));
+    Ok(())
+}

@@ -17,6 +17,7 @@
 //! | [`sim`] | `iced-sim` | schedule validation, activity metrics, functional replay |
 //! | [`streaming`] | `iced-streaming` | partitioning, runtime DVFS controller, DRIPS |
 //! | [`kernels`] | `iced-kernels` | Table I kernel suite, workloads, pipelines |
+//! | [`trace`] | `iced-trace` | structured tracing, counters, Chrome-trace/JSONL export |
 //!
 //! The [`Toolchain`] type provides the integrated flow the paper's Figure 7
 //! describes: pick a strategy, compile a kernel, inspect utilization / DVFS
@@ -52,12 +53,13 @@ pub use iced_mapper as mapper;
 pub use iced_power as power;
 pub use iced_sim as sim;
 pub use iced_streaming as streaming;
+pub use iced_trace as trace;
 
 use iced_arch::CgraConfig;
 use iced_dfg::Dfg;
 use iced_mapper::{
-    map_baseline, map_with, power_gate_idle, relax_islands, relax_per_tile, MapError, Mapping,
-    MapperOptions,
+    map_baseline, map_with, power_gate_idle, relax_islands, relax_per_tile, MapError,
+    MapperOptions, Mapping,
 };
 use iced_power::PowerModel;
 use iced_sim::{DvfsSupport, EnergyBreakdown, FabricStats};

@@ -133,8 +133,16 @@ fn fig4_no_slowdown_at_2x2_islands_vs_per_tile() {
     let tc_t = Toolchain::new(cfg_tile);
     for k in [Kernel::Fir, Kernel::Conv, Kernel::Gemm, Kernel::Histogram] {
         let dfg = k.dfg(UnrollFactor::X1);
-        let ii_island = tc_i.compile(&dfg, Strategy::IcedIslands).unwrap().mapping().ii();
-        let ii_tile = tc_t.compile(&dfg, Strategy::PerTileDvfs).unwrap().mapping().ii();
+        let ii_island = tc_i
+            .compile(&dfg, Strategy::IcedIslands)
+            .unwrap()
+            .mapping()
+            .ii();
+        let ii_tile = tc_t
+            .compile(&dfg, Strategy::PerTileDvfs)
+            .unwrap()
+            .mapping()
+            .ii();
         assert!(
             ii_island <= ii_tile,
             "{}: 2x2 islands II {} vs per-tile II {}",

@@ -18,7 +18,10 @@ fn run(pipeline: &Pipeline, inputs: &[u64]) -> (f64, f64) {
 
 #[test]
 fn gcn_energy_efficiency_beats_drips() {
-    let inputs: Vec<u64> = workloads::enzymes_like(150, 9).iter().map(|g| g.nnz()).collect();
+    let inputs: Vec<u64> = workloads::enzymes_like(150, 9)
+        .iter()
+        .map(|g| g.nnz())
+        .collect();
     let (iced, drips) = run(&Pipeline::gcn(), &inputs);
     let ratio = iced / drips;
     // Paper: ~1.12x average on GCN. Shape requirement: > 1, < 1.6.
@@ -28,8 +31,10 @@ fn gcn_energy_efficiency_beats_drips() {
 
 #[test]
 fn lu_energy_efficiency_beats_drips_more_than_gcn() {
-    let gcn_inputs: Vec<u64> =
-        workloads::enzymes_like(150, 9).iter().map(|g| g.nnz()).collect();
+    let gcn_inputs: Vec<u64> = workloads::enzymes_like(150, 9)
+        .iter()
+        .map(|g| g.nnz())
+        .collect();
     let lu_inputs: Vec<u64> = workloads::suitesparse_like(150, 11)
         .iter()
         .map(|m| m.nnz as u64)
@@ -51,7 +56,10 @@ fn exhaustive_partition_is_no_worse_than_table1_for_throughput() {
     let cfg = CgraConfig::iced_prototype();
     let model = PowerModel::asap7();
     let pipeline = Pipeline::gcn();
-    let inputs: Vec<u64> = workloads::enzymes_like(60, 5).iter().map(|g| g.nnz()).collect();
+    let inputs: Vec<u64> = workloads::enzymes_like(60, 5)
+        .iter()
+        .map(|g| g.nnz())
+        .collect();
     let profile: Vec<u64> = inputs.iter().copied().take(50).collect();
     let t1 = Partition::table1(&pipeline, &cfg).unwrap();
     let ex = Partition::exhaustive(&pipeline, &cfg, &profile).unwrap();
@@ -90,7 +98,10 @@ fn window_series_has_expected_length_and_positive_samples() {
     let cfg = CgraConfig::iced_prototype();
     let model = PowerModel::asap7();
     let pipeline = Pipeline::lu();
-    let inputs: Vec<u64> = workloads::suitesparse_like(97, 3).iter().map(|m| m.nnz as u64).collect();
+    let inputs: Vec<u64> = workloads::suitesparse_like(97, 3)
+        .iter()
+        .map(|m| m.nnz as u64)
+        .collect();
     let part = Partition::table1(&pipeline, &cfg).unwrap();
     let r = simulate(&pipeline, &part, &model, &inputs, RuntimePolicy::IcedDvfs);
     assert_eq!(r.samples.len(), 97usize.div_ceil(10));

@@ -53,7 +53,12 @@ fn engine_agrees_with_metrics_on_dvfs_mappings() {
     let iters = 32u64;
     let r = engine::run(&dfg, c.mapping(), iters, 8).unwrap();
     // Total FU base-cycles = Σ per-op rate × iterations, exactly.
-    let expected: u64 = c.mapping().placements().iter().map(|p| p.rate as u64 * iters).sum();
+    let expected: u64 = c
+        .mapping()
+        .placements()
+        .iter()
+        .map(|p| p.rate as u64 * iters)
+        .sum();
     assert_eq!(r.fu_busy.iter().sum::<u64>(), expected);
 }
 
@@ -85,7 +90,9 @@ fn renderer_shows_schedule_and_levels() {
 #[test]
 fn spm_plans_exist_for_every_kernel_and_respect_banking() {
     for kernel in Kernel::ALL {
-        let plan = kernel.spm_plan().unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let plan = kernel
+            .spm_plan()
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
         assert!(plan.total_bytes() <= 32 * 1024, "{}", kernel.name());
         assert!(plan.tiling_factor.is_power_of_two(), "{}", kernel.name());
         for &bank in &plan.bank_of {
@@ -93,7 +100,10 @@ fn spm_plans_exist_for_every_kernel_and_respect_banking() {
         }
     }
     // Deterministic: the same kernel always gets the same plan.
-    assert_eq!(Kernel::Gemm.spm_plan().unwrap(), Kernel::Gemm.spm_plan().unwrap());
+    assert_eq!(
+        Kernel::Gemm.spm_plan().unwrap(),
+        Kernel::Gemm.spm_plan().unwrap()
+    );
     let _ = spm::allocate(&Kernel::Fir.buffers(), 8, 4).unwrap();
 }
 
