@@ -14,6 +14,11 @@
 //! (`start ≡ 0 (mod r)`); reservation methods take the window length so the
 //! same structure serves normal, relax, and rest tiles. Callers guarantee
 //! `r` divides `II`, which makes the wrapped windows tessellate.
+//!
+//! FU and link occupancy is stored as packed `u64` words — one bit per
+//! modulo cycle — so a window probe is a handful of word-mask tests instead
+//! of a per-cycle loop. Register occupancy stays a `u8` count per slot
+//! (capacity can exceed 1).
 
 use crate::config::CgraConfig;
 use crate::error::ArchError;
@@ -25,12 +30,66 @@ pub struct Mrrg {
     ii: u32,
     tiles: usize,
     reg_capacity: u8,
-    /// `[tile * ii + cycle]`
-    fu: Vec<bool>,
-    /// `[(tile * 4 + dir) * ii + cycle]`
-    link: Vec<bool>,
+    /// `u64` words per bit track (`ceil(ii / 64)`).
+    words: usize,
+    /// One bit track per tile: `[tile * words ..][cycle bit]`.
+    fu: Vec<u64>,
+    /// One bit track per (tile, dir): `[(tile * 4 + dir) * words ..]`.
+    link: Vec<u64>,
     /// `[tile * ii + cycle]` — number of live register slots.
     reg: Vec<u8>,
+}
+
+/// Whether all `len` bits starting at `bit` are clear in the track at
+/// `words[base..]`. `bit + len` must not exceed the track's bit width.
+#[inline]
+fn track_free(words: &[u64], base: usize, bit: u64, len: u64) -> bool {
+    let mut w = base + (bit / 64) as usize;
+    let mut b = bit % 64;
+    let mut rem = len;
+    while rem > 0 {
+        let take = rem.min(64 - b);
+        let mask = (u64::MAX >> (64 - take)) << b;
+        if words[w] & mask != 0 {
+            return false;
+        }
+        rem -= take;
+        b = 0;
+        w += 1;
+    }
+    true
+}
+
+/// Sets `len` bits starting at `bit` in the track at `words[base..]`.
+#[inline]
+fn track_set(words: &mut [u64], base: usize, bit: u64, len: u64) {
+    let mut w = base + (bit / 64) as usize;
+    let mut b = bit % 64;
+    let mut rem = len;
+    while rem > 0 {
+        let take = rem.min(64 - b);
+        let mask = (u64::MAX >> (64 - take)) << b;
+        words[w] |= mask;
+        rem -= take;
+        b = 0;
+        w += 1;
+    }
+}
+
+/// Clears `len` bits starting at `bit` in the track at `words[base..]`.
+#[inline]
+fn track_clear(words: &mut [u64], base: usize, bit: u64, len: u64) {
+    let mut w = base + (bit / 64) as usize;
+    let mut b = bit % 64;
+    let mut rem = len;
+    while rem > 0 {
+        let take = rem.min(64 - b);
+        let mask = (u64::MAX >> (64 - take)) << b;
+        words[w] &= !mask;
+        rem -= take;
+        b = 0;
+        w += 1;
+    }
 }
 
 impl Mrrg {
@@ -44,14 +103,15 @@ impl Mrrg {
             return Err(ArchError::ZeroInitiationInterval);
         }
         let tiles = config.tile_count();
-        let n = tiles * ii as usize;
+        let words = (ii as usize).div_ceil(64);
         Ok(Mrrg {
             ii,
             tiles,
             reg_capacity: config.reg_capacity(),
-            fu: vec![false; n],
-            link: vec![false; n * 4],
-            reg: vec![0; n],
+            words,
+            fu: vec![0; tiles * words],
+            link: vec![0; tiles * 4 * words],
+            reg: vec![0; tiles * ii as usize],
         })
     }
 
@@ -60,19 +120,37 @@ impl Mrrg {
         self.ii
     }
 
+    /// Clears every reservation in place, yielding the same state as a
+    /// fresh [`Mrrg::new`] without reallocating. Lets a mapper reuse one
+    /// allocation across retry attempts at the same II.
+    pub fn reset(&mut self) {
+        self.fu.fill(0);
+        self.link.fill(0);
+        self.reg.fill(0);
+    }
+
     fn slot(&self, tile: TileId, cycle: u64) -> usize {
         debug_assert!(tile.index() < self.tiles, "tile out of range");
         tile.index() * self.ii as usize + (cycle % self.ii as u64) as usize
     }
 
-    fn link_slot(&self, tile: TileId, dir: Dir, cycle: u64) -> usize {
-        (tile.index() * 4 + dir.index()) * self.ii as usize + (cycle % self.ii as u64) as usize
+    /// Splits the wrapped modulo window `[start, start + len)` into its
+    /// unwrapped head (starting at `start mod II`) and, when the window
+    /// crosses the period boundary, a tail starting at cycle 0.
+    #[inline]
+    fn window(&self, start: u64, len: u64) -> (u64, u64, u64) {
+        debug_assert!(len <= self.ii as u64, "window longer than the period");
+        let s = start % self.ii as u64;
+        let head = len.min(self.ii as u64 - s);
+        (s, head, len - head)
     }
 
     /// Whether the FU of `tile` is free for a window of `len` base cycles
     /// starting at absolute base cycle `start`.
     pub fn fu_free(&self, tile: TileId, start: u64, len: u32) -> bool {
-        (0..len as u64).all(|i| !self.fu[self.slot(tile, start + i)])
+        let base = tile.index() * self.words;
+        let (s, head, tail) = self.window(start, len as u64);
+        track_free(&self.fu, base, s, head) && (tail == 0 || track_free(&self.fu, base, 0, tail))
     }
 
     /// Reserves the FU window. Call only after [`fu_free`](Mrrg::fu_free).
@@ -81,40 +159,51 @@ impl Mrrg {
     ///
     /// Panics in debug builds if part of the window is already occupied.
     pub fn occupy_fu(&mut self, tile: TileId, start: u64, len: u32) {
-        for i in 0..len as u64 {
-            let s = self.slot(tile, start + i);
-            debug_assert!(!self.fu[s], "double-booked FU slot");
-            self.fu[s] = true;
+        debug_assert!(self.fu_free(tile, start, len), "double-booked FU slot");
+        let base = tile.index() * self.words;
+        let (s, head, tail) = self.window(start, len as u64);
+        track_set(&mut self.fu, base, s, head);
+        if tail > 0 {
+            track_set(&mut self.fu, base, 0, tail);
         }
     }
 
     /// Releases a previously reserved FU window.
     pub fn release_fu(&mut self, tile: TileId, start: u64, len: u32) {
-        for i in 0..len as u64 {
-            let s = self.slot(tile, start + i);
-            self.fu[s] = false;
+        let base = tile.index() * self.words;
+        let (s, head, tail) = self.window(start, len as u64);
+        track_clear(&mut self.fu, base, s, head);
+        if tail > 0 {
+            track_clear(&mut self.fu, base, 0, tail);
         }
     }
 
     /// Whether the outgoing link of `tile` towards `dir` is free for `len`
     /// base cycles starting at `start`.
     pub fn link_free(&self, tile: TileId, dir: Dir, start: u64, len: u32) -> bool {
-        (0..len as u64).all(|i| !self.link[self.link_slot(tile, dir, start + i)])
+        let base = (tile.index() * 4 + dir.index()) * self.words;
+        let (s, head, tail) = self.window(start, len as u64);
+        track_free(&self.link, base, s, head)
+            && (tail == 0 || track_free(&self.link, base, 0, tail))
     }
 
     /// Reserves a link window.
     pub fn occupy_link(&mut self, tile: TileId, dir: Dir, start: u64, len: u32) {
-        for i in 0..len as u64 {
-            let s = self.link_slot(tile, dir, start + i);
-            self.link[s] = true;
+        let base = (tile.index() * 4 + dir.index()) * self.words;
+        let (s, head, tail) = self.window(start, len as u64);
+        track_set(&mut self.link, base, s, head);
+        if tail > 0 {
+            track_set(&mut self.link, base, 0, tail);
         }
     }
 
     /// Releases a link window.
     pub fn release_link(&mut self, tile: TileId, dir: Dir, start: u64, len: u32) {
-        for i in 0..len as u64 {
-            let s = self.link_slot(tile, dir, start + i);
-            self.link[s] = false;
+        let base = (tile.index() * 4 + dir.index()) * self.words;
+        let (s, head, tail) = self.window(start, len as u64);
+        track_clear(&mut self.link, base, s, head);
+        if tail > 0 {
+            track_clear(&mut self.link, base, 0, tail);
         }
     }
 
@@ -150,22 +239,22 @@ impl Mrrg {
     /// Number of occupied FU base-cycle slots on `tile` (used by the
     /// utilization accounting).
     pub fn fu_busy_cycles(&self, tile: TileId) -> u32 {
-        let base = tile.index() * self.ii as usize;
-        self.fu[base..base + self.ii as usize]
+        let base = tile.index() * self.words;
+        self.fu[base..base + self.words]
             .iter()
-            .filter(|&&b| b)
-            .count() as u32
+            .map(|w| w.count_ones())
+            .sum()
     }
 
     /// Number of occupied outgoing-link base-cycle slots on `tile`.
     pub fn link_busy_cycles(&self, tile: TileId) -> u32 {
         let mut n = 0;
         for dir in Dir::ALL {
-            let base = (tile.index() * 4 + dir.index()) * self.ii as usize;
-            n += self.link[base..base + self.ii as usize]
+            let base = (tile.index() * 4 + dir.index()) * self.words;
+            n += self.link[base..base + self.words]
                 .iter()
-                .filter(|&&b| b)
-                .count() as u32;
+                .map(|w| w.count_ones())
+                .sum::<u32>();
         }
         n
     }
@@ -199,6 +288,39 @@ mod tests {
         assert_eq!(m.fu_busy_cycles(t), 4);
         m.release_fu(t, 4, 4);
         assert!(m.fu_free(t, 0, 4));
+    }
+
+    #[test]
+    fn windows_crossing_the_period_boundary_split() {
+        // II = 6: a window starting at cycle 5 of length 2 wraps to 5, 0.
+        let mut m = mrrg(6);
+        let t = TileId(7);
+        m.occupy_fu(t, 5, 2);
+        assert!(!m.fu_free(t, 5, 1));
+        assert!(!m.fu_free(t, 0, 1));
+        assert!(m.fu_free(t, 1, 4));
+        assert_eq!(m.fu_busy_cycles(t), 2);
+        m.release_fu(t, 5, 2);
+        assert_eq!(m.fu_busy_cycles(t), 0);
+    }
+
+    #[test]
+    fn wide_periods_span_multiple_words() {
+        // II = 96 > 64 exercises the two-word track path.
+        let mut m = mrrg(96);
+        let t = TileId(3);
+        m.occupy_fu(t, 62, 4); // straddles the word boundary at bit 64
+        assert!(!m.fu_free(t, 63, 1));
+        assert!(!m.fu_free(t, 65, 1));
+        assert!(m.fu_free(t, 66, 4));
+        assert_eq!(m.fu_busy_cycles(t), 4);
+        m.occupy_link(t, Dir::West, 94, 2);
+        assert!(!m.link_free(t, Dir::West, 95, 1));
+        assert!(m.link_free(t, Dir::West, 0, 64));
+        assert_eq!(m.link_busy_cycles(t), 2);
+        m.release_link(t, Dir::West, 94, 2);
+        m.release_fu(t, 62, 4);
+        assert!(m.fu_free(t, 0, 96));
     }
 
     #[test]
@@ -241,6 +363,21 @@ mod tests {
         }
         m.release_reg(t, 1, 100);
         assert!(m.reg_available(t, 0, 4));
+    }
+
+    #[test]
+    fn reset_clears_everything_in_place() {
+        let mut m = mrrg(4);
+        let t = TileId(6);
+        m.occupy_fu(t, 1, 2);
+        m.occupy_link(t, Dir::North, 0, 1);
+        m.occupy_reg(t, 2, 3);
+        m.reset();
+        assert!(m.fu_free(t, 0, 4));
+        assert!(m.link_free(t, Dir::North, 0, 4));
+        assert!(m.reg_available(t, 0, 4));
+        assert_eq!(m.fu_busy_cycles(t), 0);
+        assert_eq!(m.link_busy_cycles(t), 0);
     }
 
     #[test]

@@ -69,7 +69,7 @@ fn bench_engine(c: &mut Criterion) {
     for k in [Kernel::Fir, Kernel::Fft] {
         let dfg = k.dfg(UnrollFactor::X1);
         let compiled = tc.compile(&dfg, Strategy::IcedIslands).expect("maps");
-        g.bench_function(format!("cycle_step_64_{}", k.name()), |b| {
+        g.bench_function(&format!("cycle_step_64_{}", k.name()), |b| {
             b.iter(|| {
                 iced::sim::engine::run(black_box(&dfg), compiled.mapping(), 64, 1)
                     .expect("legal schedule")

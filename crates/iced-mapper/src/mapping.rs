@@ -149,6 +149,19 @@ impl Mapping {
         p.max(r)
     }
 
+    /// Whether two mappings are the same result: kernel, II, placements,
+    /// routes and DVFS assignment all match (the embedded `CgraConfig` is
+    /// not compared). The portfolio determinism tests use this to assert
+    /// that `threads = N` reproduces the serial mapper exactly.
+    pub fn result_eq(&self, other: &Mapping) -> bool {
+        self.kernel == other.kernel
+            && self.ii == other.ii
+            && self.placements == other.placements
+            && self.routes == other.routes
+            && self.island_levels == other.island_levels
+            && self.tile_levels == other.tile_levels
+    }
+
     /// Average DVFS level across tiles (normal = 100 %, relax = 50 %,
     /// rest = 25 %, power-gated = 0 %) — the paper's Figure 10/12 metric.
     pub fn average_dvfs_level(&self) -> f64 {

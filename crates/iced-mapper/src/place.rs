@@ -17,6 +17,9 @@
 //! slower clock could no longer honour the reservation. Unused islands are
 //! power-gated in the final mapping.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use iced_arch::{CgraConfig, DvfsLevel, IslandId, Mrrg, TileId};
 use iced_dfg::{Dfg, NodeId};
 use iced_trace::Phase;
@@ -24,7 +27,7 @@ use iced_trace::Phase;
 use crate::error::MapError;
 use crate::labeling::label_dvfs_levels;
 use crate::mapping::{Mapping, Placement, Route};
-use crate::router::{route, Txn};
+use crate::router::{route, RouterScratch, Txn};
 
 /// Options controlling the mapping engine.
 #[derive(Debug, Clone)]
@@ -58,6 +61,14 @@ pub struct MapperOptions {
     /// escalating the II (ablation knob; disabling gives up DVFS quality
     /// whenever the most aggressive labeling fails).
     pub label_ladder: bool,
+    /// Worker threads for the speculative portfolio search over
+    /// `(II, label-rung)` attempts. `0` (the default) resolves the
+    /// `ICED_MAP_THREADS` environment variable and falls back to the
+    /// machine's available parallelism; `1` runs the exact serial
+    /// escalation loop. Every thread count returns a bit-identical
+    /// `Mapping`: a speculative success is only accepted once each attempt
+    /// the serial loop would have tried first has failed.
+    pub threads: usize,
 }
 
 impl Default for MapperOptions {
@@ -71,6 +82,7 @@ impl Default for MapperOptions {
             spread: false,
             cycle_first: true,
             label_ladder: true,
+            threads: 0,
         }
     }
 }
@@ -139,6 +151,7 @@ pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<
         .max(mem_mii)
         .max(opts.min_ii)
         .max(1);
+    let threads = resolve_threads(opts);
     let _map_span = iced_trace::span(
         Phase::Mapper,
         "map",
@@ -147,8 +160,49 @@ pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<
             ("start_ii", u64::from(start_ii).into()),
             ("max_ii", u64::from(opts.max_ii).into()),
             ("dvfs_aware", opts.dvfs_aware.into()),
+            ("threads", (threads as u64).into()),
         ],
     );
+    let found = if threads <= 1 || start_ii > opts.max_ii {
+        map_serial(dfg, config, opts, start_ii)
+    } else {
+        map_portfolio(dfg, config, opts, start_ii, threads)
+    };
+    if let Some(mapping) = found {
+        trace_mapped(&mapping, start_ii);
+        return Ok(mapping);
+    }
+    iced_trace::counter(Phase::Mapper, "map_failures", 1);
+    Err(MapError::IiExceeded {
+        max_ii: opts.max_ii,
+    })
+}
+
+/// Worker-thread count: an explicit `opts.threads` wins, then the
+/// `ICED_MAP_THREADS` environment variable, then available parallelism.
+fn resolve_threads(opts: &MapperOptions) -> usize {
+    if opts.threads != 0 {
+        return opts.threads;
+    }
+    if let Some(v) = std::env::var_os("ICED_MAP_THREADS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The serial II-escalation loop (Algorithm 2's `II = II + 1`), also the
+/// reference semantics the portfolio must reproduce.
+fn map_serial(
+    dfg: &Dfg,
+    config: &CgraConfig,
+    opts: &MapperOptions,
+    start_ii: u32,
+) -> Option<Mapping> {
+    let mut runner = AttemptRunner::default();
     for ii in start_ii..=opts.max_ii {
         let _ii_span =
             iced_trace::span(Phase::Mapper, "ii_attempt", &[("ii", u64::from(ii).into())]);
@@ -158,19 +212,199 @@ pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<
         // progressively conservative labels (rest → relax, then all-normal).
         // The all-normal attempt makes the DVFS-aware mapper never slower
         // than the baseline at the same II — the paper's Fig. 4 property.
-        for (labels, spread) in label_attempts(dfg, config, opts, ii) {
+        let mut ladder = LabelLadder::new(dfg, config, opts, ii);
+        for rung in 0..ladder.rungs() {
+            if !ladder.active(rung) {
+                continue;
+            }
             iced_trace::counter(Phase::Mapper, "label_attempts", 1);
-            let mut engine = Engine::new(dfg, config, opts, ii, labels, spread)?;
-            if let Some(mapping) = engine.run() {
-                trace_mapped(&mapping, start_ii);
-                return Ok(mapping);
+            let (labels, spread) = ladder.rung(rung);
+            if let Some(mapping) =
+                runner.run(dfg, config, opts, ii, labels, spread, CancelToken::none())
+            {
+                return Some(mapping);
             }
         }
     }
-    iced_trace::counter(Phase::Mapper, "map_failures", 1);
-    Err(MapError::IiExceeded {
-        max_ii: opts.max_ii,
-    })
+    None
+}
+
+/// Speculative parallel search over the same attempt sequence. Attempts are
+/// numbered globally — attempt `g` is `(II = start_ii + g / grid, rung =
+/// g % grid)`, exactly the serial order — and claimed from a shared counter
+/// by scoped worker threads.
+fn map_portfolio(
+    dfg: &Dfg,
+    config: &CgraConfig,
+    opts: &MapperOptions,
+    start_ii: u32,
+    threads: usize,
+) -> Option<Mapping> {
+    let grid = LabelLadder::grid(opts);
+    let total = (opts.max_ii - start_ii + 1) as usize * grid;
+    let portfolio = Portfolio {
+        dfg,
+        cfg: config,
+        opts,
+        start_ii,
+        grid,
+        total,
+        next: AtomicUsize::new(0),
+        best: AtomicUsize::new(usize::MAX),
+        winner: Mutex::new(None),
+    };
+    let workers = threads.min(total).max(1);
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(|| portfolio.worker());
+        }
+        portfolio.worker();
+    });
+    let winner = portfolio
+        .winner
+        .into_inner()
+        .expect("portfolio winner lock");
+    winner.map(|(_, mapping)| mapping)
+}
+
+/// Shared state of one portfolio search.
+///
+/// Determinism rule: a success at global index `s` may only be returned
+/// once every attempt with index `< s` has *failed*. Workers enforce this
+/// by never cancelling an attempt unless a strictly earlier one succeeded
+/// (`best < idx`), so everything the serial loop would have executed before
+/// the winner runs to completion here too; the final winner — the minimum
+/// successful index — is then exactly the serial result. `best` doubles as
+/// the cancellation signal for later speculative attempts and the claim
+/// cutoff (no new attempt past a known success is started).
+struct Portfolio<'a> {
+    dfg: &'a Dfg,
+    cfg: &'a CgraConfig,
+    opts: &'a MapperOptions,
+    start_ii: u32,
+    grid: usize,
+    total: usize,
+    next: AtomicUsize,
+    best: AtomicUsize,
+    winner: Mutex<Option<(usize, Mapping)>>,
+}
+
+impl Portfolio<'_> {
+    fn worker(&self) {
+        let mut runner = AttemptRunner::default();
+        let mut ladder: Option<(u32, LabelLadder)> = None;
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.total || idx > self.best.load(Ordering::Acquire) {
+                return;
+            }
+            let ii = self.start_ii + (idx / self.grid) as u32;
+            let rung = idx % self.grid;
+            if !matches!(&ladder, Some((lii, _)) if *lii == ii) {
+                ladder = Some((ii, LabelLadder::new(self.dfg, self.cfg, self.opts, ii)));
+            }
+            let lad = &mut ladder.as_mut().expect("ladder just set").1;
+            if !lad.active(rung) {
+                continue;
+            }
+            if rung == 0 {
+                iced_trace::counter(Phase::Mapper, "ii_attempts", 1);
+            }
+            iced_trace::counter(Phase::Mapper, "label_attempts", 1);
+            let _attempt_span = iced_trace::span(
+                Phase::Mapper,
+                "ii_attempt",
+                &[("ii", u64::from(ii).into()), ("rung", (rung as u64).into())],
+            );
+            let (labels, spread) = lad.rung(rung);
+            let cancel = CancelToken {
+                best: &self.best,
+                idx,
+            };
+            if let Some(mapping) =
+                runner.run(self.dfg, self.cfg, self.opts, ii, labels, spread, cancel)
+            {
+                self.record(idx, mapping);
+            }
+        }
+    }
+
+    fn record(&self, idx: usize, mapping: Mapping) {
+        let mut winner = self.winner.lock().expect("portfolio winner lock");
+        if winner.as_ref().is_none_or(|&(best_idx, _)| idx < best_idx) {
+            *winner = Some((idx, mapping));
+            self.best.fetch_min(idx, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Cooperative cancellation for speculative attempts: attempt `idx` stops
+/// early once some strictly earlier attempt has succeeded. The winner
+/// itself (`best == idx`) and every attempt before it are never cancelled
+/// — required for the portfolio's determinism rule.
+#[derive(Clone, Copy)]
+struct CancelToken<'a> {
+    best: &'a AtomicUsize,
+    idx: usize,
+}
+
+impl CancelToken<'_> {
+    fn none() -> CancelToken<'static> {
+        static NEVER: AtomicUsize = AtomicUsize::new(usize::MAX);
+        CancelToken {
+            best: &NEVER,
+            idx: 0,
+        }
+    }
+
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.best.load(Ordering::Relaxed) < self.idx
+    }
+}
+
+/// Per-worker attempt driver owning the reusable allocations: one `Mrrg`
+/// (reset in place between rungs at the same II instead of reallocated)
+/// and the router's scratch buffers (arena, visited bitvec, bucket spine).
+#[derive(Default)]
+struct AttemptRunner {
+    mrrg: Option<Mrrg>,
+    scratch: RouterScratch,
+}
+
+impl AttemptRunner {
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &mut self,
+        dfg: &Dfg,
+        cfg: &CgraConfig,
+        opts: &MapperOptions,
+        ii: u32,
+        labels: &[DvfsLevel],
+        spread: bool,
+        cancel: CancelToken<'_>,
+    ) -> Option<Mapping> {
+        let mrrg = match self.mrrg.take() {
+            Some(mut m) if m.ii() == ii => {
+                m.reset();
+                m
+            }
+            _ => Mrrg::new(cfg, ii).expect("mapper II is always nonzero"),
+        };
+        let mrrg = self.mrrg.insert(mrrg);
+        let mut engine = Engine::new(
+            dfg,
+            cfg,
+            opts,
+            ii,
+            labels,
+            spread,
+            mrrg,
+            &mut self.scratch,
+            cancel,
+        );
+        engine.run()
+    }
 }
 
 /// Emits the final-mapping instant event: achieved II, how far the II
@@ -226,8 +460,10 @@ struct Engine<'a> {
     cfg: &'a CgraConfig,
     opts: &'a MapperOptions,
     ii: u32,
-    labels: Vec<DvfsLevel>,
-    mrrg: Mrrg,
+    labels: &'a [DvfsLevel],
+    mrrg: &'a mut Mrrg,
+    scratch: &'a mut RouterScratch,
+    cancel: CancelToken<'a>,
     rates: Vec<u32>,
     island_assigned: Vec<Option<DvfsLevel>>,
     placements: Vec<Option<Placement>>,
@@ -251,21 +487,28 @@ const W_OPEN: u64 = 6;
 const W_MEM: u64 = 20;
 
 impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         dfg: &'a Dfg,
         cfg: &'a CgraConfig,
         opts: &'a MapperOptions,
         ii: u32,
-        labels: Vec<DvfsLevel>,
+        labels: &'a [DvfsLevel],
         spread: bool,
-    ) -> Result<Self, MapError> {
+        mrrg: &'a mut Mrrg,
+        scratch: &'a mut RouterScratch,
+        cancel: CancelToken<'a>,
+    ) -> Self {
+        debug_assert_eq!(mrrg.ii(), ii);
         let mut engine = Engine {
             dfg,
             cfg,
             opts,
             ii,
             labels,
-            mrrg: Mrrg::new(cfg, ii)?,
+            mrrg,
+            scratch,
+            cancel,
             rates: vec![1; cfg.tile_count()],
             island_assigned: vec![None; cfg.island_count()],
             placements: vec![None; dfg.node_count()],
@@ -284,11 +527,15 @@ impl<'a> Engine<'a> {
         }
         engine.on_cycle = on_cycle;
         engine.asap = engine.asap_times();
-        Ok(engine)
+        engine
     }
 
     fn run(&mut self) -> Option<Mapping> {
         for node in self.placement_order() {
+            if self.cancel.cancelled() {
+                iced_trace::counter(Phase::Mapper, "attempts_cancelled", 1);
+                return None;
+            }
             if !self.place_node(node) {
                 return None;
             }
@@ -429,6 +676,9 @@ impl<'a> Engine<'a> {
             candidates.len() as u64,
         );
         for (_, tile) in candidates {
+            if self.cancel.cancelled() {
+                return false;
+            }
             if self.commit(node, label, tile) {
                 iced_trace::counter(Phase::Mapper, "nodes_placed", 1);
                 if std::env::var_os("ICED_MAPPER_DEBUG").is_some_and(|v| v == "2") {
@@ -576,7 +826,7 @@ impl<'a> Engine<'a> {
                 ready + 4 * self.cfg.manhattan(p.tile, tile) as u64 + 6 * self.ii as u64 + 32;
             let Some(found) = route(
                 self.cfg,
-                &mut self.mrrg,
+                self.mrrg,
                 &self.rates,
                 &self.virgin,
                 p.tile,
@@ -585,6 +835,7 @@ impl<'a> Engine<'a> {
                 None,
                 horizon,
                 &mut txn,
+                self.scratch,
             ) else {
                 self.debug_abort(node, tile, "in-route failed", e.id());
                 return self.abort(txn, opened);
@@ -621,7 +872,7 @@ impl<'a> Engine<'a> {
             self.debug_abort(node, tile, "no FU slot", iced_dfg::EdgeId::from_index(0));
             return self.abort(txn, opened);
         };
-        txn.occupy_fu(&mut self.mrrg, tile, start, rate);
+        txn.occupy_fu(self.mrrg, tile, start, rate);
         let mut new_routes: Vec<(usize, Route)> = Vec::new();
         for (eid, fr, d) in &in_routes {
             let consume = start + *d as u64 * self.ii as u64;
@@ -658,7 +909,7 @@ impl<'a> Engine<'a> {
             let e = self.dfg.edge(eid);
             let Some(found) = route(
                 self.cfg,
-                &mut self.mrrg,
+                self.mrrg,
                 &self.rates,
                 &self.virgin,
                 tile,
@@ -667,6 +918,7 @@ impl<'a> Engine<'a> {
                 Some(deadline),
                 deadline,
                 &mut txn,
+                self.scratch,
             ) else {
                 self.debug_abort(node, tile, "out-route failed", e.id());
                 return self.abort(txn, opened);
@@ -726,7 +978,7 @@ impl<'a> Engine<'a> {
 
     fn abort(&mut self, txn: Txn, opened: Vec<IslandId>) -> bool {
         iced_trace::counter(Phase::Mapper, "commit_aborts", 1);
-        txn.rollback(&mut self.mrrg);
+        txn.rollback(self.mrrg);
         for island in opened {
             self.island_assigned[island.index()] = None;
             for t in self.cfg.island_tiles(island) {
@@ -779,54 +1031,126 @@ fn hops_latency(fr: &crate::router::FoundRoute) -> u64 {
         .unwrap_or(0)
 }
 
-/// The label sets attempted at one II, most aggressive first. The final
-/// rung is the conventional spread mapper itself (all-normal labels,
-/// load-balanced placement), which guarantees the DVFS-aware flow is never
-/// slower than the baseline at any II — the Fig. 4 property.
-fn label_attempts(
-    dfg: &Dfg,
-    config: &CgraConfig,
-    opts: &MapperOptions,
-    ii: u32,
-) -> Vec<(Vec<DvfsLevel>, bool)> {
-    let all_normal = vec![DvfsLevel::Normal; dfg.node_count()];
-    if !opts.dvfs_aware {
-        return vec![(all_normal, opts.spread)];
-    }
-    let full: Vec<DvfsLevel> = label_dvfs_levels(dfg, config, ii)
-        .labels()
-        .iter()
-        .map(|&l| clamp_to_allowed(l, &opts.allowed_levels))
-        .collect();
-    if !opts.label_ladder {
-        return vec![(full, false)];
-    }
-    let softened: Vec<DvfsLevel> = full
-        .iter()
-        .map(|&l| {
-            if l == DvfsLevel::Rest {
-                DvfsLevel::Relax
-            } else {
-                l
-            }
-        })
-        .collect();
-    let mut attempts = vec![(full.clone(), false)];
-    for cand in [
-        (softened.clone(), false),
-        (all_normal.clone(), false),
-        // Spread rungs: when clustering cannot reach this II, fall back to
-        // load-balanced placement — first still labeled, finally the plain
-        // conventional mapping (guaranteeing II parity with the baseline).
-        (full, true),
-        (softened, true),
-        (all_normal, true),
-    ] {
-        if !attempts.contains(&cand) {
-            attempts.push(cand);
+/// The label sets attempted at one II, most aggressive first: `(full,
+/// clustered)`, `(softened, clustered)`, `(all-normal, clustered)`, then
+/// the same three label sets with spread placement. The spread rungs fall
+/// back to load-balanced placement when clustering cannot reach this II;
+/// the final rung is the conventional spread mapper itself (all-normal
+/// labels), which guarantees the DVFS-aware flow is never slower than the
+/// baseline at any II — the Fig. 4 property.
+///
+/// The ladder is lazy: softened / all-normal label vectors are only
+/// materialised when their rung is actually attempted, so a first-rung
+/// success allocates nothing beyond the full labeling. Duplicate rungs
+/// (softened == full when no node is labeled rest; all-normal == softened
+/// when no node is labeled below normal) are skipped via [`Self::active`],
+/// mirroring the dedup of the eager attempt list this replaces.
+struct LabelLadder {
+    full: Vec<DvfsLevel>,
+    /// `full` contains at least one `Rest` (softened differs from full).
+    has_rest: bool,
+    /// `full` contains a non-`Normal` label (all-normal differs from full
+    /// and from softened).
+    has_slow: bool,
+    /// `Some(spread)` collapses the ladder to a single rung with that
+    /// spread flag (dvfs-unaware mapping, or `label_ladder` disabled).
+    single: Option<bool>,
+    softened: Option<Vec<DvfsLevel>>,
+    all_normal: Option<Vec<DvfsLevel>>,
+}
+
+impl LabelLadder {
+    fn new(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions, ii: u32) -> LabelLadder {
+        if !opts.dvfs_aware {
+            return LabelLadder {
+                full: vec![DvfsLevel::Normal; dfg.node_count()],
+                has_rest: false,
+                has_slow: false,
+                single: Some(opts.spread),
+                softened: None,
+                all_normal: None,
+            };
+        }
+        let full: Vec<DvfsLevel> = label_dvfs_levels(dfg, config, ii)
+            .labels()
+            .iter()
+            .map(|&l| clamp_to_allowed(l, &opts.allowed_levels))
+            .collect();
+        let has_rest = full.contains(&DvfsLevel::Rest);
+        let has_slow = full.iter().any(|&l| l != DvfsLevel::Normal);
+        let single = if opts.label_ladder { None } else { Some(false) };
+        LabelLadder {
+            full,
+            has_rest,
+            has_slow,
+            single,
+            softened: None,
+            all_normal: None,
         }
     }
-    attempts
+
+    /// Rung-grid width for these options, independent of any particular
+    /// labeling — the portfolio uses it to enumerate `(II, rung)` attempts
+    /// without building a ladder first.
+    fn grid(opts: &MapperOptions) -> usize {
+        if opts.dvfs_aware && opts.label_ladder {
+            6
+        } else {
+            1
+        }
+    }
+
+    fn rungs(&self) -> usize {
+        if self.single.is_some() {
+            1
+        } else {
+            6
+        }
+    }
+
+    /// Whether rung `r` would appear in the eager attempt list, i.e. is
+    /// the first occurrence of its `(labels, spread)` pair.
+    fn active(&self, r: usize) -> bool {
+        if self.single.is_some() {
+            return r == 0;
+        }
+        match r {
+            0 | 3 => true,
+            1 | 4 => self.has_rest,
+            2 | 5 => self.has_slow,
+            _ => false,
+        }
+    }
+
+    /// Labels + spread flag for rung `r`, materialised on first use.
+    fn rung(&mut self, r: usize) -> (&[DvfsLevel], bool) {
+        if let Some(spread) = self.single {
+            debug_assert_eq!(r, 0);
+            return (&self.full, spread);
+        }
+        let LabelLadder {
+            full,
+            softened,
+            all_normal,
+            ..
+        } = self;
+        let labels: &[DvfsLevel] = match r % 3 {
+            0 => full,
+            1 => softened.get_or_insert_with(|| {
+                full.iter()
+                    .map(|&l| {
+                        if l == DvfsLevel::Rest {
+                            DvfsLevel::Relax
+                        } else {
+                            l
+                        }
+                    })
+                    .collect()
+            }),
+            _ => all_normal.get_or_insert_with(|| vec![DvfsLevel::Normal; full.len()]),
+        };
+        (labels, r >= 3)
+    }
 }
 
 fn clamp_to_allowed(label: DvfsLevel, allowed: &[DvfsLevel]) -> DvfsLevel {
@@ -1029,5 +1353,136 @@ mod tests {
             .filter(|&i| matches!(m.island_level(i), DvfsLevel::Rest | DvfsLevel::Relax))
             .count();
         assert!(slow >= 1, "expected at least one slow island");
+    }
+
+    /// Reference implementation of the eager attempt list the lazy
+    /// [`LabelLadder`] replaced — kept as the oracle for its dedup rules.
+    fn eager_attempts(
+        dfg: &Dfg,
+        config: &CgraConfig,
+        opts: &MapperOptions,
+        ii: u32,
+    ) -> Vec<(Vec<DvfsLevel>, bool)> {
+        let all_normal = vec![DvfsLevel::Normal; dfg.node_count()];
+        if !opts.dvfs_aware {
+            return vec![(all_normal, opts.spread)];
+        }
+        let full: Vec<DvfsLevel> = label_dvfs_levels(dfg, config, ii)
+            .labels()
+            .iter()
+            .map(|&l| clamp_to_allowed(l, &opts.allowed_levels))
+            .collect();
+        if !opts.label_ladder {
+            return vec![(full, false)];
+        }
+        let softened: Vec<DvfsLevel> = full
+            .iter()
+            .map(|&l| {
+                if l == DvfsLevel::Rest {
+                    DvfsLevel::Relax
+                } else {
+                    l
+                }
+            })
+            .collect();
+        let mut attempts = vec![(full.clone(), false)];
+        for cand in [
+            (softened.clone(), false),
+            (all_normal.clone(), false),
+            (full, true),
+            (softened, true),
+            (all_normal, true),
+        ] {
+            if !attempts.contains(&cand) {
+                attempts.push(cand);
+            }
+        }
+        attempts
+    }
+
+    #[test]
+    fn lazy_ladder_matches_eager_attempt_list() {
+        let cfg = CgraConfig::iced_prototype();
+        let variants = [
+            MapperOptions::default(),
+            MapperOptions::baseline(),
+            MapperOptions {
+                label_ladder: false,
+                ..MapperOptions::default()
+            },
+            MapperOptions {
+                allowed_levels: vec![DvfsLevel::Normal, DvfsLevel::Relax],
+                ..MapperOptions::default()
+            },
+        ];
+        for dfg in [ring(4), ring(7), fir_like()] {
+            for opts in &variants {
+                for ii in 1..=8 {
+                    let eager = eager_attempts(&dfg, &cfg, opts, ii);
+                    let mut ladder = LabelLadder::new(&dfg, &cfg, opts, ii);
+                    let mut lazy = Vec::new();
+                    for r in 0..ladder.rungs() {
+                        if ladder.active(r) {
+                            let (labels, spread) = ladder.rung(r);
+                            lazy.push((labels.to_vec(), spread));
+                        }
+                    }
+                    assert_eq!(eager, lazy, "kernel {} ii {ii}", dfg.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_matches_serial_mapping() {
+        let cfg = CgraConfig::iced_prototype();
+        for dfg in [ring(4), ring(7), fir_like()] {
+            for base in [MapperOptions::default(), MapperOptions::baseline()] {
+                let serial = map_with(
+                    &dfg,
+                    &cfg,
+                    &MapperOptions {
+                        threads: 1,
+                        ..base.clone()
+                    },
+                )
+                .unwrap();
+                let parallel = map_with(&dfg, &cfg, &MapperOptions { threads: 3, ..base }).unwrap();
+                assert!(
+                    serial.result_eq(&parallel),
+                    "kernel {} diverged across thread counts",
+                    dfg.name()
+                );
+                assert!(check_dependencies(&dfg, &parallel));
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_respects_max_ii() {
+        let dfg = ring(8);
+        let cfg = CgraConfig::square(2).unwrap();
+        let opts = MapperOptions {
+            max_ii: 2,
+            threads: 4,
+            ..MapperOptions::baseline()
+        };
+        assert!(matches!(
+            map_with(&dfg, &cfg, &opts),
+            Err(MapError::IiExceeded { max_ii: 2 })
+        ));
+    }
+
+    #[test]
+    fn thread_count_resolution_order() {
+        // An explicit option beats everything (the env fallback is
+        // process-global, so it is not exercised here).
+        let explicit = MapperOptions {
+            threads: 3,
+            ..MapperOptions::default()
+        };
+        assert_eq!(resolve_threads(&explicit), 3);
+        // threads = 0 resolves to *something* usable.
+        assert!(resolve_threads(&MapperOptions::default()) >= 1);
     }
 }

@@ -8,9 +8,25 @@
 //! slot per base cycle. The search minimises arrival time; reservations are
 //! journalled in a [`Txn`] so a failed placement candidate can be rolled
 //! back without rebuilding the MRRG.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+//!
+//! # Fast path
+//!
+//! The search state space is `tiles × [ready, horizon]` — small, dense, and
+//! integer-keyed — so the classic heap-and-hash-set Dijkstra is replaced by
+//! cache-friendly flat structures (the mapper spends most of its wall time
+//! here):
+//!
+//! * the **visited set** is a flat bitvec indexed
+//!   `tile · span + (time − ready)` instead of a `HashSet<(TileId, u64)>`;
+//! * the **frontier** is a monotone bucket queue keyed on the primary cost
+//!   (arrival time for open routes, island-pinning aux for deadline
+//!   routes). Every expansion strictly increases the primary key, so each
+//!   bucket is sorted once on first entry and drained in `(secondary, idx)`
+//!   order — exactly the pop order of the former
+//!   `BinaryHeap<Reverse<((primary, secondary), idx)>>`, making the rewrite
+//!   bit-identical to the heap version;
+//! * arena, bitvec, and buckets live in a caller-owned [`RouterScratch`]
+//!   reused across the thousands of `route` calls of one mapping attempt.
 
 use iced_arch::{CgraConfig, Dir, Mrrg, TileId};
 use iced_trace::Phase;
@@ -83,6 +99,90 @@ struct SearchNode {
     hop: Option<(TileId, Dir, u64, u32)>, // (from, dir, depart, len) that led here
 }
 
+/// Reusable search buffers: the node arena, the visited bitvec, and the
+/// bucket-queue spine. One instance serves every `route` call of a mapping
+/// attempt, so steady-state routing allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct RouterScratch {
+    arena: Vec<SearchNode>,
+    visited: Vec<u64>,
+    buckets: Vec<Vec<(u64, usize)>>,
+}
+
+/// Tests and sets bit `idx`; returns whether it was already set.
+#[inline]
+fn bit_test_set(words: &mut [u64], idx: usize) -> bool {
+    let mask = 1u64 << (idx % 64);
+    let w = &mut words[idx / 64];
+    let was = *w & mask != 0;
+    *w |= mask;
+    was
+}
+
+#[inline]
+fn bit_test(words: &[u64], idx: usize) -> bool {
+    words[idx / 64] & (1u64 << (idx % 64)) != 0
+}
+
+/// Monotone bucket queue over `(primary, secondary, arena idx)`.
+///
+/// Exploits the Dijkstra invariant that every pushed key's primary strictly
+/// exceeds the primary currently being drained (open routes: arrival time
+/// strictly grows per hop; deadline routes: aux strictly grows per hop), so
+/// a bucket can be sorted once when first entered and never receives a
+/// late insert. Pop order is ascending `(primary, secondary, idx)` — the
+/// exact order of the `BinaryHeap` this replaces.
+struct BucketQueue<'a> {
+    buckets: &'a mut Vec<Vec<(u64, usize)>>,
+    cur: usize,
+    pos: usize,
+    live: usize,
+}
+
+impl<'a> BucketQueue<'a> {
+    fn new(buckets: &'a mut Vec<Vec<(u64, usize)>>) -> Self {
+        for b in buckets.iter_mut() {
+            b.clear();
+        }
+        BucketQueue {
+            buckets,
+            cur: 0,
+            pos: 0,
+            live: 0,
+        }
+    }
+
+    fn push(&mut self, primary: usize, secondary: u64, idx: usize) {
+        debug_assert!(
+            primary > self.cur || (primary == self.cur && self.pos == 0),
+            "bucket queue requires monotone primary keys"
+        );
+        if self.buckets.len() <= primary {
+            self.buckets.resize_with(primary + 1, Vec::new);
+        }
+        self.buckets[primary].push((secondary, idx));
+        self.live += 1;
+    }
+
+    fn pop(&mut self) -> Option<usize> {
+        while self.live > 0 {
+            let bucket = &mut self.buckets[self.cur];
+            if self.pos == 0 && bucket.len() > 1 {
+                bucket.sort_unstable();
+            }
+            if self.pos < bucket.len() {
+                let (_, idx) = bucket[self.pos];
+                self.pos += 1;
+                self.live -= 1;
+                return Some(idx);
+            }
+            self.cur += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
 /// Finds the earliest-arrival route from (`src`, `ready`) to `dst`.
 ///
 /// `rates[tile]` is each tile's DVFS rate divisor (1/2/4). `deadline`
@@ -110,6 +210,7 @@ pub(crate) fn route(
     deadline: Option<u64>,
     horizon: u64,
     txn: &mut Txn,
+    scratch: &mut RouterScratch,
 ) -> Option<FoundRoute> {
     let mut expansions = 0u64;
     let found = search(
@@ -123,6 +224,7 @@ pub(crate) fn route(
         deadline,
         horizon,
         txn,
+        scratch,
         &mut expansions,
     );
     if iced_trace::enabled() {
@@ -148,6 +250,7 @@ fn search(
     deadline: Option<u64>,
     horizon: u64,
     txn: &mut Txn,
+    scratch: &mut RouterScratch,
     expansions: &mut u64,
 ) -> Option<FoundRoute> {
     if src == dst {
@@ -158,6 +261,10 @@ fn search(
             arrival: ready,
             hops: Vec::new(),
         });
+    }
+    if ready > horizon {
+        // No hop can complete inside the window (and src != dst).
+        return None;
     }
     let hop_aux = |from: TileId| -> u64 {
         let mut a = 1;
@@ -172,23 +279,35 @@ fn search(
     // Deadline routes have slack by construction (any on-time arrival is
     // equally good), so they minimise island-pinning first and time second;
     // open routes minimise arrival time (the consumer starts sooner).
-    let key = |time: u64, aux: u64| -> (u64, u64) {
+    // Times are rebased to `ready` so open-route buckets start at 0.
+    let key = |time: u64, aux: u64| -> (usize, u64) {
         if deadline.is_some() {
-            (aux, time)
+            (aux as usize, time)
         } else {
-            (time, aux)
+            ((time - ready) as usize, aux)
         }
     };
-    let mut arena: Vec<SearchNode> = vec![SearchNode {
+    let span = (horizon - ready + 1) as usize;
+    let vis = |tile: TileId, time: u64| -> usize { tile.index() * span + (time - ready) as usize };
+    let RouterScratch {
+        arena,
+        visited,
+        buckets,
+    } = scratch;
+    arena.clear();
+    visited.clear();
+    visited.resize((cfg.tile_count() * span).div_ceil(64), 0);
+    let mut queue = BucketQueue::new(buckets);
+
+    arena.push(SearchNode {
         tile: src,
         time: ready,
         aux: 0,
         parent: usize::MAX,
         hop: None,
-    }];
-    let mut heap: BinaryHeap<Reverse<((u64, u64), usize)>> = BinaryHeap::new();
-    heap.push(Reverse((key(ready, 0), 0)));
-    let mut visited: HashSet<(TileId, u64)> = HashSet::new();
+    });
+    let (p, s) = key(ready, 0);
+    queue.push(p, s, 0);
 
     // First hop is overlapped with the producing operation: the FU output
     // drives the crossbar during the execution window [ready − r, ready),
@@ -209,16 +328,17 @@ fn search(
                     parent: 0,
                     hop: Some((src, dir, window, r_src as u32)),
                 });
-                heap.push(Reverse((key(ready, aux), arena.len() - 1)));
+                let (p, s) = key(ready, aux);
+                queue.push(p, s, arena.len() - 1);
             }
         }
     }
 
-    while let Some(Reverse((_key, idx))) = heap.pop() {
+    while let Some(idx) = queue.pop() {
         *expansions += 1;
         let node = arena[idx];
         let time = node.time;
-        if !visited.insert((node.tile, time)) {
+        if bit_test_set(visited, vis(node.tile, time)) {
             continue;
         }
         if node.tile == dst {
@@ -244,7 +364,7 @@ fn search(
                     // States past the deadline can never lead to an on-time
                     // arrival (time only grows).
                     let on_time = deadline.is_none_or(|d| arrive <= d);
-                    if on_time && !visited.contains(&(nbr, arrive)) {
+                    if on_time && !bit_test(visited, vis(nbr, arrive)) {
                         let aux = node.aux + hop_aux(node.tile);
                         arena.push(SearchNode {
                             tile: nbr,
@@ -253,7 +373,8 @@ fn search(
                             parent: idx,
                             hop: Some((node.tile, dir, w, r as u32)),
                         });
-                        heap.push(Reverse((key(arrive, aux), arena.len() - 1)));
+                        let (p, s) = key(arrive, aux);
+                        queue.push(p, s, arena.len() - 1);
                     }
                     break;
                 }
@@ -269,7 +390,7 @@ fn commit(
     cfg: &CgraConfig,
     mrrg: &mut Mrrg,
     src: TileId,
-    arena: Vec<SearchNode>,
+    arena: &[SearchNode],
     goal: usize,
     txn: &mut Txn,
 ) -> FoundRoute {
@@ -323,10 +444,21 @@ mod tests {
     fn straight_line_route_takes_manhattan_hops() {
         let (cfg, mut mrrg, rates, virgin) = setup(4);
         let mut txn = Txn::default();
+        let mut scratch = RouterScratch::default();
         let src = cfg.tile_at(0, 0);
         let dst = cfg.tile_at(0, 3);
         let r = route(
-            &cfg, &mut mrrg, &rates, &virgin, src, 1, dst, None, 64, &mut txn,
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            1,
+            dst,
+            None,
+            64,
+            &mut txn,
+            &mut scratch,
         )
         .unwrap();
         assert_eq!(r.hops.len(), 3);
@@ -340,9 +472,20 @@ mod tests {
     fn same_tile_route_is_free() {
         let (cfg, mut mrrg, rates, virgin) = setup(4);
         let mut txn = Txn::default();
+        let mut scratch = RouterScratch::default();
         let t = cfg.tile_at(1, 1);
         let r = route(
-            &cfg, &mut mrrg, &rates, &virgin, t, 7, t, None, 64, &mut txn,
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            t,
+            7,
+            t,
+            None,
+            64,
+            &mut txn,
+            &mut scratch,
         )
         .unwrap();
         assert!(r.hops.is_empty());
@@ -359,8 +502,19 @@ mod tests {
             mrrg.occupy_link(src, Dir::East, c, 1);
         }
         let mut txn = Txn::default();
+        let mut scratch = RouterScratch::default();
         let r = route(
-            &cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn,
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            0,
+            dst,
+            None,
+            64,
+            &mut txn,
+            &mut scratch,
         )
         .unwrap();
         // Either waits for cycle 3 or detours south->east->north (3 hops).
@@ -371,6 +525,7 @@ mod tests {
     fn deadline_rejects_late_arrivals() {
         let (cfg, mut mrrg, rates, virgin) = setup(4);
         let mut txn = Txn::default();
+        let mut scratch = RouterScratch::default();
         let src = cfg.tile_at(0, 0);
         let dst = cfg.tile_at(3, 3);
         // Manhattan distance 6, ready at 0 → arrival >= 6 > deadline 3.
@@ -384,7 +539,31 @@ mod tests {
             dst,
             Some(3),
             64,
-            &mut txn
+            &mut txn,
+            &mut scratch,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn ready_past_horizon_fails_cleanly() {
+        let (cfg, mut mrrg, rates, virgin) = setup(4);
+        let mut txn = Txn::default();
+        let mut scratch = RouterScratch::default();
+        let src = cfg.tile_at(0, 0);
+        let dst = cfg.tile_at(0, 1);
+        assert!(route(
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            80,
+            dst,
+            Some(3),
+            3,
+            &mut txn,
+            &mut scratch,
         )
         .is_none());
     }
@@ -399,9 +578,20 @@ mod tests {
         rates[src.index()] = 4; // rest tile
         let dst = cfg.tile_at(0, 1);
         let mut txn = Txn::default();
+        let mut scratch = RouterScratch::default();
         // Value ready at 4 (one rest cycle in), link transfer spans 4..8.
         let r = route(
-            &cfg, &mut mrrg, &rates, &virgin, src, 4, dst, None, 64, &mut txn,
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            4,
+            dst,
+            None,
+            64,
+            &mut txn,
+            &mut scratch,
         )
         .unwrap();
         assert_eq!(r.hops[0].depart % 4, 0);
@@ -412,10 +602,21 @@ mod tests {
     fn rollback_restores_mrrg() {
         let (cfg, mut mrrg, rates, virgin) = setup(4);
         let mut txn = Txn::default();
+        let mut scratch = RouterScratch::default();
         let src = cfg.tile_at(0, 0);
         let dst = cfg.tile_at(0, 2);
         route(
-            &cfg, &mut mrrg, &rates, &virgin, src, 0, dst, None, 64, &mut txn,
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            0,
+            dst,
+            None,
+            64,
+            &mut txn,
+            &mut scratch,
         )
         .unwrap();
         assert!(!mrrg.link_free(src, Dir::East, 0, 1));
@@ -424,5 +625,48 @@ mod tests {
         for t in cfg.tiles() {
             assert_eq!(mrrg.link_busy_cycles(t), 0);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_searches() {
+        // The same scratch must not leak visited/frontier state between
+        // calls: two identical searches return identical routes.
+        let (cfg, mut mrrg, rates, virgin) = setup(4);
+        let mut scratch = RouterScratch::default();
+        let src = cfg.tile_at(2, 0);
+        let dst = cfg.tile_at(0, 2);
+        let mut txn1 = Txn::default();
+        let a = route(
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            2,
+            dst,
+            None,
+            64,
+            &mut txn1,
+            &mut scratch,
+        )
+        .unwrap();
+        txn1.rollback(&mut mrrg);
+        let mut txn2 = Txn::default();
+        let b = route(
+            &cfg,
+            &mut mrrg,
+            &rates,
+            &virgin,
+            src,
+            2,
+            dst,
+            None,
+            64,
+            &mut txn2,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(a.arrival, b.arrival);
+        assert_eq!(a.hops, b.hops);
     }
 }

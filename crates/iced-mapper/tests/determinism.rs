@@ -1,0 +1,107 @@
+//! Portfolio determinism: `map_with(threads = N)` must return a
+//! bit-identical `Mapping` to the serial mapper (`threads = 1`) for every
+//! kernel in the suite — the speculative search is an implementation
+//! detail, never a semantic one.
+
+use iced_arch::CgraConfig;
+use iced_kernels::{Kernel, UnrollFactor};
+use iced_mapper::{check_dependencies, map_with, MapperOptions};
+
+fn assert_suite_deterministic(base: MapperOptions, what: &str) {
+    let cfg = CgraConfig::iced_prototype();
+    for kernel in Kernel::STANDALONE {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let serial = map_with(
+            &dfg,
+            &cfg,
+            &MapperOptions {
+                threads: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} ({what}, serial): {e}", kernel.name()));
+        assert!(check_dependencies(&dfg, &serial), "{}", kernel.name());
+        for threads in [2, 4] {
+            let parallel = map_with(
+                &dfg,
+                &cfg,
+                &MapperOptions {
+                    threads,
+                    ..base.clone()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{} ({what}, {threads} threads): {e}", kernel.name()));
+            assert!(
+                serial.result_eq(&parallel),
+                "{} ({what}): threads={threads} diverged from serial \
+                 (II {} vs {})",
+                kernel.name(),
+                serial.ii(),
+                parallel.ii(),
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_suite_is_thread_count_invariant() {
+    assert_suite_deterministic(MapperOptions::baseline(), "baseline");
+}
+
+#[test]
+fn dvfs_aware_suite_is_thread_count_invariant() {
+    assert_suite_deterministic(MapperOptions::default(), "dvfs-aware");
+}
+
+#[test]
+fn unrolled_kernels_are_thread_count_invariant() {
+    // Unrolled DFGs are the largest single-kernel mappings in the tree —
+    // long label ladders and II escalation give speculation real work.
+    let cfg = CgraConfig::iced_prototype();
+    for kernel in [Kernel::Fir, Kernel::Gemm] {
+        let dfg = kernel.dfg(UnrollFactor::X2);
+        let serial = map_with(
+            &dfg,
+            &cfg,
+            &MapperOptions {
+                threads: 1,
+                ..MapperOptions::default()
+            },
+        )
+        .unwrap();
+        let parallel = map_with(
+            &dfg,
+            &cfg,
+            &MapperOptions {
+                threads: 4,
+                ..MapperOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(serial.result_eq(&parallel), "{} x2", kernel.name());
+    }
+}
+
+#[test]
+fn env_override_is_equivalent_to_the_option() {
+    // `ICED_MAP_THREADS` only applies when `threads == 0`, and the result
+    // must still match the serial mapping. Env mutation is process-global,
+    // so this test owns the variable for its whole body: integration tests
+    // in this binary run on one thread-pool but the other tests here never
+    // read the variable (they pin `threads` explicitly).
+    let cfg = CgraConfig::iced_prototype();
+    let dfg = Kernel::Latnrm.dfg(UnrollFactor::X1);
+    let serial = map_with(
+        &dfg,
+        &cfg,
+        &MapperOptions {
+            threads: 1,
+            ..MapperOptions::default()
+        },
+    )
+    .unwrap();
+    std::env::set_var("ICED_MAP_THREADS", "3");
+    let via_env = map_with(&dfg, &cfg, &MapperOptions::default());
+    std::env::remove_var("ICED_MAP_THREADS");
+    assert!(serial.result_eq(&via_env.unwrap()));
+}

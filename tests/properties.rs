@@ -52,9 +52,7 @@ fn arb_dfg() -> impl Strategy<Value = Dfg> {
                 // edges that keep the intra-iteration subgraph acyclic:
                 // from feeder (index > ring) to anything earlier-created
                 // in the ring, or from earlier feeder to later feeder.
-                if s >= ring && d < ring {
-                    let _ = b.data(all[s], all[d]);
-                } else if s >= ring && d >= ring && s < d {
+                if s >= ring && (d < ring || s < d) {
                     let _ = b.data(all[s], all[d]);
                 }
             }
@@ -114,6 +112,30 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mapping_is_thread_count_invariant(dfg in arb_dfg(), threads in 2usize..=5, dvfs in any::<bool>()) {
+        let cfg = CgraConfig::iced_prototype();
+        let base = if dvfs {
+            iced::mapper::MapperOptions::default()
+        } else {
+            iced::mapper::MapperOptions::baseline()
+        };
+        let serial = iced::mapper::map_with(
+            &dfg,
+            &cfg,
+            &iced::mapper::MapperOptions { threads: 1, ..base.clone() },
+        ).unwrap();
+        let parallel = iced::mapper::map_with(
+            &dfg,
+            &cfg,
+            &iced::mapper::MapperOptions { threads, ..base },
+        ).unwrap();
+        prop_assert!(
+            serial.result_eq(&parallel),
+            "threads={} diverged (II {} vs {})", threads, serial.ii(), parallel.ii()
+        );
     }
 
     #[test]
