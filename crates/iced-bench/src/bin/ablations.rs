@@ -1,7 +1,9 @@
 //! Ablation study of the mapper's design choices (the knobs DESIGN.md §4
 //! calls out): recurrence-cycle-first placement order, the per-II label
 //! ladder, and the final island relaxation pass. Reports II, average DVFS
-//! level, and power per variant across the standalone suite.
+//! level, and power per variant across the standalone suite. The
+//! variant×kernel grid is swept in parallel (`ICED_BENCH_THREADS` to pin
+//! the worker count).
 //!
 //! ```sh
 //! cargo run --release -p iced-bench --bin ablations
@@ -64,26 +66,40 @@ fn run() {
         "{:<18} {:>8} {:>10} {:>10} {:>8}",
         "variant", "avg II", "avg lvl %", "power mW", "mapped"
     );
-    for v in &variants {
+    // Flatten to (variant, kernel) cells — the natural unit of sweep work —
+    // and fan out; aggregation back to per-variant rows keeps print order.
+    let cells: Vec<(usize, Kernel)> = (0..variants.len())
+        .flat_map(|vi| Kernel::STANDALONE.into_iter().map(move |k| (vi, k)))
+        .collect();
+    let measured = iced_bench::par_sweep(&cells, |&(vi, k)| {
+        let v = &variants[vi];
+        let dfg = k.dfg(UnrollFactor::X1);
+        let Ok(m) = map_with(&dfg, &cfg, &v.opts) else {
+            return None;
+        };
+        let m = if v.island_relax {
+            relax_islands(&dfg, &m)
+        } else {
+            m
+        };
+        let stats = FabricStats::analyze(&m);
+        let pw = EnergyBreakdown::account(&dfg, &m, &model, DvfsSupport::PerIsland, 4096)
+            .total_power_mw();
+        Some((m.ii() as f64, stats.average_dvfs_level(), pw))
+    });
+    for (vi, v) in variants.iter().enumerate() {
         let mut ii_sum = 0.0;
         let mut lvl_sum = 0.0;
         let mut pw_sum = 0.0;
         let mut mapped = 0usize;
-        for k in Kernel::STANDALONE {
-            let dfg = k.dfg(UnrollFactor::X1);
-            let Ok(m) = map_with(&dfg, &cfg, &v.opts) else {
+        for (cell, row) in cells.iter().zip(&measured) {
+            if cell.0 != vi {
                 continue;
-            };
-            let m = if v.island_relax {
-                relax_islands(&dfg, &m)
-            } else {
-                m
-            };
-            let stats = FabricStats::analyze(&m);
-            ii_sum += m.ii() as f64;
-            lvl_sum += stats.average_dvfs_level();
-            pw_sum += EnergyBreakdown::account(&dfg, &m, &model, DvfsSupport::PerIsland, 4096)
-                .total_power_mw();
+            }
+            let Some((ii, lvl, pw)) = row else { continue };
+            ii_sum += ii;
+            lvl_sum += lvl;
+            pw_sum += pw;
             mapped += 1;
         }
         let n = mapped.max(1) as f64;

@@ -5,7 +5,10 @@
 //! island size for compilation and DVFS co-design". This harness sweeps
 //! the space and reports, per design point, the suite-average II
 //! (performance), average DVFS level, power, and the area cost — the
-//! Pareto inputs a hardware generator would consume.
+//! Pareto inputs a hardware generator would consume. Design points are
+//! independent, so the sweep fans out across worker threads
+//! (`ICED_BENCH_THREADS` to pin the count); rows print in sweep order
+//! regardless.
 //!
 //! ```sh
 //! cargo run --release -p iced-bench --bin dse
@@ -28,55 +31,64 @@ fn run() {
     let islands: [(usize, usize); 3] = [(1, 1), (2, 2), (4, 4)];
     let layouts = [FuLayout::Homogeneous, FuLayout::CheckerboardMul];
 
-    println!(
-        "{:<6} {:<8} {:<14} {:>8} {:>10} {:>10} {:>10} {:>8}",
-        "size", "island", "fu layout", "avg II", "avg lvl %", "power mW", "area mm2", "mapped"
-    );
-    let area = AreaModel::asap7();
+    // Enumerate the buildable design points up front; each is then an
+    // independent unit of sweep work.
+    let mut points: Vec<(usize, usize, usize, FuLayout, CgraConfig)> = Vec::new();
     for &n in &sizes {
         for &(ir, ic) in &islands {
             if ir > n {
                 continue;
             }
             for &layout in &layouts {
-                let Ok(cfg) = CgraConfig::builder(n, n)
+                if let Ok(cfg) = CgraConfig::builder(n, n)
                     .island(ir, ic)
                     .fu_layout(layout)
                     .build()
-                else {
-                    continue;
-                };
-                let tc = Toolchain::new(cfg.clone());
-                let mut ii_sum = 0.0;
-                let mut lvl_sum = 0.0;
-                let mut pw_sum = 0.0;
-                let mut mapped = 0usize;
-                for k in kernels {
-                    let dfg = k.dfg(UnrollFactor::X1);
-                    let Ok(c) = tc.compile(&dfg, Strategy::IcedIslands) else {
-                        continue;
-                    };
-                    ii_sum += c.mapping().ii() as f64;
-                    lvl_sum += c.average_dvfs_level();
-                    pw_sum += c.power_mw(4096);
-                    mapped += 1;
+                {
+                    points.push((n, ir, ic, layout, cfg));
                 }
-                let b = area.breakdown(&cfg);
-                let m = mapped.max(1) as f64;
-                println!(
-                    "{:<6} {:<8} {:<14} {:>8.2} {:>10.1} {:>10.1} {:>10.2} {:>7}/{}",
-                    format!("{n}x{n}"),
-                    format!("{ir}x{ic}"),
-                    format!("{layout:?}"),
-                    ii_sum / m,
-                    100.0 * lvl_sum / m,
-                    pw_sum / m,
-                    b.total_mm2(),
-                    mapped,
-                    kernels.len(),
-                );
             }
         }
+    }
+
+    println!(
+        "{:<6} {:<8} {:<14} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "size", "island", "fu layout", "avg II", "avg lvl %", "power mW", "area mm2", "mapped"
+    );
+    let area = AreaModel::asap7();
+    let rows = iced_bench::par_sweep(&points, |(n, ir, ic, layout, cfg)| {
+        let tc = Toolchain::new(cfg.clone());
+        let mut ii_sum = 0.0;
+        let mut lvl_sum = 0.0;
+        let mut pw_sum = 0.0;
+        let mut mapped = 0usize;
+        for k in kernels {
+            let dfg = k.dfg(UnrollFactor::X1);
+            let Ok(c) = tc.compile(&dfg, Strategy::IcedIslands) else {
+                continue;
+            };
+            ii_sum += c.mapping().ii() as f64;
+            lvl_sum += c.average_dvfs_level();
+            pw_sum += c.power_mw(4096);
+            mapped += 1;
+        }
+        let b = area.breakdown(cfg);
+        let m = mapped.max(1) as f64;
+        format!(
+            "{:<6} {:<8} {:<14} {:>8.2} {:>10.1} {:>10.1} {:>10.2} {:>7}/{}",
+            format!("{n}x{n}"),
+            format!("{ir}x{ic}"),
+            format!("{layout:?}"),
+            ii_sum / m,
+            100.0 * lvl_sum / m,
+            pw_sum / m,
+            b.total_mm2(),
+            mapped,
+            kernels.len(),
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!(
         "\nreading: 2x2 islands on 6x6 (the paper's point) balance II, power, \

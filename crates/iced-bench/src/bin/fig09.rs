@@ -1,6 +1,8 @@
 //! Regenerates **Figure 9**: average tile utilization per kernel for the
 //! baseline, per-tile DVFS + power-gating, and ICED, at unroll factors 1
-//! and 2 (paper: suite average rises 33 % → 76 % ≈ 2.3× at UF1).
+//! and 2 (paper: suite average rises 33 % → 76 % ≈ 2.3× at UF1). The
+//! (unroll × kernel) grid is swept in parallel (`ICED_BENCH_THREADS` to
+//! pin the worker count); tables print in figure order regardless.
 //!
 //! ```sh
 //! cargo run --release -p iced-bench --bin fig09
@@ -8,10 +10,32 @@
 
 use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Strategy, Toolchain};
-use iced_bench::{emit_csv, pct};
+use iced_bench::{emit_csv, par_sweep, pct};
 
 fn run() {
     let tc = Toolchain::prototype();
+    let cells: Vec<(UnrollFactor, Kernel)> = UnrollFactor::ALL
+        .into_iter()
+        .flat_map(|uf| Kernel::STANDALONE.into_iter().map(move |k| (uf, k)))
+        .collect();
+    // Three compiles per cell — the unit of sweep work.
+    let measured = par_sweep(&cells, |&(uf, k)| {
+        let dfg = k.dfg(uf);
+        let base = tc
+            .compile(&dfg, Strategy::Baseline)
+            .expect("baseline maps")
+            .average_utilization_all_tiles();
+        let pt = tc
+            .compile(&dfg, Strategy::PerTileDvfs)
+            .expect("per-tile maps")
+            .average_utilization();
+        let ic = tc
+            .compile(&dfg, Strategy::IcedIslands)
+            .expect("iced maps")
+            .average_utilization();
+        [base, pt, ic]
+    });
+
     let mut csv: Vec<Vec<String>> = Vec::new();
     for uf in UnrollFactor::ALL {
         println!("--- unrolling factor {} ---", uf.factor());
@@ -20,20 +44,10 @@ fn run() {
             "kernel", "baseline", "per-tile", "iced"
         );
         let mut sums = [0.0f64; 3];
-        for k in Kernel::STANDALONE {
-            let dfg = k.dfg(uf);
-            let base = tc
-                .compile(&dfg, Strategy::Baseline)
-                .expect("baseline maps")
-                .average_utilization_all_tiles();
-            let pt = tc
-                .compile(&dfg, Strategy::PerTileDvfs)
-                .expect("per-tile maps")
-                .average_utilization();
-            let ic = tc
-                .compile(&dfg, Strategy::IcedIslands)
-                .expect("iced maps")
-                .average_utilization();
+        for ((cuf, k), &[base, pt, ic]) in cells.iter().zip(&measured) {
+            if *cuf != uf {
+                continue;
+            }
             sums[0] += base;
             sums[1] += pt;
             sums[2] += ic;

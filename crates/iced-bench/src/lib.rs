@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use iced::kernels::{Kernel, UnrollFactor};
 use iced::{Compiled, Strategy, Toolchain};
 
@@ -15,21 +17,85 @@ use iced::{Compiled, Strategy, Toolchain};
 /// compare averages, so any value cancels out (kept explicit for clarity).
 pub const POWER_ITERATIONS: u64 = 4096;
 
+/// Worker-thread count for [`par_sweep`]: the `ICED_BENCH_THREADS`
+/// environment variable wins, then available parallelism.
+fn sweep_threads() -> usize {
+    if let Some(v) = std::env::var_os("ICED_BENCH_THREADS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Fans `work` over `items` on scoped worker threads, returning results in
+/// input order — the sweep harness behind every figure/bench binary.
+///
+/// Items are claimed from a shared counter (same pattern as the mapper's
+/// portfolio search), so long points — one kernel mapping much slower than
+/// the rest, say — never leave workers idle behind a static partition.
+/// `work` must be order-independent; output order is restored afterwards,
+/// so printing/CSV emission stays deterministic. Worker count comes from
+/// `ICED_BENCH_THREADS`, defaulting to available parallelism; set it to 1
+/// to debug with a strictly serial sweep.
+pub fn par_sweep<T, R>(items: &[T], work: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = sweep_threads().min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(&work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (next, work) = (&next, &work);
+    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(idx) else {
+                            break;
+                        };
+                        out.push((idx, work(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for part in &mut parts {
+        for (idx, r) in part.drain(..) {
+            slots[idx] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
 /// A compiled result for every standalone kernel under one strategy.
 pub fn compile_suite(
     toolchain: &Toolchain,
     uf: UnrollFactor,
     strategy: Strategy,
 ) -> Vec<(Kernel, Compiled)> {
-    Kernel::STANDALONE
-        .iter()
-        .map(|&k| {
-            let c = toolchain
-                .compile(&k.dfg(uf), strategy)
-                .unwrap_or_else(|e| panic!("{} {:?} {}: {e}", k.name(), uf, strategy.name()));
-            (k, c)
-        })
-        .collect()
+    par_sweep(&Kernel::STANDALONE, |&k| {
+        let c = toolchain
+            .compile(&k.dfg(uf), strategy)
+            .unwrap_or_else(|e| panic!("{} {:?} {}: {e}", k.name(), uf, strategy.name()));
+        (k, c)
+    })
 }
 
 /// Mean of a metric over compiled results.
@@ -135,6 +201,14 @@ pub fn with_tracing(body: impl FnOnce()) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_sweep_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let doubled = par_sweep(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert!(par_sweep::<usize, usize>(&[], |&x| x).is_empty());
+    }
 
     #[test]
     fn suite_compiles_under_iced() {

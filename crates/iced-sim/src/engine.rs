@@ -1,14 +1,13 @@
-//! Cycle-stepped execution engine.
+//! Cycle-stepped execution engine over a compiled periodic event table.
 //!
 //! Where [`crate::functional::replay`] checks per-edge legality
-//! analytically, this module actually *runs* the machine: a discrete
-//! simulation that steps the base clock tick by tick, fires FU executions
-//! and link transfers at their scheduled cycles, moves value tokens through
-//! per-edge elastic FIFOs, and executes opcode semantics as tokens meet at
-//! consumers. It is the closest equivalent of the paper's "cycle-accurate
-//! simulation according to the kernel mapping".
+//! analytically, this module actually *runs* the machine: FU executions
+//! fire at their scheduled cycles, link transfers drive the mesh, value
+//! tokens move through per-edge elastic FIFOs, and opcode semantics execute
+//! as tokens meet at consumers. It is the closest equivalent of the paper's
+//! "cycle-accurate simulation according to the kernel mapping".
 //!
-//! The engine checks, every tick:
+//! The engine checks, at every event:
 //!
 //! * **FU exclusivity** — a tile's FU never starts two ops in one of its
 //!   slow-cycle windows;
@@ -20,20 +19,43 @@
 //! * **value correctness** — computed tokens are compared against the
 //!   reference interpreter bit-for-bit.
 //!
-//! The report carries per-tile busy counts measured *by the running
-//! machine*, which the test-suite cross-checks against the analytic
-//! [`crate::FabricStats`].
+//! # The compiled periodic schedule
+//!
+//! A modulo schedule is periodic by construction: every event of iteration
+//! `i` happens exactly `i·II` base cycles after its iteration-0 time. The
+//! engine exploits that instead of materialising one event per
+//! (occurrence × iteration): the mapping is compiled **once** into a
+//! per-period event table — each event stored as `(phase, shift)` with
+//! `offset = shift·II + phase` — and the run iterates periods `k`, firing
+//! every table entry whose iteration `i = k − shift` lies in
+//! `0..iterations`. Prologue and epilogue fall out of that range check; no
+//! per-iteration timeline ever exists.
+//!
+//! All machine state is flat-indexed: dense per-node placement and in-edge
+//! tables, per-edge token FIFOs preallocated to the
+//! [`crate::edge_fifo_depths`] bound, tile×direction link-occupancy arrays,
+//! a node-value ring covering the in-flight iteration window, and a
+//! streaming [`crate::functional::ReferenceStream`] that retires reference
+//! frames as soon as the last consumer has used them. Memory is
+//! O(fabric + DFG) — **independent of the iteration count** — and busy
+//! cycles are accounted per event instead of by scanning every tile on
+//! every base cycle.
+//!
+//! The original naive engine survives as [`crate::oracle::run_oracle`]; the
+//! test-suite proves this compiled path returns an equal [`EngineReport`]
+//! (and emits the same trace counters) across the whole kernel suite, both
+//! mappers, unroll factors, and random DFGs.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-use iced_arch::TileId;
-use iced_dfg::{Dfg, EdgeId, NodeId};
+use iced_arch::{Dir, TileId};
+use iced_dfg::{Dfg, EdgeId, NodeId, Opcode};
 use iced_mapper::Mapping;
 use iced_trace::Phase;
 
-use crate::functional;
+use crate::functional::{self, ReferenceStream};
 
 /// Errors detected while stepping the machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,19 +147,51 @@ impl EngineReport {
     }
 }
 
-/// One scheduled occurrence, instantiated per iteration.
+/// What a periodic event does when it fires.
 #[derive(Debug, Clone, Copy)]
-enum Event {
-    /// Node begins executing on its tile (occupies `rate` base cycles).
-    FuStart { node: NodeId, iteration: u64 },
-    /// A hop starts driving a link (occupies `len` base cycles).
-    HopStart { edge: EdgeId, hop: usize },
+enum EvKind {
     /// A value lands in the consumer-side FIFO of an edge.
-    Deliver { edge: EdgeId, iteration: u64 },
+    Deliver {
+        /// Dense edge index (the FIFO) — the value comes from the edge's
+        /// producer slot in the value ring.
+        edge: u32,
+    },
+    /// A hop starts driving a link for `len` base cycles.
+    Hop {
+        /// Driving tile (dense index, for busy accounting).
+        tile: u32,
+        /// Driving tile id (for error reports).
+        tile_id: TileId,
+        /// Flat `tile·4 + dir` link index.
+        link: u32,
+        /// Base cycles the transfer occupies.
+        len: u64,
+    },
+    /// A node fires on its tile's FU.
+    Fire {
+        /// Dense node index.
+        node: u32,
+    },
 }
 
-/// Runs `iterations` loop iterations of `mapping` on the cycle-stepped
-/// machine, checking timing and values every tick.
+/// One compiled periodic occurrence: its iteration-0 time is
+/// `shift·II + phase`, so iteration `i` fires at base cycle
+/// `(shift + i)·II + phase` — i.e. in period `k = shift + i` at `phase`.
+#[derive(Debug, Clone, Copy)]
+struct PeriodicEvent {
+    phase: u64,
+    shift: u64,
+    kind: EvKind,
+}
+
+/// Runs `iterations` loop iterations of `mapping` on the compiled
+/// cycle-stepped machine, checking timing and values at every event.
+///
+/// Equivalent to [`crate::oracle::run_oracle`] — bit-identical
+/// [`EngineReport`] and trace counters on every valid mapping (enforced by
+/// the equivalence suite) — but with memory independent of `iterations`.
+/// On *invalid* mappings both paths return an [`EngineError`], though tied
+/// same-cycle violations may name a different culprit.
 ///
 /// # Errors
 ///
@@ -161,114 +215,178 @@ pub fn run(
             ("iterations", iterations.into()),
         ],
     );
-    let reference = functional::interpret(dfg, iterations, seed);
+    let makespan = mapping.makespan();
+    let horizon = makespan + iterations * ii + 1;
 
-    // Build the event timeline: every placement/hop instantiated per
-    // iteration, keyed by absolute base cycle.
-    let mut timeline: HashMap<u64, Vec<Event>> = HashMap::new();
-    let mut push = |cycle: u64, ev: Event| timeline.entry(cycle).or_default().push(ev);
+    // --- Compile the mapping into the periodic event table. ---
+    // Insertion order mirrors the oracle's per-cycle order (all node
+    // firings in id order, then hops and deliveries per edge); the stable
+    // sort below keeps it for same-cycle events.
+    let mut events: Vec<PeriodicEvent> = Vec::new();
+    let mut push = |offset: u64, kind: EvKind| {
+        events.push(PeriodicEvent {
+            phase: offset % ii,
+            shift: offset / ii,
+            kind,
+        });
+    };
     for node in dfg.node_ids() {
-        let p = mapping.placement(node);
-        for i in 0..iterations {
-            push(p.start + i * ii, Event::FuStart { node, iteration: i });
-        }
+        push(
+            mapping.placement(node).start,
+            EvKind::Fire {
+                node: node.index() as u32,
+            },
+        );
     }
-    // Same-tile edges deliver directly at producer-ready time.
-    let routed: HashMap<EdgeId, &iced_mapper::Route> =
-        mapping.routes().iter().map(|r| (r.edge, r)).collect();
+    let mut routed: Vec<Option<&iced_mapper::Route>> = vec![None; dfg.edge_count()];
+    for r in mapping.routes() {
+        routed[r.edge.index()] = Some(r);
+    }
     for e in dfg.edges() {
-        match routed.get(&e.id()) {
+        match routed[e.id().index()] {
             Some(route) => {
-                for i in 0..iterations {
-                    for (h, _) in route.hops.iter().enumerate() {
-                        push(
-                            route.hops[h].depart + i * ii,
-                            Event::HopStart {
-                                edge: e.id(),
-                                hop: h,
-                            },
-                        );
-                    }
+                for h in &route.hops {
                     push(
-                        route.arrival + i * ii,
-                        Event::Deliver {
-                            edge: e.id(),
-                            iteration: i,
+                        h.depart,
+                        EvKind::Hop {
+                            tile: h.from.index() as u32,
+                            tile_id: h.from,
+                            link: (h.from.index() * Dir::ALL.len() + h.dir.index()) as u32,
+                            len: h.arrive - h.depart,
                         },
                     );
                 }
+                push(
+                    route.arrival,
+                    EvKind::Deliver {
+                        edge: e.id().index() as u32,
+                    },
+                );
             }
             None => {
-                let src = mapping.placement(e.src());
-                for i in 0..iterations {
-                    push(
-                        src.ready() + i * ii,
-                        Event::Deliver {
-                            edge: e.id(),
-                            iteration: i,
-                        },
-                    );
-                }
+                push(
+                    mapping.placement(e.src()).ready(),
+                    EvKind::Deliver {
+                        edge: e.id().index() as u32,
+                    },
+                );
             }
         }
     }
+    // Period order: ascending phase; deliveries before anything else at the
+    // same cycle (a consumer may fire in the same cycle a value lands — the
+    // overlapped first hop produces exactly that pattern).
+    events.sort_by_key(|ev| (ev.phase, !matches!(ev.kind, EvKind::Deliver { .. })));
+    let max_shift = events.iter().map(|ev| ev.shift).max().unwrap_or(0);
 
-    // Machine state.
+    // Per-node operand table: (edge index, carried distance) in edge-id
+    // order — the operand order the reference interpreter uses.
+    let node_inputs: Vec<Vec<(u32, u64)>> = dfg
+        .node_ids()
+        .map(|n| {
+            let mut es: Vec<_> = dfg.in_edges(n).collect();
+            es.sort_by_key(|e| e.id());
+            es.iter()
+                .map(|e| (e.id().index() as u32, u64::from(e.kind().distance())))
+                .collect()
+        })
+        .collect();
+    let edge_src: Vec<u32> = dfg.edges().map(|e| e.src().index() as u32).collect();
+
+    // --- Flat machine state, all O(fabric + DFG). ---
     let mut fu_free_at = vec![0u64; tiles]; // next base cycle each FU is free
-    let mut link_free_at: HashMap<(TileId, u8), u64> = HashMap::new();
-    // FIFO entries: (iteration, value, base cycle the token landed) — the
-    // delivery cycle feeds the per-tile token-wait counters.
-    let mut fifos: HashMap<EdgeId, VecDeque<(u64, i64, u64)>> = HashMap::new();
+    let mut link_free_at = vec![0u64; tiles * Dir::ALL.len()];
+    // Per-tile end of the busiest transfer seen so far: events arrive in
+    // time order, so the union of transfer intervals (what the oracle
+    // counts cycle by cycle) accumulates incrementally.
+    let mut link_cover_until = vec![0u64; tiles];
     let mut fu_busy = vec![0u64; tiles];
-    let mut link_busy_until: Vec<u64> = vec![0u64; tiles];
     let mut link_busy = vec![0u64; tiles];
     let mut token_wait = vec![0u64; tiles];
-    let mut values: HashMap<(NodeId, u64), i64> = HashMap::new();
-    let mut ops_executed = 0u64;
+    // FIFO entries: (iteration, value, base cycle the token landed) — the
+    // delivery cycle feeds the per-tile token-wait counters. Capacities
+    // come from the analytic per-edge bound; `VecDeque` still grows if an
+    // invalid schedule overshoots it.
+    let mut fifos: Vec<VecDeque<(u64, i64, u64)>> = crate::validate::edge_fifo_depths(dfg, mapping)
+        .iter()
+        .map(|&d| VecDeque::with_capacity(d as usize + 1))
+        .collect();
     let mut fifo_peak = 0usize;
+    let mut ops_executed = 0u64;
 
-    let horizon = mapping.makespan() + iterations * ii + 1;
-    let mut in_edges_sorted: HashMap<NodeId, Vec<&iced_dfg::Edge>> = HashMap::new();
-    for node in dfg.node_ids() {
-        let mut es: Vec<_> = dfg.in_edges(node).collect();
-        es.sort_by_key(|e| e.id());
-        in_edges_sorted.insert(node, es);
-    }
+    // Value ring: slot `node·win + i % win` holds the node's iteration-`i`
+    // value from its firing until every delivery has read it. A delivery
+    // trails its producer's firing by at most one makespan plus the edge's
+    // carried distance in periods (arrival ≤ consume = dst.start + d·II),
+    // and within a cycle delivers run before fires, so `win` periods of
+    // slack guarantee the slot is only recycled after its last reader.
+    let maxd = dfg
+        .edges()
+        .map(|e| u64::from(e.kind().distance()))
+        .max()
+        .unwrap_or(0);
+    let win = (makespan / ii + 2 + maxd) as usize;
+    let mut values = vec![0i64; dfg.node_count() * win];
+    let mut reference = ReferenceStream::new(dfg, seed, win as u64);
+    let mut inputs: Vec<i64> = Vec::new();
 
-    for cycle in 0..horizon {
-        let events = timeline.remove(&cycle).unwrap_or_default();
-        // Deliveries first (a consumer may fire in the same cycle a value
-        // lands — the overlapped first hop produces exactly that pattern).
+    let periods = if iterations == 0 {
+        0
+    } else {
+        max_shift + iterations
+    };
+    for k in 0..periods {
         for ev in &events {
-            if let Event::Deliver { edge, iteration } = *ev {
-                let e = dfg.edge(edge);
-                let v = *values.get(&(e.src(), iteration)).unwrap_or(&0);
-                let q = fifos.entry(edge).or_default();
-                q.push_back((iteration, v, cycle));
-                fifo_peak = fifo_peak.max(q.len());
+            // Iteration firing in this period, if the event is live.
+            let Some(i) = k.checked_sub(ev.shift) else {
+                continue;
+            };
+            if i >= iterations {
+                continue;
             }
-        }
-        for ev in &events {
-            match *ev {
-                Event::Deliver { .. } => {}
-                Event::HopStart { edge, hop } => {
-                    let route = routed[&edge];
-                    let h = &route.hops[hop];
-                    let key = (h.from, h.dir.index() as u8);
-                    let busy_until = link_free_at.get(&key).copied().unwrap_or(0);
-                    if busy_until > cycle {
+            let cycle = k * ii + ev.phase;
+            // The run stops at the horizon: epilogue deliveries/hops of
+            // far-carried edges (distance ≥ 2) can land past it and then
+            // simply never happen. FU firings always finish in bounds.
+            if cycle >= horizon {
+                continue;
+            }
+            match ev.kind {
+                EvKind::Deliver { edge } => {
+                    let e = edge as usize;
+                    let v = values[edge_src[e] as usize * win + (i % win as u64) as usize];
+                    let q = &mut fifos[e];
+                    q.push_back((i, v, cycle));
+                    fifo_peak = fifo_peak.max(q.len());
+                }
+                EvKind::Hop {
+                    tile,
+                    tile_id,
+                    link,
+                    len,
+                } => {
+                    if link_free_at[link as usize] > cycle {
                         return Err(EngineError::LinkCollision {
-                            tile: h.from,
+                            tile: tile_id,
                             cycle,
                         });
                     }
-                    let len = h.arrive - h.depart;
-                    link_free_at.insert(key, cycle + len);
-                    link_busy_until[h.from.index()] =
-                        link_busy_until[h.from.index()].max(cycle + len);
+                    link_free_at[link as usize] = cycle + len;
+                    let t = tile as usize;
+                    // Busy cycles past the horizon are never stepped.
+                    let end = (cycle + len).min(horizon);
+                    let covered = link_cover_until[t];
+                    if cycle >= covered {
+                        link_busy[t] += len;
+                    } else if end > covered {
+                        link_busy[t] += end - covered;
+                    }
+                    link_cover_until[t] = covered.max(end);
                 }
-                Event::FuStart { node, iteration } => {
-                    let p = mapping.placement(node);
+                EvKind::Fire { node } => {
+                    let n = node as usize;
+                    let node_id = NodeId::from_index(n);
+                    let p = mapping.placement(node_id);
                     let t = p.tile.index();
                     if fu_free_at[t] > cycle {
                         return Err(EngineError::FuCollision {
@@ -277,40 +395,46 @@ pub fn run(
                         });
                     }
                     fu_free_at[t] = cycle + p.rate as u64;
+                    // Firings on one FU never overlap, so each contributes
+                    // exactly its rate to the tile's busy count.
+                    fu_busy[t] += p.rate as u64;
                     // Gather operand tokens: pop one per in-edge; iterations
                     // below the carried distance read the 0-init prologue
                     // value without consuming a token.
-                    let mut inputs = Vec::new();
-                    for e in &in_edges_sorted[&node] {
-                        let d = e.kind().distance() as u64;
-                        if iteration < d {
+                    inputs.clear();
+                    for &(eidx, d) in &node_inputs[n] {
+                        if i < d {
                             inputs.push(0);
                             continue;
                         }
-                        let q = fifos.entry(e.id()).or_default();
-                        match q.pop_front() {
+                        match fifos[eidx as usize].pop_front() {
                             Some((it, v, delivered)) => {
-                                debug_assert_eq!(it, iteration - d, "fifo order");
+                                debug_assert_eq!(it, i - d, "fifo order");
                                 token_wait[t] += cycle - delivered;
                                 inputs.push(v);
                             }
                             None => {
                                 return Err(EngineError::TokenNotReady {
-                                    edge: e.id(),
+                                    edge: EdgeId::from_index(eidx as usize),
                                     cycle,
                                 });
                             }
                         }
                     }
-                    let v = if dfg.node(node).op() == iced_dfg::Opcode::Load {
-                        reference[iteration as usize][node.index()]
+                    let op = dfg.node(node_id).op();
+                    let rv = reference.value(node_id, i);
+                    let v = if op == Opcode::Load {
+                        rv
                     } else {
-                        functional::eval_public(dfg.node(node).op(), &inputs)
+                        functional::eval_public(op, &inputs)
                     };
-                    if v != reference[iteration as usize][node.index()] {
-                        return Err(EngineError::ValueMismatch { node, iteration });
+                    if v != rv {
+                        return Err(EngineError::ValueMismatch {
+                            node: node_id,
+                            iteration: i,
+                        });
                     }
-                    values.insert((node, iteration), v);
+                    values[n * win + (i % win as u64) as usize] = v;
                     ops_executed += 1;
                     if iced_trace::detail_enabled() {
                         // One virtual-time record per firing, laned by tile,
@@ -318,48 +442,26 @@ pub fn run(
                         iced_trace::complete(
                             Phase::Sim,
                             &p.tile.to_string(),
-                            dfg.node(node).label(),
+                            dfg.node(node_id).label(),
                             cycle,
                             p.rate as u64,
-                            &[("iter", iteration.into())],
+                            &[("iter", i.into())],
                         );
                     }
                 }
             }
         }
-        // Account busy-ness after this tick's events, so a firing op or
-        // transfer counts from its start cycle.
-        for t in 0..tiles {
-            if fu_free_at[t] > cycle {
-                fu_busy[t] += 1;
-            }
-            if link_busy_until[t] > cycle {
-                link_busy[t] += 1;
-            }
-        }
     }
 
     if iced_trace::enabled() {
-        iced_trace::counter(Phase::Sim, "cycles", horizon);
-        iced_trace::counter(Phase::Sim, "ops_executed", ops_executed);
-        iced_trace::counter(Phase::Sim, "fu_busy_cycles", fu_busy.iter().sum());
-        iced_trace::counter(Phase::Sim, "link_busy_cycles", link_busy.iter().sum());
-        iced_trace::counter(Phase::Sim, "token_wait_cycles", token_wait.iter().sum());
-        // Per-tile activity: one counter triple per tile that hosted work
-        // (stall = cycles the tile's FU sat idle during the run).
-        let mut hosts = vec![false; tiles];
-        for p in mapping.placements() {
-            hosts[p.tile.index()] = true;
-        }
-        for tile in cfg.tiles() {
-            let t = tile.index();
-            if !hosts[t] {
-                continue;
-            }
-            iced_trace::counter(Phase::Sim, &format!("{tile}.fu_busy"), fu_busy[t]);
-            iced_trace::counter(Phase::Sim, &format!("{tile}.stall"), horizon - fu_busy[t]);
-            iced_trace::counter(Phase::Sim, &format!("{tile}.token_wait"), token_wait[t]);
-        }
+        emit_run_counters(
+            mapping,
+            horizon,
+            ops_executed,
+            &fu_busy,
+            &link_busy,
+            &token_wait,
+        );
     }
 
     Ok(EngineReport {
@@ -370,6 +472,39 @@ pub fn run(
         fifo_peak,
         ops_executed,
     })
+}
+
+/// End-of-run trace counters, shared by the compiled engine and the naive
+/// oracle so both emit the exact same observability surface.
+pub(crate) fn emit_run_counters(
+    mapping: &Mapping,
+    horizon: u64,
+    ops_executed: u64,
+    fu_busy: &[u64],
+    link_busy: &[u64],
+    token_wait: &[u64],
+) {
+    let cfg = mapping.config();
+    iced_trace::counter(Phase::Sim, "cycles", horizon);
+    iced_trace::counter(Phase::Sim, "ops_executed", ops_executed);
+    iced_trace::counter(Phase::Sim, "fu_busy_cycles", fu_busy.iter().sum());
+    iced_trace::counter(Phase::Sim, "link_busy_cycles", link_busy.iter().sum());
+    iced_trace::counter(Phase::Sim, "token_wait_cycles", token_wait.iter().sum());
+    // Per-tile activity: one counter triple per tile that hosted work
+    // (stall = cycles the tile's FU sat idle during the run).
+    let mut hosts = vec![false; cfg.tile_count()];
+    for p in mapping.placements() {
+        hosts[p.tile.index()] = true;
+    }
+    for tile in cfg.tiles() {
+        let t = tile.index();
+        if !hosts[t] {
+            continue;
+        }
+        iced_trace::counter(Phase::Sim, &format!("{tile}.fu_busy"), fu_busy[t]);
+        iced_trace::counter(Phase::Sim, &format!("{tile}.stall"), horizon - fu_busy[t]);
+        iced_trace::counter(Phase::Sim, &format!("{tile}.token_wait"), token_wait[t]);
+    }
 }
 
 #[cfg(test)]
@@ -480,5 +615,32 @@ mod tests {
             .sum();
         let measured: u64 = r.fu_busy.iter().sum();
         assert_eq!(measured, expected);
+    }
+
+    #[test]
+    fn fifo_capacity_bound_matches_observed_peak() {
+        // The analytic per-edge bound from `edge_fifo_depths` is exactly
+        // what the running machine observes once the pipeline has filled
+        // and drained (iterations comfortably past depth + distance).
+        let cfg = CgraConfig::iced_prototype();
+        for k in Kernel::STANDALONE {
+            let dfg = k.dfg(UnrollFactor::X1);
+            for mapping in [
+                map_baseline(&dfg, &cfg).unwrap(),
+                map_dvfs_aware(&dfg, &cfg).unwrap(),
+            ] {
+                let bound = crate::validate::edge_fifo_depths(&dfg, &mapping)
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
+                let r = run(&dfg, &mapping, 48, 11).unwrap();
+                assert_eq!(
+                    r.fifo_peak as u64,
+                    bound,
+                    "{}: observed peak vs analytic bound",
+                    k.name()
+                );
+            }
+        }
     }
 }

@@ -155,6 +155,119 @@ pub fn interpret(dfg: &Dfg, iterations: u64, seed: u64) -> Trace {
     trace
 }
 
+/// Streaming reference interpreter: the same iteration frames as
+/// [`interpret`], produced one at a time into a fixed ring of recent frames.
+///
+/// The ring holds the deepest loop-carried distance of the graph (what the
+/// interpreter itself must look back over) plus the caller's `lookback`
+/// (how far behind the newest frame the caller may still read), so memory
+/// is O(window × nodes) — independent of how many iterations are streamed.
+/// The compiled engine uses this to check a billion-iteration run without
+/// ever materialising a full trace.
+#[derive(Debug)]
+pub struct ReferenceStream<'a> {
+    dfg: &'a Dfg,
+    order: Vec<NodeId>,
+    /// Per node, its in-edges as `(src index, distance)` in edge-id order —
+    /// the operand order [`gather`] uses.
+    inputs: Vec<Vec<(usize, u64)>>,
+    seed: u64,
+    /// Frame `i` lives in `ring[i % cap]` while `next − cap ≤ i < next`.
+    ring: Vec<Vec<i64>>,
+    scratch: Vec<i64>,
+    operands: Vec<i64>,
+    next: u64,
+}
+
+impl<'a> ReferenceStream<'a> {
+    /// Creates a stream over `dfg` whose frames stay readable for at least
+    /// `lookback` iterations behind the newest one requested.
+    pub fn new(dfg: &'a Dfg, seed: u64, lookback: u64) -> Self {
+        let maxdist = dfg
+            .edges()
+            .map(|e| u64::from(e.kind().distance()))
+            .max()
+            .unwrap_or(0);
+        let cap = (maxdist.max(lookback) + 1) as usize;
+        let inputs = dfg
+            .node_ids()
+            .map(|n| {
+                let mut es: Vec<_> = dfg.in_edges(n).collect();
+                es.sort_by_key(|e| e.id());
+                es.iter()
+                    .map(|e| (e.src().index(), u64::from(e.kind().distance())))
+                    .collect()
+            })
+            .collect();
+        ReferenceStream {
+            dfg,
+            order: dfg.topological_order(),
+            inputs,
+            seed,
+            ring: vec![vec![0; dfg.node_count()]; cap],
+            scratch: vec![0; dfg.node_count()],
+            operands: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Reference value of `node` in `iteration`, computing frames forward
+    /// as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration` is older than the stream's lookback window
+    /// (its frame has been retired).
+    pub fn value(&mut self, node: NodeId, iteration: u64) -> i64 {
+        self.frame(iteration)[node.index()]
+    }
+
+    /// The full frame of `iteration` (values indexed by dense node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration` is older than the stream's lookback window.
+    pub fn frame(&mut self, iteration: u64) -> &[i64] {
+        while self.next <= iteration {
+            self.advance();
+        }
+        let cap = self.ring.len() as u64;
+        assert!(
+            iteration + cap >= self.next,
+            "reference frame {iteration} already retired (newest is {})",
+            self.next - 1
+        );
+        &self.ring[(iteration % cap) as usize]
+    }
+
+    /// Computes the next frame into the ring, retiring the oldest one.
+    fn advance(&mut self) {
+        let i = self.next;
+        let cap = self.ring.len() as u64;
+        for &node in &self.order {
+            let op = self.dfg.node(node).op();
+            let v = if op == Opcode::Load {
+                load_value(node, i, self.seed)
+            } else {
+                self.operands.clear();
+                for &(src, d) in &self.inputs[node.index()] {
+                    self.operands.push(if i < d {
+                        0 // prologue: predicated-invalid values read as 0
+                    } else if d == 0 {
+                        self.scratch[src] // same frame, earlier in topo order
+                    } else {
+                        self.ring[((i - d) % cap) as usize][src]
+                    });
+                }
+                eval(op, &self.operands)
+            };
+            self.scratch[node.index()] = v;
+        }
+        std::mem::swap(&mut self.scratch, &mut self.ring[(i % cap) as usize]);
+        self.next = i + 1;
+    }
+}
+
 /// Replays the mapped schedule, checking elastic-buffer legality per edge,
 /// and returns the value trace plus the deepest FIFO any edge required.
 ///
@@ -171,10 +284,13 @@ pub fn replay(
 ) -> Result<(Trace, u64), ReplayError> {
     let ii = mapping.ii() as u64;
     let mut max_depth = 0u64;
-    // Per-edge steady-state legality: instance i of the producer arrives at
+    // Per-edge legality: instance i of the producer arrives at
     // arrival + i·II and is consumed at start_dst + (i + d)·II. Elasticity
     // requires arrival ≤ read, and the FIFO must hold every instance that
-    // has arrived but is not yet consumed.
+    // has arrived but is not yet consumed — the per-edge hardware bound
+    // computed by [`crate::edge_fifo_depths`] (steady-state in-flight depth
+    // or the batch-drain residue, whichever is larger).
+    let depths = crate::validate::edge_fifo_depths(dfg, mapping);
     for e in dfg.edges() {
         let src = mapping.placement(e.src());
         let dst = mapping.placement(e.dst());
@@ -185,9 +301,7 @@ pub fn replay(
         if read < arrival {
             return Err(ReplayError::ValueNotReady { edge: e.id() });
         }
-        // Instances in flight at any instant: values arrive every II and
-        // leave every II, offset by (read − arrival).
-        let depth = (read - arrival) / ii + 1;
+        let depth = depths[e.id().index()];
         max_depth = max_depth.max(depth);
         if depth > fifo_depth {
             return Err(ReplayError::FifoOverflow {

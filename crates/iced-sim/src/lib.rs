@@ -16,9 +16,13 @@
 //!   simulator with elastic-buffer edge semantics: replaying the mapped
 //!   schedule must reproduce the reference interpretation value-for-value,
 //!   which catches timing bugs that structural checks cannot;
-//! * [`engine`] — a cycle-stepped machine simulation (tick-by-tick FU
-//!   firings, link transfers, per-edge token FIFOs) that cross-checks the
-//!   analytic metrics and values;
+//! * [`engine`] — a cycle-stepped machine simulation (FU firings, link
+//!   transfers, per-edge token FIFOs) driven by a compiled periodic event
+//!   table, with memory independent of the iteration count, that
+//!   cross-checks the analytic metrics and values;
+//! * [`oracle`] — the original naive per-cycle engine, kept as the compiled
+//!   engine's bit-identical reference for the equivalence tests and
+//!   benchmark baselines;
 //! * [`render`] — ASCII schedule tables and DVFS level grids, the textual
 //!   equivalent of the paper's Figure 1/3 panels.
 
@@ -29,10 +33,12 @@ pub mod energy;
 pub mod engine;
 pub mod functional;
 mod metrics;
+pub mod oracle;
 pub mod render;
 mod validate;
 
 pub use energy::{DvfsSupport, EnergyBreakdown};
 pub use engine::{run as run_engine, EngineError, EngineReport};
 pub use metrics::{FabricStats, TileStats};
-pub use validate::{validate_schedule, ScheduleError};
+pub use oracle::run_oracle;
+pub use validate::{edge_fifo_depths, validate_schedule, ScheduleError};

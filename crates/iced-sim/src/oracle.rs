@@ -1,0 +1,261 @@
+//! The naive cycle-stepped engine, kept as the compiled engine's oracle.
+//!
+//! This is the original [`crate::engine::run`] implementation, preserved
+//! bit-for-bit: it materialises the full reference trace up front, builds a
+//! `HashMap` timeline with one entry per (event × iteration), and steps
+//! every base cycle of the horizon scanning all tiles. Memory and setup
+//! time scale linearly with the iteration count — which is exactly why the
+//! production path in [`crate::engine`] compiles the periodic schedule
+//! instead. The naive path survives because its simplicity makes it
+//! trustworthy: the test-suite proves the compiled engine returns an
+//! [`EngineReport`] **equal** to this one (and emits the same trace
+//! counters) across the whole kernel suite, both mappers, unroll factors,
+//! and random DFGs.
+//!
+//! Use [`run_oracle`] only for verification and benchmark baselines; it is
+//! deliberately left unoptimised.
+
+use std::collections::{HashMap, VecDeque};
+
+use iced_arch::TileId;
+use iced_dfg::{Dfg, EdgeId, NodeId};
+use iced_mapper::Mapping;
+use iced_trace::Phase;
+
+use crate::engine::{EngineError, EngineReport};
+use crate::functional;
+
+/// One scheduled occurrence, instantiated per iteration.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Node begins executing on its tile (occupies `rate` base cycles).
+    FuStart { node: NodeId, iteration: u64 },
+    /// A hop starts driving a link (occupies `len` base cycles).
+    HopStart { edge: EdgeId, hop: usize },
+    /// A value lands in the consumer-side FIFO of an edge.
+    Deliver { edge: EdgeId, iteration: u64 },
+}
+
+/// Runs `iterations` loop iterations of `mapping` on the naive
+/// cycle-stepped machine — the compiled engine's reference semantics.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] encountered; a correct mapping never
+/// produces one (asserted over the whole kernel suite by the tests).
+pub fn run_oracle(
+    dfg: &Dfg,
+    mapping: &Mapping,
+    iterations: u64,
+    seed: u64,
+) -> Result<EngineReport, EngineError> {
+    let cfg = mapping.config();
+    let ii = mapping.ii() as u64;
+    let tiles = cfg.tile_count();
+    let _run_span = iced_trace::span(
+        Phase::Sim,
+        "engine_run",
+        &[
+            ("kernel", mapping.kernel().into()),
+            ("ii", ii.into()),
+            ("iterations", iterations.into()),
+        ],
+    );
+    let reference = functional::interpret(dfg, iterations, seed);
+
+    // Build the event timeline: every placement/hop instantiated per
+    // iteration, keyed by absolute base cycle.
+    let mut timeline: HashMap<u64, Vec<Event>> = HashMap::new();
+    let mut push = |cycle: u64, ev: Event| timeline.entry(cycle).or_default().push(ev);
+    for node in dfg.node_ids() {
+        let p = mapping.placement(node);
+        for i in 0..iterations {
+            push(p.start + i * ii, Event::FuStart { node, iteration: i });
+        }
+    }
+    // Same-tile edges deliver directly at producer-ready time.
+    let routed: HashMap<EdgeId, &iced_mapper::Route> =
+        mapping.routes().iter().map(|r| (r.edge, r)).collect();
+    for e in dfg.edges() {
+        match routed.get(&e.id()) {
+            Some(route) => {
+                for i in 0..iterations {
+                    for (h, _) in route.hops.iter().enumerate() {
+                        push(
+                            route.hops[h].depart + i * ii,
+                            Event::HopStart {
+                                edge: e.id(),
+                                hop: h,
+                            },
+                        );
+                    }
+                    push(
+                        route.arrival + i * ii,
+                        Event::Deliver {
+                            edge: e.id(),
+                            iteration: i,
+                        },
+                    );
+                }
+            }
+            None => {
+                let src = mapping.placement(e.src());
+                for i in 0..iterations {
+                    push(
+                        src.ready() + i * ii,
+                        Event::Deliver {
+                            edge: e.id(),
+                            iteration: i,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Machine state.
+    let mut fu_free_at = vec![0u64; tiles]; // next base cycle each FU is free
+    let mut link_free_at: HashMap<(TileId, u8), u64> = HashMap::new();
+    // FIFO entries: (iteration, value, base cycle the token landed) — the
+    // delivery cycle feeds the per-tile token-wait counters.
+    let mut fifos: HashMap<EdgeId, VecDeque<(u64, i64, u64)>> = HashMap::new();
+    let mut fu_busy = vec![0u64; tiles];
+    let mut link_busy_until: Vec<u64> = vec![0u64; tiles];
+    let mut link_busy = vec![0u64; tiles];
+    let mut token_wait = vec![0u64; tiles];
+    let mut values: HashMap<(NodeId, u64), i64> = HashMap::new();
+    let mut ops_executed = 0u64;
+    let mut fifo_peak = 0usize;
+
+    let horizon = mapping.makespan() + iterations * ii + 1;
+    let mut in_edges_sorted: HashMap<NodeId, Vec<&iced_dfg::Edge>> = HashMap::new();
+    for node in dfg.node_ids() {
+        let mut es: Vec<_> = dfg.in_edges(node).collect();
+        es.sort_by_key(|e| e.id());
+        in_edges_sorted.insert(node, es);
+    }
+
+    for cycle in 0..horizon {
+        let events = timeline.remove(&cycle).unwrap_or_default();
+        // Deliveries first (a consumer may fire in the same cycle a value
+        // lands — the overlapped first hop produces exactly that pattern).
+        for ev in &events {
+            if let Event::Deliver { edge, iteration } = *ev {
+                let e = dfg.edge(edge);
+                let v = *values.get(&(e.src(), iteration)).unwrap_or(&0);
+                let q = fifos.entry(edge).or_default();
+                q.push_back((iteration, v, cycle));
+                fifo_peak = fifo_peak.max(q.len());
+            }
+        }
+        for ev in &events {
+            match *ev {
+                Event::Deliver { .. } => {}
+                Event::HopStart { edge, hop } => {
+                    let route = routed[&edge];
+                    let h = &route.hops[hop];
+                    let key = (h.from, h.dir.index() as u8);
+                    let busy_until = link_free_at.get(&key).copied().unwrap_or(0);
+                    if busy_until > cycle {
+                        return Err(EngineError::LinkCollision {
+                            tile: h.from,
+                            cycle,
+                        });
+                    }
+                    let len = h.arrive - h.depart;
+                    link_free_at.insert(key, cycle + len);
+                    link_busy_until[h.from.index()] =
+                        link_busy_until[h.from.index()].max(cycle + len);
+                }
+                Event::FuStart { node, iteration } => {
+                    let p = mapping.placement(node);
+                    let t = p.tile.index();
+                    if fu_free_at[t] > cycle {
+                        return Err(EngineError::FuCollision {
+                            tile: p.tile,
+                            cycle,
+                        });
+                    }
+                    fu_free_at[t] = cycle + p.rate as u64;
+                    // Gather operand tokens: pop one per in-edge; iterations
+                    // below the carried distance read the 0-init prologue
+                    // value without consuming a token.
+                    let mut inputs = Vec::new();
+                    for e in &in_edges_sorted[&node] {
+                        let d = e.kind().distance() as u64;
+                        if iteration < d {
+                            inputs.push(0);
+                            continue;
+                        }
+                        let q = fifos.entry(e.id()).or_default();
+                        match q.pop_front() {
+                            Some((it, v, delivered)) => {
+                                debug_assert_eq!(it, iteration - d, "fifo order");
+                                token_wait[t] += cycle - delivered;
+                                inputs.push(v);
+                            }
+                            None => {
+                                return Err(EngineError::TokenNotReady {
+                                    edge: e.id(),
+                                    cycle,
+                                });
+                            }
+                        }
+                    }
+                    let v = if dfg.node(node).op() == iced_dfg::Opcode::Load {
+                        reference[iteration as usize][node.index()]
+                    } else {
+                        functional::eval_public(dfg.node(node).op(), &inputs)
+                    };
+                    if v != reference[iteration as usize][node.index()] {
+                        return Err(EngineError::ValueMismatch { node, iteration });
+                    }
+                    values.insert((node, iteration), v);
+                    ops_executed += 1;
+                    if iced_trace::detail_enabled() {
+                        // One virtual-time record per firing, laned by tile,
+                        // for timeline replay in Perfetto.
+                        iced_trace::complete(
+                            Phase::Sim,
+                            &p.tile.to_string(),
+                            dfg.node(node).label(),
+                            cycle,
+                            p.rate as u64,
+                            &[("iter", iteration.into())],
+                        );
+                    }
+                }
+            }
+        }
+        // Account busy-ness after this tick's events, so a firing op or
+        // transfer counts from its start cycle.
+        for t in 0..tiles {
+            if fu_free_at[t] > cycle {
+                fu_busy[t] += 1;
+            }
+            if link_busy_until[t] > cycle {
+                link_busy[t] += 1;
+            }
+        }
+    }
+
+    if iced_trace::enabled() {
+        crate::engine::emit_run_counters(
+            mapping,
+            horizon,
+            ops_executed,
+            &fu_busy,
+            &link_busy,
+            &token_wait,
+        );
+    }
+
+    Ok(EngineReport {
+        cycles: horizon,
+        iterations,
+        fu_busy,
+        link_busy,
+        fifo_peak,
+        ops_executed,
+    })
+}

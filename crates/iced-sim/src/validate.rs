@@ -83,6 +83,44 @@ impl fmt::Display for ScheduleError {
 
 impl Error for ScheduleError {}
 
+/// Per-edge FIFO capacity (indexed by dense edge id) the hardware needs to
+/// run `mapping` without back-pressure.
+///
+/// Two regimes bound each edge's elastic buffer:
+///
+/// * **steady state** — instance `i` arrives at `arrival + i·II` and is
+///   consumed at `read + i·II`, so `(read − arrival)/II + 1` instances are
+///   in flight at the consumer's pop instant;
+/// * **batch drain** — a finite run's last `distance` loop-carried tokens
+///   are produced but never popped (their consumer iterations don't exist),
+///   so they pile up in the buffer as the pipeline drains.
+///
+/// The per-edge bound is the max of the two; the cycle-stepped engine
+/// preallocates its token FIFOs from this and its observed
+/// [`fifo_peak`](crate::EngineReport::fifo_peak) equals the suite-wide max
+/// (asserted by the tests). Edges whose consumer would read before arrival
+/// get `0` — such a schedule is invalid and is reported by
+/// [`validate_schedule`] / the engine, not here.
+pub fn edge_fifo_depths(dfg: &Dfg, mapping: &Mapping) -> Vec<u64> {
+    let ii = u64::from(mapping.ii());
+    let routes: HashMap<EdgeId, &iced_mapper::Route> =
+        mapping.routes().iter().map(|r| (r.edge, r)).collect();
+    dfg.edges()
+        .map(|e| {
+            let src = mapping.placement(e.src());
+            let dst = mapping.placement(e.dst());
+            let d = u64::from(e.kind().distance());
+            let arrival = routes.get(&e.id()).map_or(src.ready(), |r| r.arrival);
+            let read = dst.start + d * ii;
+            if read < arrival {
+                0
+            } else {
+                ((read - arrival) / ii + 1).max(d)
+            }
+        })
+        .collect()
+}
+
 /// Validates the schedule of `mapping` against `dfg`.
 ///
 /// # Errors

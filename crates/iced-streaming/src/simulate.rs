@@ -116,6 +116,17 @@ pub fn simulate_with_window(
 ) -> StreamReport {
     let window = window.max(1);
     let n_kernels = partition.profiles.len();
+    if n_kernels == 0 {
+        // A kernel-less pipeline processes nothing: report an empty stream
+        // rather than indexing into per-kernel state that does not exist.
+        return StreamReport {
+            policy,
+            samples: Vec::new(),
+            total_time_us: 0.0,
+            total_energy_nj: 0.0,
+            inputs: 0,
+        };
+    }
     let stage_of: Vec<usize> = pipeline
         .stages
         .iter()
@@ -243,10 +254,9 @@ pub fn simulate_with_window(
         }
     }
 
-    let total_time = samples
-        .iter()
-        .map(|s| s.throughput)
-        .fold(0.0, |_, _| finish.iter().fold(0.0f64, |a, &b| a.max(b)));
+    // Wall clock: when the last kernel finishes the last input (0 when no
+    // inputs streamed).
+    let total_time = finish.iter().fold(0.0f64, |a, &b| a.max(b));
     StreamReport {
         policy,
         samples,
@@ -373,6 +383,42 @@ mod tests {
             .samples
             .iter()
             .all(|s| s.power_mw > 0.0 && s.throughput > 0.0));
+    }
+
+    #[test]
+    fn empty_input_stream_reports_zero_wall_clock() {
+        let (pipeline, partition, model, _) = gcn_setup();
+        let r = simulate(&pipeline, &partition, &model, &[], RuntimePolicy::IcedDvfs);
+        assert!(r.samples.is_empty());
+        assert_eq!(r.inputs, 0);
+        assert_eq!(r.total_time_us, 0.0);
+        assert_eq!(r.total_energy_nj, 0.0);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.avg_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn zero_kernel_pipeline_reports_empty_stream() {
+        let pipeline = Pipeline {
+            name: "empty",
+            stages: Vec::new(),
+        };
+        let partition = Partition {
+            allocations: Vec::new(),
+            profiles: Vec::new(),
+        };
+        let model = PowerModel::asap7();
+        let r = simulate(
+            &pipeline,
+            &partition,
+            &model,
+            &[10, 20, 30],
+            RuntimePolicy::Drips,
+        );
+        assert!(r.samples.is_empty());
+        assert_eq!(r.inputs, 0);
+        assert_eq!(r.total_time_us, 0.0);
+        assert_eq!(r.total_energy_nj, 0.0);
     }
 
     #[test]

@@ -139,6 +139,19 @@ proptest! {
     }
 
     #[test]
+    fn engine_matches_oracle(dfg in arb_dfg(), per_tile in any::<bool>(), seed in any::<u64>()) {
+        // The compiled periodic-event-table engine must agree with the
+        // preserved naive engine on arbitrary well-formed kernels, not
+        // just the curated suite — same report, bit for bit.
+        let tc = Toolchain::prototype();
+        let strategy = if per_tile { MapStrategy::PerTileDvfs } else { MapStrategy::IcedIslands };
+        let c = tc.compile(&dfg, strategy).unwrap();
+        let fast = iced::sim::run_engine(&dfg, c.mapping(), 16, seed).unwrap();
+        let slow = iced::sim::run_oracle(&dfg, c.mapping(), 16, seed).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn interpret_is_pure(dfg in arb_dfg(), seed in any::<u64>()) {
         let a = functional::interpret(&dfg, 8, seed);
         let b = functional::interpret(&dfg, 8, seed);
