@@ -234,6 +234,39 @@ impl CgraConfig {
         }
     }
 
+    /// A stable content digest of this configuration, for cache keys.
+    ///
+    /// Every field is fed into an [`iced_hash::StableHasher`] under an
+    /// explicit tag, so the digest survives process restarts and
+    /// field-order refactors (unlike a derived `Hash` with
+    /// `DefaultHasher`). Any semantic change — dimensions, island
+    /// geometry, register capacity, SPM shape, FU layout — changes it.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = iced_hash::StableHasher::new();
+        h.write_str("cgra-config");
+        h.write_str("rows");
+        h.write_usize(self.rows);
+        h.write_str("cols");
+        h.write_usize(self.cols);
+        h.write_str("island_rows");
+        h.write_usize(self.island_rows);
+        h.write_str("island_cols");
+        h.write_usize(self.island_cols);
+        h.write_str("reg_capacity");
+        h.write_u8(self.reg_capacity);
+        h.write_str("spm_banks");
+        h.write_usize(self.spm_banks);
+        h.write_str("spm_kib");
+        h.write_usize(self.spm_kib);
+        h.write_str("fu_layout");
+        h.write_u8(match self.fu_layout {
+            FuLayout::Homogeneous => 0,
+            FuLayout::CheckerboardMul => 1,
+            FuLayout::EvenColumnsMul => 2,
+        });
+        h.finish()
+    }
+
     /// Manhattan distance between two tiles (router's admissible heuristic).
     pub fn manhattan(&self, a: TileId, b: TileId) -> usize {
         let (ar, ac) = self.position(a);
@@ -440,6 +473,29 @@ mod tests {
             .unwrap();
         assert!(cols.tile_has_multiplier(cols.tile_at(3, 2)));
         assert!(!cols.tile_has_multiplier(cols.tile_at(3, 3)));
+    }
+
+    #[test]
+    fn canonical_hash_is_pinned_and_field_sensitive() {
+        // Cross-process stability contract (service disk cache); change
+        // deliberately or not at all.
+        let proto = CgraConfig::iced_prototype();
+        assert_eq!(proto.canonical_hash(), 0x6e22_878d_c451_e094);
+        assert_eq!(proto.canonical_hash(), proto.clone().canonical_hash());
+        let variants = [
+            CgraConfig::builder(8, 6).build().unwrap(),
+            CgraConfig::builder(6, 6).island(3, 3).build().unwrap(),
+            CgraConfig::builder(6, 6).reg_capacity(8).build().unwrap(),
+            CgraConfig::builder(6, 6).spm_banks(4).build().unwrap(),
+            CgraConfig::builder(6, 6).spm_kib(64).build().unwrap(),
+            CgraConfig::builder(6, 6)
+                .fu_layout(FuLayout::CheckerboardMul)
+                .build()
+                .unwrap(),
+        ];
+        for v in &variants {
+            assert_ne!(proto.canonical_hash(), v.canonical_hash(), "{v:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Load generator for the `iced-service` daemon: closed-loop cold/warm
+//! phases (content-addressed cache effectiveness) followed by an
+//! open-loop burst (backpressure behaviour under saturation), emitting
+//! `BENCH_service.json`.
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin svc_load -- \
+//!     [--quick] [--addr HOST:PORT] [--out PATH] [--clients N] [--shutdown]
+//! ```
+//!
+//! Without `--addr` an in-process server is started on an ephemeral port
+//! (self-contained mode, used by local runs). With `--addr` the generator
+//! drives an externally started `iced-serviced` (the CI smoke job),
+//! retrying the connection for a few seconds while the daemon boots;
+//! `--shutdown` sends the `shutdown` verb when done so the daemon drains
+//! and exits.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use iced_service::{Server, ServiceConfig};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connects, retrying while an external daemon finishes booting.
+    fn connect_retry(addr: &str, budget: Duration) -> Client {
+        let t0 = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return c,
+                Err(e) if t0.elapsed() < budget => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => {
+                    eprintln!("svc_load: cannot reach {addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        // One write per request: a split write would re-introduce the
+        // Nagle + delayed-ACK stall the server disables nodelay to avoid.
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf).expect("send request");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    fn round_trip(&mut self, line: &str) -> (String, u128) {
+        let t0 = Instant::now();
+        self.send(line);
+        let resp = self.recv();
+        (resp, t0.elapsed().as_micros())
+    }
+}
+
+/// Latency series summarised for the report.
+#[derive(Default)]
+struct Series {
+    us: Vec<u128>,
+}
+
+impl Series {
+    fn push(&mut self, v: u128) {
+        self.us.push(v);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.us.is_empty() {
+            return 0.0;
+        }
+        self.us.iter().sum::<u128>() as f64 / self.us.len() as f64
+    }
+
+    fn percentile(&self, p: f64) -> u128 {
+        if self.us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+
+    fn render(&self, label: &str) -> String {
+        format!(
+            "{{\"phase\": \"{label}\", \"requests\": {}, \"mean_us\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"max_us\": {}}}",
+            self.us.len(),
+            self.mean(),
+            self.percentile(0.5),
+            self.percentile(0.95),
+            self.us.iter().max().copied().unwrap_or(0)
+        )
+    }
+}
+
+fn compile_requests(quick: bool) -> Vec<String> {
+    let kernels: &[&str] = if quick {
+        &["fir", "latnrm", "fft", "dtw", "spmv", "conv"]
+    } else {
+        &[
+            "fir",
+            "latnrm",
+            "fft",
+            "dtw",
+            "spmv",
+            "conv",
+            "relu",
+            "histogram",
+            "mvt",
+            "gemm",
+        ]
+    };
+    let strategies: &[&str] = if quick {
+        &["iced"]
+    } else {
+        &["baseline", "iced"]
+    };
+    let mut reqs = Vec::new();
+    let mut id = 1000;
+    for s in strategies {
+        for k in kernels {
+            reqs.push(format!(
+                "{{\"id\":{id},\"verb\":\"compile\",\"kernel\":\"{k}\",\"strategy\":\"{s}\"}}"
+            ));
+            id += 1;
+        }
+    }
+    reqs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let want_shutdown = args.iter().any(|a| a == "--shutdown");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".into());
+    let clients: usize = flag("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 4 } else { 8 });
+
+    // Self-contained mode starts an in-process server on an ephemeral
+    // port; --addr drives an external daemon instead.
+    let external = flag("--addr");
+    let (server, addr) = match &external {
+        Some(a) => (None, a.clone()),
+        None => {
+            let cfg = ServiceConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: clients.clamp(1, 8),
+                ..ServiceConfig::default()
+            };
+            let s = Server::start(cfg).expect("start in-process server");
+            let a = s.local_addr().to_string();
+            (Some(s), a)
+        }
+    };
+
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(10));
+    let (health, _) = c.round_trip("{\"id\":1,\"verb\":\"healthz\"}");
+    assert!(health.contains("\"ok\":true"), "daemon unhealthy: {health}");
+
+    // Phase 1+2: closed loop, same request set twice. Responses are
+    // classified by the server's own `cached` marker, so an already-warm
+    // external daemon still produces honest numbers.
+    let reqs = compile_requests(quick);
+    let mut cold = Series::default();
+    let mut warm = Series::default();
+    let mut mismatched = 0usize;
+    let mut first_pass: Vec<String> = Vec::new();
+    for pass in 0..2 {
+        for (i, req) in reqs.iter().enumerate() {
+            let (resp, us) = c.round_trip(req);
+            assert!(resp.contains("\"ok\":true"), "compile failed: {resp}");
+            if resp.contains("\"cached\":true") {
+                warm.push(us);
+            } else {
+                cold.push(us);
+            }
+            if pass == 0 {
+                first_pass.push(resp);
+            } else {
+                // Byte-identity check: warm payloads replay cold bytes.
+                let cold_resp = &first_pass[i];
+                let strip = |s: &str| s.replace("\"cached\":false", "\"cached\":true");
+                if strip(cold_resp) != strip(&resp) {
+                    mismatched += 1;
+                }
+            }
+        }
+    }
+
+    // Phase 3: open loop — every client fires its whole batch without
+    // waiting, then collects. Saturation is expected; queue_full replies
+    // are part of the contract, not failures.
+    let burst = if quick { 12 } else { 40 };
+    let t_open = Instant::now();
+    let addr2 = addr.clone();
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            let addr = addr2.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect_retry(&addr, Duration::from_secs(10));
+                for r in 0..burst {
+                    let seed = ci * 1000 + r;
+                    c.send(&format!(
+                        "{{\"id\":{seed},\"verb\":\"simulate\",\"kernel\":\"fir\",\
+                         \"iterations\":2000,\"seed\":{seed}}}"
+                    ));
+                }
+                let (mut ok, mut full, mut other) = (0usize, 0usize, 0usize);
+                for _ in 0..burst {
+                    let resp = c.recv();
+                    if resp.contains("\"ok\":true") {
+                        ok += 1;
+                    } else if resp.contains("queue_full") {
+                        full += 1;
+                    } else {
+                        other += 1;
+                    }
+                }
+                (ok, full, other)
+            })
+        })
+        .collect();
+    let (mut ok, mut full, mut other) = (0usize, 0usize, 0usize);
+    for h in handles {
+        let (o, f, x) = h.join().expect("open-loop client");
+        ok += o;
+        full += f;
+        other += x;
+    }
+    let open_wall_us = t_open.elapsed().as_micros();
+
+    let (metrics, _) = c.round_trip("{\"id\":2,\"verb\":\"metrics\"}");
+    let metrics_result = metrics
+        .find("\"result\":")
+        .map(|i| metrics[i + 9..metrics.len() - 1].to_string())
+        .unwrap_or_else(|| "{}".into());
+
+    if want_shutdown || external.is_none() {
+        let (bye, _) = c.round_trip("{\"id\":3,\"verb\":\"shutdown\"}");
+        assert!(bye.contains("\"ok\":true"), "shutdown failed: {bye}");
+    }
+    if let Some(s) = server {
+        s.wait();
+    }
+
+    let speedup = if warm.us.is_empty() {
+        0.0
+    } else {
+        cold.mean() / warm.mean().max(1.0)
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if external.is_some() {
+            "external"
+        } else {
+            "in-process"
+        }
+    );
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"clients\": {clients},");
+    let _ = writeln!(out, "  \"closed_loop\": [");
+    let _ = writeln!(out, "    {},", cold.render("cold"));
+    let _ = writeln!(out, "    {}", warm.render("warm"));
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"warm_speedup\": {speedup:.1},");
+    let _ = writeln!(out, "  \"warm_payload_mismatches\": {mismatched},");
+    let _ = writeln!(
+        out,
+        "  \"open_loop\": {{\"requests\": {}, \"ok\": {ok}, \"queue_full\": {full}, \
+         \"other\": {other}, \"wall_us\": {open_wall_us}, \"answered_per_sec\": {:.0}}},",
+        clients * burst,
+        (ok + full + other) as f64 / (open_wall_us.max(1) as f64 / 1e6)
+    );
+    let _ = writeln!(out, "  \"server_metrics\": {metrics_result}");
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, &out).expect("write report");
+    println!(
+        "svc_load: cold mean {:.0} µs over {} requests",
+        cold.mean(),
+        cold.us.len()
+    );
+    println!(
+        "svc_load: warm mean {:.0} µs over {} requests",
+        warm.mean(),
+        warm.us.len()
+    );
+    println!("svc_load: warm speedup {speedup:.1}x, payload mismatches {mismatched}");
+    println!(
+        "svc_load: open loop {} ok / {} queue_full / {} other in {:.1} ms",
+        ok,
+        full,
+        other,
+        open_wall_us as f64 / 1000.0
+    );
+    println!("svc_load: report written to {out_path}");
+    assert_eq!(mismatched, 0, "warm responses must replay cold bytes");
+}

@@ -1,0 +1,236 @@
+//! Canonical content hashing for dataflow graphs.
+//!
+//! [`Dfg::canonical_hash`] digests what a graph *means* rather than how it
+//! happens to be numbered: two graphs that differ only in node insertion
+//! order (and therefore in every `NodeId`/`EdgeId`) hash equal, while any
+//! change to an opcode, label, edge, iteration distance, or the kernel
+//! name changes the digest. The service layer uses this as the DFG part of
+//! its content-addressed cache key, so the digest must also be stable
+//! across process runs — it is built exclusively from
+//! [`iced_hash::StableHasher`], never from `DefaultHasher`.
+//!
+//! The construction is a Weisfeiler–Lehman colour refinement: every node
+//! starts from a fingerprint of its own content (opcode + label), then
+//! repeatedly absorbs the *sorted multiset* of its neighbours'
+//! fingerprints (tagged by edge direction and iteration distance).
+//! Sorting makes each round independent of edge enumeration order; the
+//! final graph digest combines the node fingerprints with a commutative
+//! sum, which is what buys permutation invariance. After `min(n, 16)`
+//! rounds every fingerprint has seen its full reachable neighbourhood for
+//! all practical kernel sizes; isomorphic graphs therefore collide by
+//! construction, and distinct graphs collide only with ordinary 64-bit
+//! hash probability.
+
+use iced_hash::StableHasher;
+
+use crate::graph::Dfg;
+
+/// One node's contribution from a single incident edge: direction tag,
+/// iteration distance, and the fingerprint at the far end.
+fn edge_contrib(tag: u8, distance: u32, far: u64) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u8(tag);
+    h.write_u32(distance);
+    h.write_u64(far);
+    h.finish()
+}
+
+impl Dfg {
+    /// A stable, node-order-independent content digest of this graph.
+    ///
+    /// Guarantees (pinned by unit tests and a permutation proptest):
+    ///
+    /// * equal for graphs identical up to node/edge insertion order,
+    /// * stable across process runs and host platforms,
+    /// * sensitive to the kernel name, every opcode, label, edge
+    ///   endpoint pairing, edge kind, and iteration distance.
+    pub fn canonical_hash(&self) -> u64 {
+        let n = self.node_count();
+        // Initial colours: node content only.
+        let mut fp: Vec<u64> = self
+            .nodes()
+            .map(|node| {
+                let mut h = StableHasher::new();
+                h.write_str("node");
+                h.write_str(node.op().mnemonic());
+                h.write_str(node.label());
+                h.finish()
+            })
+            .collect();
+        // Refinement: absorb sorted neighbour multisets. The round count
+        // is derived from the (permutation-invariant) node count.
+        let rounds = n.min(16);
+        let mut next = vec![0u64; n];
+        let mut contribs: Vec<u64> = Vec::new();
+        for _ in 0..rounds {
+            for id in self.node_ids() {
+                contribs.clear();
+                for e in self.in_edges(id) {
+                    contribs.push(edge_contrib(b'i', e.kind().distance(), fp[e.src().index()]));
+                }
+                for e in self.out_edges(id) {
+                    contribs.push(edge_contrib(b'o', e.kind().distance(), fp[e.dst().index()]));
+                }
+                contribs.sort_unstable();
+                let mut h = StableHasher::new();
+                h.write_u64(fp[id.index()]);
+                h.write_usize(contribs.len());
+                for &c in &contribs {
+                    h.write_u64(c);
+                }
+                next[id.index()] = h.finish();
+            }
+            std::mem::swap(&mut fp, &mut next);
+        }
+        // Commutative folds over nodes and edges make the digest
+        // independent of enumeration order.
+        let node_sum = fp.iter().fold(0u64, |acc, &x| acc.wrapping_add(x));
+        let edge_sum = self
+            .edges()
+            .map(|e| {
+                let mut h = StableHasher::new();
+                h.write_str("edge");
+                h.write_u64(fp[e.src().index()]);
+                h.write_u64(fp[e.dst().index()]);
+                h.write_bool(e.kind().is_loop_carried());
+                h.write_u32(e.kind().distance());
+                h.finish()
+            })
+            .fold(0u64, |acc, x| acc.wrapping_add(x));
+        let mut h = StableHasher::new();
+        h.write_str("dfg");
+        h.write_str(self.name());
+        h.write_usize(n);
+        h.write_usize(self.edge_count());
+        h.write_u64(node_sum);
+        h.write_u64(edge_sum);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DfgBuilder;
+    use crate::graph::EdgeKind;
+    use crate::op::Opcode;
+
+    fn fir_ish() -> crate::graph::Dfg {
+        let mut b = DfgBuilder::new("fir-ish");
+        let x = b.node(Opcode::Load, "x[i]");
+        let c = b.node(Opcode::Load, "c[i]");
+        let m = b.node(Opcode::Mul, "x*c");
+        let acc = b.node(Opcode::Phi, "acc");
+        let add = b.node(Opcode::Add, "acc+");
+        b.data(x, m).unwrap();
+        b.data(c, m).unwrap();
+        b.data(m, add).unwrap();
+        b.data(acc, add).unwrap();
+        b.edge(add, acc, EdgeKind::loop_carried(1)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn digest_is_pinned() {
+        // Cross-process stability contract: a change here invalidates
+        // every disk-spilled service cache, so it must be deliberate.
+        assert_eq!(fir_ish().canonical_hash(), 0x6d79_bccb_7793_ca48);
+    }
+
+    #[test]
+    fn node_order_permutation_hashes_equal() {
+        // Same graph built in a different node order (so every NodeId
+        // differs) — the canonical digest must not notice.
+        let mut b = DfgBuilder::new("fir-ish");
+        let acc = b.node(Opcode::Phi, "acc");
+        let add = b.node(Opcode::Add, "acc+");
+        let c = b.node(Opcode::Load, "c[i]");
+        let x = b.node(Opcode::Load, "x[i]");
+        let m = b.node(Opcode::Mul, "x*c");
+        b.edge(add, acc, EdgeKind::loop_carried(1)).unwrap();
+        b.data(acc, add).unwrap();
+        b.data(m, add).unwrap();
+        b.data(c, m).unwrap();
+        b.data(x, m).unwrap();
+        let permuted = b.finish().unwrap();
+        assert_eq!(permuted.canonical_hash(), fir_ish().canonical_hash());
+    }
+
+    #[test]
+    fn content_changes_change_the_digest() {
+        let base = fir_ish().canonical_hash();
+
+        // Different kernel name.
+        let mut b = DfgBuilder::new("fir-ish-2");
+        let x = b.node(Opcode::Load, "x[i]");
+        let s = b.node(Opcode::Store, "y[i]");
+        b.data(x, s).unwrap();
+        let renamed = b.finish().unwrap().canonical_hash();
+        assert_ne!(base, renamed);
+
+        // Different opcode on one node.
+        let mut b = DfgBuilder::new("fir-ish");
+        let x = b.node(Opcode::Load, "x[i]");
+        let c = b.node(Opcode::Load, "c[i]");
+        let m = b.node(Opcode::Add, "x*c"); // Mul -> Add
+        let acc = b.node(Opcode::Phi, "acc");
+        let add = b.node(Opcode::Add, "acc+");
+        b.data(x, m).unwrap();
+        b.data(c, m).unwrap();
+        b.data(m, add).unwrap();
+        b.data(acc, add).unwrap();
+        b.edge(add, acc, EdgeKind::loop_carried(1)).unwrap();
+        assert_ne!(base, b.finish().unwrap().canonical_hash());
+
+        // Different loop-carried distance.
+        let mut b = DfgBuilder::new("fir-ish");
+        let x = b.node(Opcode::Load, "x[i]");
+        let c = b.node(Opcode::Load, "c[i]");
+        let m = b.node(Opcode::Mul, "x*c");
+        let acc = b.node(Opcode::Phi, "acc");
+        let add = b.node(Opcode::Add, "acc+");
+        b.data(x, m).unwrap();
+        b.data(c, m).unwrap();
+        b.data(m, add).unwrap();
+        b.data(acc, add).unwrap();
+        b.edge(add, acc, EdgeKind::loop_carried(2)).unwrap();
+        assert_ne!(base, b.finish().unwrap().canonical_hash());
+    }
+
+    #[test]
+    fn label_changes_change_the_digest() {
+        let mut b = DfgBuilder::new("k");
+        let a = b.node(Opcode::Add, "a");
+        let c = b.node(Opcode::Add, "b");
+        b.data(a, c).unwrap();
+        let one = b.finish().unwrap().canonical_hash();
+        let mut b = DfgBuilder::new("k");
+        let a = b.node(Opcode::Add, "a");
+        let c = b.node(Opcode::Add, "B");
+        b.data(a, c).unwrap();
+        assert_ne!(one, b.finish().unwrap().canonical_hash());
+    }
+
+    #[test]
+    fn symmetric_twins_still_hash_deterministically() {
+        // Two structurally interchangeable feeders (same op, same label,
+        // same consumer): WL cannot tell them apart, and does not need
+        // to — the commutative fold gives one well-defined digest.
+        let build = |order_swapped: bool| {
+            let mut b = DfgBuilder::new("twins");
+            let (f1, f2) = if order_swapped {
+                let f2 = b.node(Opcode::Load, "in");
+                let f1 = b.node(Opcode::Load, "in");
+                (f1, f2)
+            } else {
+                let f1 = b.node(Opcode::Load, "in");
+                let f2 = b.node(Opcode::Load, "in");
+                (f1, f2)
+            };
+            let j = b.node(Opcode::Add, "join");
+            b.data(f1, j).unwrap();
+            b.data(f2, j).unwrap();
+            b.finish().unwrap()
+        };
+        assert_eq!(build(false).canonical_hash(), build(true).canonical_hash());
+    }
+}

@@ -44,6 +44,7 @@
 mod builder;
 mod error;
 mod graph;
+mod hash;
 mod op;
 
 pub mod dot;

@@ -3,7 +3,7 @@
 //! well-formed graphs.
 
 use iced_dfg::transform::{unroll, UnrollOptions};
-use iced_dfg::{recurrence, text, Dfg, DfgBuilder, DfgMetrics, EdgeKind, Opcode};
+use iced_dfg::{recurrence, text, Dfg, DfgBuilder, DfgMetrics, EdgeKind, NodeId, Opcode};
 use proptest::prelude::*;
 
 const OPS: [Opcode; 10] = [
@@ -134,4 +134,48 @@ proptest! {
         let closes = dot.trim_end().ends_with('}');
         prop_assert!(closes);
     }
+
+    #[test]
+    fn canonical_hash_is_node_order_invariant(dfg in arb_dfg(), seed in 0u64..1_000_000) {
+        let shuffled = rebuild_shuffled(&dfg, seed);
+        prop_assert_eq!(shuffled.canonical_hash(), dfg.canonical_hash());
+        // The digest is also reproducible on repeated evaluation.
+        prop_assert_eq!(dfg.canonical_hash(), dfg.canonical_hash());
+    }
+}
+
+/// Rebuilds `dfg` with nodes inserted in a seeded random order (every
+/// `NodeId` changes) and edges in the order the permutation visits them —
+/// an isomorphic graph the canonical hash must not distinguish.
+fn rebuild_shuffled(dfg: &Dfg, seed: u64) -> Dfg {
+    let n = dfg.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    // SplitMix64-driven Fisher–Yates, deterministic per seed.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut b = DfgBuilder::new(dfg.name());
+    let mut new_id: Vec<Option<NodeId>> = vec![None; n];
+    for &old in &order {
+        let node = dfg.node(NodeId::from_index(old));
+        new_id[old] = Some(b.node(node.op(), node.label()));
+    }
+    for &old in &order {
+        for e in dfg.out_edges(NodeId::from_index(old)) {
+            let s = new_id[e.src().index()].expect("all nodes inserted");
+            let d = new_id[e.dst().index()].expect("all nodes inserted");
+            b.edge(s, d, e.kind())
+                .expect("edge valid in permuted graph");
+        }
+    }
+    b.finish().expect("permuted graph is the same graph")
 }

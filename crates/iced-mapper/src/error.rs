@@ -19,6 +19,10 @@ pub enum MapError {
     /// that connects to the SPM cannot host them all (e.g. more concurrent
     /// loads than SPM-connected tile-cycles).
     MemoryPressure,
+    /// The search deadline (`MapperOptions::deadline`) passed before a
+    /// valid mapping was found; the II escalation was aborted between
+    /// attempts. A mapping may still exist at a higher II.
+    DeadlineExceeded,
     /// Architecture-level failure (invalid configuration or MRRG).
     Arch(ArchError),
     /// DFG-level failure (invalid graph handed in).
@@ -33,6 +37,12 @@ impl fmt::Display for MapError {
             }
             MapError::MemoryPressure => {
                 write!(f, "memory operations exceed SPM-connected tile capacity")
+            }
+            MapError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "mapping deadline expired before a valid mapping was found"
+                )
             }
             MapError::Arch(e) => write!(f, "architecture error: {e}"),
             MapError::Dfg(e) => write!(f, "dataflow graph error: {e}"),

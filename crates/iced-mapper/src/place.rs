@@ -17,7 +17,7 @@
 //! slower clock could no longer honour the reservation. Unused islands are
 //! power-gated in the final mapping.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use iced_arch::{CgraConfig, DvfsLevel, IslandId, Mrrg, TileId};
@@ -69,6 +69,15 @@ pub struct MapperOptions {
     /// `Mapping`: a speculative success is only accepted once each attempt
     /// the serial loop would have tried first has failed.
     pub threads: usize,
+    /// Abort the search once this instant passes. The deadline is checked
+    /// *between* attempts — a running placement/routing attempt always
+    /// finishes — so the II-escalation loop can no longer run unbounded
+    /// under a serving deadline. `None` (the default) never aborts; an
+    /// expired deadline surfaces as [`MapError::DeadlineExceeded`].
+    /// Like `threads`, this knob never changes *which* mapping is
+    /// produced when a mapping is produced at all, and is excluded from
+    /// [`MapperOptions::canonical_hash`].
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for MapperOptions {
@@ -83,6 +92,7 @@ impl Default for MapperOptions {
             cycle_first: true,
             label_ladder: true,
             threads: 0,
+            deadline: None,
         }
     }
 }
@@ -96,6 +106,54 @@ impl MapperOptions {
             spread: true,
             ..MapperOptions::default()
         }
+    }
+
+    /// A stable content digest of the *semantic* options, for cache keys.
+    ///
+    /// Only fields that can change the produced mapping participate:
+    /// `threads` (bit-identical by the portfolio's determinism rule) and
+    /// `deadline` (a per-request serving knob) are deliberately excluded,
+    /// so a warm cache entry is valid for any thread count or deadline.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = iced_hash::StableHasher::new();
+        h.write_str("mapper-options");
+        h.write_str("dvfs_aware");
+        h.write_bool(self.dvfs_aware);
+        h.write_str("allowed_levels");
+        h.write_usize(self.allowed_levels.len());
+        for &l in &self.allowed_levels {
+            h.write_u8(match l {
+                DvfsLevel::PowerGated => 0,
+                DvfsLevel::Rest => 1,
+                DvfsLevel::Relax => 2,
+                DvfsLevel::Normal => 3,
+            });
+        }
+        h.write_str("max_ii");
+        h.write_u32(self.max_ii);
+        h.write_str("min_ii");
+        h.write_u32(self.min_ii);
+        h.write_str("island_budget");
+        match self.island_budget {
+            Some(n) => {
+                h.write_bool(true);
+                h.write_usize(n);
+            }
+            None => h.write_bool(false),
+        }
+        h.write_str("spread");
+        h.write_bool(self.spread);
+        h.write_str("cycle_first");
+        h.write_bool(self.cycle_first);
+        h.write_str("label_ladder");
+        h.write_bool(self.label_ladder);
+        h.finish()
+    }
+
+    /// Whether the configured deadline (if any) has passed.
+    fn deadline_hit(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 }
 
@@ -163,19 +221,35 @@ pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<
             ("threads", (threads as u64).into()),
         ],
     );
-    let found = if threads <= 1 || start_ii > opts.max_ii {
+    let outcome = if threads <= 1 || start_ii > opts.max_ii {
         map_serial(dfg, config, opts, start_ii)
     } else {
         map_portfolio(dfg, config, opts, start_ii, threads)
     };
-    if let Some(mapping) = found {
-        trace_mapped(&mapping, start_ii);
-        return Ok(mapping);
+    match outcome {
+        SearchOutcome::Found(mapping) => {
+            trace_mapped(&mapping, start_ii);
+            Ok(mapping)
+        }
+        SearchOutcome::Deadline => {
+            iced_trace::counter(Phase::Mapper, "map_deadline_aborts", 1);
+            Err(MapError::DeadlineExceeded)
+        }
+        SearchOutcome::Exhausted => {
+            iced_trace::counter(Phase::Mapper, "map_failures", 1);
+            Err(MapError::IiExceeded {
+                max_ii: opts.max_ii,
+            })
+        }
     }
-    iced_trace::counter(Phase::Mapper, "map_failures", 1);
-    Err(MapError::IiExceeded {
-        max_ii: opts.max_ii,
-    })
+}
+
+/// How an attempt search ended: with a mapping, with the attempt space
+/// exhausted up to `max_ii`, or aborted between attempts by the deadline.
+enum SearchOutcome {
+    Found(Mapping),
+    Exhausted,
+    Deadline,
 }
 
 /// Worker-thread count: an explicit `opts.threads` wins, then the
@@ -201,7 +275,7 @@ fn map_serial(
     config: &CgraConfig,
     opts: &MapperOptions,
     start_ii: u32,
-) -> Option<Mapping> {
+) -> SearchOutcome {
     let mut runner = AttemptRunner::default();
     for ii in start_ii..=opts.max_ii {
         let _ii_span =
@@ -217,16 +291,22 @@ fn map_serial(
             if !ladder.active(rung) {
                 continue;
             }
+            // Abort between attempts, never inside one (so results stay
+            // complete-or-absent, and a generous deadline cannot change
+            // which mapping is found).
+            if opts.deadline_hit() {
+                return SearchOutcome::Deadline;
+            }
             iced_trace::counter(Phase::Mapper, "label_attempts", 1);
             let (labels, spread) = ladder.rung(rung);
             if let Some(mapping) =
                 runner.run(dfg, config, opts, ii, labels, spread, CancelToken::none())
             {
-                return Some(mapping);
+                return SearchOutcome::Found(mapping);
             }
         }
     }
-    None
+    SearchOutcome::Exhausted
 }
 
 /// Speculative parallel search over the same attempt sequence. Attempts are
@@ -239,7 +319,7 @@ fn map_portfolio(
     opts: &MapperOptions,
     start_ii: u32,
     threads: usize,
-) -> Option<Mapping> {
+) -> SearchOutcome {
     let grid = LabelLadder::grid(opts);
     let total = (opts.max_ii - start_ii + 1) as usize * grid;
     let portfolio = Portfolio {
@@ -251,6 +331,7 @@ fn map_portfolio(
         total,
         next: AtomicUsize::new(0),
         best: AtomicUsize::new(usize::MAX),
+        deadline_hit: AtomicBool::new(false),
         winner: Mutex::new(None),
     };
     let workers = threads.min(total).max(1);
@@ -260,11 +341,16 @@ fn map_portfolio(
         }
         portfolio.worker();
     });
+    let deadline = portfolio.deadline_hit.load(Ordering::Acquire);
     let winner = portfolio
         .winner
         .into_inner()
         .expect("portfolio winner lock");
-    winner.map(|(_, mapping)| mapping)
+    match winner {
+        Some((_, mapping)) => SearchOutcome::Found(mapping),
+        None if deadline => SearchOutcome::Deadline,
+        None => SearchOutcome::Exhausted,
+    }
 }
 
 /// Shared state of one portfolio search.
@@ -286,6 +372,7 @@ struct Portfolio<'a> {
     total: usize,
     next: AtomicUsize,
     best: AtomicUsize,
+    deadline_hit: AtomicBool,
     winner: Mutex<Option<(usize, Mapping)>>,
 }
 
@@ -294,6 +381,14 @@ impl Portfolio<'_> {
         let mut runner = AttemptRunner::default();
         let mut ladder: Option<(u32, LabelLadder)> = None;
         loop {
+            // Same between-attempts deadline as the serial loop: a worker
+            // mid-attempt always finishes (a strictly earlier success may
+            // still cancel it), but no new attempt starts past the
+            // deadline.
+            if self.opts.deadline_hit() {
+                self.deadline_hit.store(true, Ordering::Release);
+                return;
+            }
             let idx = self.next.fetch_add(1, Ordering::Relaxed);
             if idx >= self.total || idx > self.best.load(Ordering::Acquire) {
                 return;
@@ -1430,6 +1525,80 @@ mod tests {
                     assert_eq!(eager, lazy, "kernel {} ii {ii}", dfg.name());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_between_attempts() {
+        let dfg = fir_like();
+        let cfg = CgraConfig::iced_prototype();
+        // Already-expired deadline: the loop must abort before the first
+        // attempt, in both the serial and portfolio paths.
+        for threads in [1, 3] {
+            let opts = MapperOptions {
+                deadline: Some(std::time::Instant::now()),
+                threads,
+                ..MapperOptions::default()
+            };
+            assert!(
+                matches!(map_with(&dfg, &cfg, &opts), Err(MapError::DeadlineExceeded)),
+                "threads={threads}"
+            );
+        }
+        // A generous deadline changes nothing.
+        let opts = MapperOptions {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            threads: 1,
+            ..MapperOptions::default()
+        };
+        let with_deadline = map_with(&dfg, &cfg, &opts).unwrap();
+        let without = map_dvfs_aware(&dfg, &cfg).unwrap();
+        assert!(with_deadline.result_eq(&without));
+    }
+
+    #[test]
+    fn options_hash_is_pinned_and_ignores_serving_knobs() {
+        // Cross-process stability contract (service disk cache).
+        assert_eq!(
+            MapperOptions::default().canonical_hash(),
+            0xaddd_866a_3893_55f5
+        );
+        let base = MapperOptions::default();
+        let serving = MapperOptions {
+            threads: 7,
+            deadline: Some(std::time::Instant::now()),
+            ..MapperOptions::default()
+        };
+        assert_eq!(base.canonical_hash(), serving.canonical_hash());
+        let semantic = [
+            MapperOptions::baseline(),
+            MapperOptions {
+                max_ii: 32,
+                ..MapperOptions::default()
+            },
+            MapperOptions {
+                min_ii: 3,
+                ..MapperOptions::default()
+            },
+            MapperOptions {
+                island_budget: Some(2),
+                ..MapperOptions::default()
+            },
+            MapperOptions {
+                allowed_levels: vec![DvfsLevel::Normal, DvfsLevel::Relax],
+                ..MapperOptions::default()
+            },
+            MapperOptions {
+                cycle_first: false,
+                ..MapperOptions::default()
+            },
+            MapperOptions {
+                label_ladder: false,
+                ..MapperOptions::default()
+            },
+        ];
+        for v in &semantic {
+            assert_ne!(base.canonical_hash(), v.canonical_hash(), "{v:?}");
         }
     }
 

@@ -1,0 +1,73 @@
+//! The `iced-serviced` daemon binary.
+//!
+//! Configuration is environment-driven (see `ServiceConfig::from_env`):
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `ICED_SVC_ADDR` | `127.0.0.1:9090` | bind address (`:0` = ephemeral) |
+//! | `ICED_SVC_THREADS` | min(cores, 4) | worker pool size |
+//! | `ICED_SVC_QUEUE` | 64 | request queue capacity |
+//! | `ICED_SVC_CACHE_MB` | 64 | in-memory cache budget |
+//! | `ICED_SVC_CACHE_DIR` | unset | disk-spill directory (off when unset) |
+//!
+//! The process runs until a client sends the `shutdown` verb, then drains
+//! in-flight work, flushes the cache, and exits 0.
+
+use iced_service::{Server, ServiceConfig};
+
+fn main() {
+    let mut cfg = ServiceConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                if let Some(a) = args.next() {
+                    cfg.addr = a;
+                }
+            }
+            "--threads" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.threads = n;
+                }
+            }
+            "--queue" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.queue_cap = n;
+                }
+            }
+            "--cache-mb" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.cache_mb = n;
+                }
+            }
+            "--cache-dir" => {
+                cfg.cache_dir = args.next().map(std::path::PathBuf::from);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: iced-serviced [--addr HOST:PORT] [--threads N] [--queue N] \
+                     [--cache-mb N] [--cache-dir PATH]\n\
+                     env: ICED_SVC_ADDR ICED_SVC_THREADS ICED_SVC_QUEUE \
+                     ICED_SVC_CACHE_MB ICED_SVC_CACHE_DIR"
+                );
+                return;
+            }
+            other => {
+                eprintln!("iced-serviced: unknown argument '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = match Server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("iced-serviced: failed to bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    // Stdout line protocol for supervisors: the bound address, flushed
+    // before any request is served (svc_load waits for this).
+    println!("iced-serviced listening on {}", server.local_addr());
+    server.wait();
+    println!("iced-serviced: drained and stopped");
+}

@@ -1,0 +1,38 @@
+//! # iced-service — compile-and-simulate daemon
+//!
+//! A std-only TCP service wrapping the ICED toolchain: clients send
+//! newline-delimited JSON requests (`compile`, `simulate`, `stream`, plus
+//! the `healthz` / `metrics` / `shutdown` control verbs) and receive
+//! newline-delimited JSON responses.
+//!
+//! The interesting machinery, each in its own module:
+//!
+//! * [`cache`] — content-addressed result cache keyed by canonical hashes
+//!   of the request's semantic inputs, with an LRU byte budget
+//!   (`ICED_SVC_CACHE_MB`) and optional disk spill (`ICED_SVC_CACHE_DIR`).
+//!   Warm hits replay the cold request's rendered bytes verbatim.
+//! * [`queue`] — bounded request queue; saturation produces a typed
+//!   `queue_full` response instead of unbounded buffering.
+//! * [`server`] — acceptor, per-connection readers, worker pool
+//!   (`ICED_SVC_THREADS`), per-request mapper deadlines, and graceful
+//!   shutdown that drains in-flight work before closing sockets.
+//! * [`proto`] — verbs, typed request parsing, structured errors.
+//! * [`json`] — defensive std-only JSON parsing and deterministic
+//!   insertion-ordered serialization.
+//! * [`metrics`] — hit/miss/eviction counters and per-verb log2 latency
+//!   histograms backing the `metrics` verb (mirrored into `iced-trace`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheKey, ResultCache};
+pub use proto::{Request, SvcError, Verb};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServiceConfig};

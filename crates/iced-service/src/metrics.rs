@@ -1,0 +1,209 @@
+//! Service-side observability: lock-free counters and per-verb latency
+//! histograms, mirrored into `iced-trace` so the `metrics` verb and a
+//! Chrome-trace export tell the same story.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use iced::trace::Phase;
+
+use crate::json::Obj;
+use crate::proto::Verb;
+
+/// Number of log2 latency buckets. Bucket `i` counts requests whose
+/// latency was in `[2^i, 2^(i+1))` microseconds; the last bucket absorbs
+/// everything slower (~ 9 minutes and up).
+pub const LATENCY_BUCKETS: usize = 30;
+
+/// One verb's latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self) -> String {
+        let count = self.count.load(Ordering::Relaxed);
+        let total = self.total_us.load(Ordering::Relaxed);
+        let mean = if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        };
+        let mut buckets = String::from("[");
+        // Trailing all-zero buckets are trimmed so the payload stays small.
+        let last = (0..LATENCY_BUCKETS)
+            .rev()
+            .find(|&i| self.buckets[i].load(Ordering::Relaxed) != 0);
+        if let Some(last) = last {
+            for i in 0..=last {
+                if i > 0 {
+                    buckets.push(',');
+                }
+                buckets.push_str(&self.buckets[i].load(Ordering::Relaxed).to_string());
+            }
+        }
+        buckets.push(']');
+        Obj::new()
+            .u64("count", count)
+            .u64("total_us", total)
+            .f64("mean_us", mean)
+            .u64("max_us", self.max_us.load(Ordering::Relaxed))
+            .raw("log2_us_buckets", &buckets)
+            .finish()
+    }
+}
+
+/// All service metrics. One instance per server, shared by every worker.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Cache hits across all cacheable verbs.
+    pub cache_hits: AtomicU64,
+    /// Cache misses (the request was computed).
+    pub cache_misses: AtomicU64,
+    /// Entries evicted to respect the byte budget.
+    pub cache_evictions: AtomicU64,
+    /// Requests rejected with `queue_full`.
+    pub rejected: AtomicU64,
+    /// Requests that returned a structured error.
+    pub errors: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// High-water mark of the request queue depth.
+    pub queue_peak: AtomicU64,
+    latency: [Histogram; Verb::ALL.len()],
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records a completed request for `verb`, mirroring into iced-trace.
+    pub fn observe(&self, verb: Verb, latency: Duration) {
+        self.latency[verb as usize].record(latency);
+        iced::trace::counter(Phase::Service, &format!("svc_{}_requests", verb.name()), 1);
+    }
+
+    /// Records a cache hit or miss, mirroring into iced-trace.
+    pub fn cache_event(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            iced::trace::counter(Phase::Service, "svc_cache_hits", 1);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            iced::trace::counter(Phase::Service, "svc_cache_misses", 1);
+        }
+    }
+
+    /// Records `n` evictions.
+    pub fn evicted(&self, n: u64) {
+        if n > 0 {
+            self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+            iced::trace::counter(Phase::Service, "svc_cache_evictions", n);
+        }
+    }
+
+    /// Records a backpressure rejection.
+    pub fn rejected_request(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        iced::trace::counter(Phase::Service, "svc_queue_full", 1);
+    }
+
+    /// Tracks the queue high-water mark.
+    pub fn queue_depth(&self, depth: usize) {
+        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Per-verb request count (for tests and health summaries).
+    pub fn requests(&self, verb: Verb) -> u64 {
+        self.latency[verb as usize].count()
+    }
+
+    /// Renders the `metrics` result object. Not cached, so field content
+    /// may differ between calls; field *order* is still deterministic.
+    pub fn render(&self, queue_depth: usize, cache_bytes: u64, cache_entries: usize) -> String {
+        let mut verbs = Obj::new();
+        for v in Verb::ALL {
+            verbs = verbs.raw(v.name(), &self.latency[v as usize].render());
+        }
+        Obj::new()
+            .u64("cache_hits", self.cache_hits.load(Ordering::Relaxed))
+            .u64("cache_misses", self.cache_misses.load(Ordering::Relaxed))
+            .u64(
+                "cache_evictions",
+                self.cache_evictions.load(Ordering::Relaxed),
+            )
+            .u64("cache_bytes", cache_bytes)
+            .u64("cache_entries", cache_entries as u64)
+            .u64("queue_depth", queue_depth as u64)
+            .u64("queue_peak", self.queue_peak.load(Ordering::Relaxed))
+            .u64("rejected", self.rejected.load(Ordering::Relaxed))
+            .u64("errors", self.errors.load(Ordering::Relaxed))
+            .u64("connections", self.connections.load(Ordering::Relaxed))
+            .raw("latency", &verbs.finish())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_microseconds() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(1)); // bucket 0
+        h.record(Duration::from_micros(3)); // bucket 1
+        h.record(Duration::from_micros(1024)); // bucket 10
+        assert_eq!(h.count(), 3);
+        let s = h.render();
+        assert!(s.contains("\"count\":3"), "{s}");
+        assert!(
+            s.contains("\"log2_us_buckets\":[1,1,0,0,0,0,0,0,0,0,1]"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn zero_duration_lands_in_first_bucket() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert!(h.render().contains("[1]"));
+    }
+
+    #[test]
+    fn metrics_render_is_complete_and_ordered() {
+        let m = Metrics::new();
+        m.observe(Verb::Compile, Duration::from_micros(10));
+        m.cache_event(false);
+        m.cache_event(true);
+        m.evicted(2);
+        let s = m.render(3, 4096, 5);
+        let hits = s.find("\"cache_hits\":1").expect("hits");
+        let misses = s.find("\"cache_misses\":1").expect("misses");
+        assert!(hits < misses, "field order must be deterministic: {s}");
+        assert!(s.contains("\"cache_evictions\":2"), "{s}");
+        assert!(s.contains("\"queue_depth\":3"), "{s}");
+        assert!(s.contains("\"compile\":{\"count\":1"), "{s}");
+    }
+}

@@ -1,0 +1,574 @@
+//! Wire protocol: request verbs, typed request parsing, structured errors,
+//! and the response envelope.
+//!
+//! Every exchange is one line of JSON in each direction. Requests carry a
+//! `verb` plus verb-specific fields; responses echo the client's `id` and
+//! carry either a `result` object or a structured `error` object — the
+//! daemon never answers with a panic or a closed socket mid-request.
+
+use iced::dfg::{text, Dfg};
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::mapper::MapperOptions;
+use iced::streaming::RuntimePolicy;
+use iced::Strategy;
+
+use crate::json::{self, Obj, Value};
+
+/// Request verbs the daemon understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Map a kernel and return mapping stats + bitstream summary.
+    Compile = 0,
+    /// Compile then run the cycle engine.
+    Simulate = 1,
+    /// Stream a pipeline under a runtime policy.
+    Stream = 2,
+    /// Liveness/readiness probe.
+    Healthz = 3,
+    /// Counter and latency snapshot.
+    Metrics = 4,
+    /// Graceful shutdown: drain in-flight work, then stop.
+    Shutdown = 5,
+}
+
+impl Verb {
+    /// Every verb, in wire-name order used by the metrics payload.
+    pub const ALL: [Verb; 6] = [
+        Verb::Compile,
+        Verb::Simulate,
+        Verb::Stream,
+        Verb::Healthz,
+        Verb::Metrics,
+        Verb::Shutdown,
+    ];
+
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::Compile => "compile",
+            Verb::Simulate => "simulate",
+            Verb::Stream => "stream",
+            Verb::Healthz => "healthz",
+            Verb::Metrics => "metrics",
+            Verb::Shutdown => "shutdown",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Verb> {
+        Verb::ALL.into_iter().find(|v| v.name() == s)
+    }
+
+    /// Whether responses for this verb are content-addressed cacheable.
+    pub fn cacheable(self) -> bool {
+        matches!(self, Verb::Compile | Verb::Simulate | Verb::Stream)
+    }
+}
+
+/// A structured service error: machine-readable code, human-readable
+/// message, and (where meaningful) the entity that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SvcError {
+    /// Stable machine-readable code (`bad_json`, `queue_full`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// The offending entity (kernel name, field, verb…), when known.
+    pub entity: Option<String>,
+}
+
+impl SvcError {
+    /// Builds an error with an offending entity attached.
+    pub fn with_entity(
+        code: &'static str,
+        message: impl Into<String>,
+        entity: impl Into<String>,
+    ) -> Self {
+        SvcError {
+            code,
+            message: message.into(),
+            entity: Some(entity.into()),
+        }
+    }
+
+    /// Builds an error without an entity.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        SvcError {
+            code,
+            message: message.into(),
+            entity: None,
+        }
+    }
+
+    /// Renders the `error` field object.
+    pub fn render(&self) -> String {
+        let mut o = Obj::new()
+            .str("code", self.code)
+            .str("message", &self.message);
+        if let Some(e) = &self.entity {
+            o = o.str("entity", e);
+        }
+        o.finish()
+    }
+}
+
+/// Where the kernel under compilation comes from.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A suite kernel by name, with an unroll factor.
+    Named(Kernel, UnrollFactor),
+    /// An inline DFG in the `iced-dfg` text format.
+    Inline(Dfg),
+}
+
+impl Source {
+    /// Resolves to the DFG to compile.
+    pub fn dfg(&self) -> Dfg {
+        match self {
+            Source::Named(k, uf) => k.dfg(*uf),
+            Source::Inline(d) => d.clone(),
+        }
+    }
+}
+
+/// `compile` request payload.
+#[derive(Debug, Clone)]
+pub struct CompileSpec {
+    /// Kernel source.
+    pub source: Source,
+    /// Mapping strategy (`baseline`, `baseline+pg`, `per-tile`, `iced`).
+    pub strategy: Strategy,
+    /// Mapper II ceiling override.
+    pub max_ii: Option<u32>,
+    /// Per-request mapping deadline in milliseconds (serving knob; not
+    /// part of the cache key).
+    pub deadline_ms: Option<u64>,
+}
+
+/// `simulate` request payload: compile plus a cycle-engine run.
+#[derive(Debug, Clone)]
+pub struct SimulateSpec {
+    /// The compile half.
+    pub compile: CompileSpec,
+    /// Loop iterations to run.
+    pub iterations: u64,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+/// `stream` request payload.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Pipeline name: `gcn` or `lu`.
+    pub pipeline: String,
+    /// Runtime policy.
+    pub policy: RuntimePolicy,
+    /// Number of streamed inputs.
+    pub inputs: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Verb-specific payload.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// `compile`.
+    Compile(CompileSpec),
+    /// `simulate`.
+    Simulate(SimulateSpec),
+    /// `stream`.
+    Stream(StreamSpec),
+    /// `healthz` / `metrics` / `shutdown` carry no payload.
+    Control,
+}
+
+/// A fully parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen id, echoed on the response (0 when absent).
+    pub id: u64,
+    /// The verb.
+    pub verb: Verb,
+    /// Verb payload.
+    pub payload: Payload,
+}
+
+/// Hard cap on request line length; longer lines are rejected, never
+/// buffered without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+fn policy_from_name(s: &str) -> Option<RuntimePolicy> {
+    match s {
+        "iced" => Some(RuntimePolicy::IcedDvfs),
+        "drips" => Some(RuntimePolicy::Drips),
+        "static" => Some(RuntimePolicy::StaticNormal),
+        _ => None,
+    }
+}
+
+/// Display name for a policy, mirrored by [`policy_from_name`].
+pub fn policy_name(p: RuntimePolicy) -> &'static str {
+    match p {
+        RuntimePolicy::IcedDvfs => "iced",
+        RuntimePolicy::Drips => "drips",
+        RuntimePolicy::StaticNormal => "static",
+    }
+}
+
+fn strategy_from_name(s: &str) -> Option<Strategy> {
+    Strategy::ALL.into_iter().find(|st| st.name() == s)
+}
+
+fn kernel_from_name(s: &str) -> Option<Kernel> {
+    Kernel::ALL.into_iter().find(|k| k.name() == s)
+}
+
+fn parse_compile_spec(v: &Value) -> Result<CompileSpec, SvcError> {
+    let source = match (v.get("kernel"), v.get("dfg")) {
+        (Some(_), Some(_)) => {
+            return Err(SvcError::new(
+                "bad_request",
+                "provide either 'kernel' or 'dfg', not both",
+            ))
+        }
+        (Some(k), None) => {
+            let name = k.as_str().ok_or_else(|| {
+                SvcError::with_entity("bad_request", "'kernel' must be a string", "kernel")
+            })?;
+            let kernel = kernel_from_name(name).ok_or_else(|| {
+                SvcError::with_entity("unknown_kernel", "no such kernel in the suite", name)
+            })?;
+            let unroll = match v.get("unroll").map(Value::as_u64) {
+                None => UnrollFactor::X1,
+                Some(Some(1)) => UnrollFactor::X1,
+                Some(Some(2)) => UnrollFactor::X2,
+                _ => {
+                    return Err(SvcError::with_entity(
+                        "bad_request",
+                        "'unroll' must be 1 or 2",
+                        "unroll",
+                    ))
+                }
+            };
+            Source::Named(kernel, unroll)
+        }
+        (None, Some(d)) => {
+            let body = d.as_str().ok_or_else(|| {
+                SvcError::with_entity("bad_request", "'dfg' must be a string", "dfg")
+            })?;
+            let dfg = text::parse(body)
+                .map_err(|e| SvcError::with_entity("dfg_parse_error", e.to_string(), "dfg"))?;
+            Source::Inline(dfg)
+        }
+        (None, None) => {
+            return Err(SvcError::new(
+                "bad_request",
+                "missing kernel source: provide 'kernel' or 'dfg'",
+            ))
+        }
+    };
+    let strategy = match v.get("strategy") {
+        None => Strategy::IcedIslands,
+        Some(s) => {
+            let name = s.as_str().ok_or_else(|| {
+                SvcError::with_entity("bad_request", "'strategy' must be a string", "strategy")
+            })?;
+            strategy_from_name(name).ok_or_else(|| {
+                SvcError::with_entity(
+                    "bad_request",
+                    "unknown strategy (expected baseline, baseline+pg, per-tile, iced)",
+                    name,
+                )
+            })?
+        }
+    };
+    let max_ii = match v.get("max_ii") {
+        None => None,
+        Some(n) => Some(
+            n.as_u64()
+                .filter(|&n| (1..=1024).contains(&n))
+                .ok_or_else(|| {
+                    SvcError::with_entity(
+                        "bad_request",
+                        "'max_ii' must be an integer in 1..=1024",
+                        "max_ii",
+                    )
+                })? as u32,
+        ),
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(n) => Some(n.as_u64().ok_or_else(|| {
+            SvcError::with_entity(
+                "bad_request",
+                "'deadline_ms' must be a non-negative integer",
+                "deadline_ms",
+            )
+        })?),
+    };
+    Ok(CompileSpec {
+        source,
+        strategy,
+        max_ii,
+        deadline_ms,
+    })
+}
+
+fn bounded_u64(v: &Value, key: &str, default: u64, max: u64) -> Result<u64, SvcError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(n) => n.as_u64().filter(|&n| n <= max).ok_or_else(|| {
+            SvcError::with_entity(
+                "bad_request",
+                format!("'{key}' must be an integer in 0..={max}"),
+                key,
+            )
+        }),
+    }
+}
+
+/// A parse failure paired with the request id it belongs to (0 when the
+/// id itself could not be recovered), so error responses still correlate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Echoed request id (best effort).
+    pub id: u64,
+    /// The structured error.
+    pub error: SvcError,
+}
+
+/// Parses one request line into a typed [`Request`].
+///
+/// # Errors
+///
+/// Every malformed input maps to a structured [`RequestError`]; this
+/// function never panics on untrusted bytes.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let anon = |error: SvcError| RequestError { id: 0, error };
+    if line.len() > MAX_LINE_BYTES {
+        return Err(anon(SvcError::new(
+            "too_large",
+            "request line exceeds 1 MiB",
+        )));
+    }
+    let v = json::parse(line).map_err(|e| anon(SvcError::new("bad_json", e.to_string())))?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err(anon(SvcError::new(
+            "bad_request",
+            "request must be a JSON object",
+        )));
+    }
+    let id = match v.get("id") {
+        None => 0,
+        Some(n) => n.as_u64().ok_or_else(|| {
+            anon(SvcError::with_entity(
+                "bad_request",
+                "'id' must be a non-negative integer",
+                "id",
+            ))
+        })?,
+    };
+    let fail = |error: SvcError| RequestError { id, error };
+    let verb_name = v
+        .get("verb")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail(SvcError::new("bad_request", "missing string field 'verb'")))?;
+    let verb = Verb::from_name(verb_name).ok_or_else(|| {
+        fail(SvcError::with_entity(
+            "unknown_verb",
+            "unsupported verb",
+            verb_name,
+        ))
+    })?;
+    let payload = (|| -> Result<Payload, SvcError> {
+        Ok(match verb {
+            Verb::Compile => Payload::Compile(parse_compile_spec(&v)?),
+            Verb::Simulate => Payload::Simulate(SimulateSpec {
+                compile: parse_compile_spec(&v)?,
+                iterations: bounded_u64(&v, "iterations", 1000, 10_000_000)?.max(1),
+                seed: bounded_u64(&v, "seed", 0, u64::MAX - 1)?,
+            }),
+            Verb::Stream => {
+                let pipeline = v
+                    .get("pipeline")
+                    .and_then(Value::as_str)
+                    .unwrap_or("gcn")
+                    .to_string();
+                if pipeline != "gcn" && pipeline != "lu" {
+                    return Err(SvcError::with_entity(
+                        "bad_request",
+                        "unknown pipeline (expected gcn or lu)",
+                        pipeline,
+                    ));
+                }
+                let policy = match v.get("policy") {
+                    None => RuntimePolicy::IcedDvfs,
+                    Some(p) => {
+                        let name = p.as_str().ok_or_else(|| {
+                            SvcError::with_entity(
+                                "bad_request",
+                                "'policy' must be a string",
+                                "policy",
+                            )
+                        })?;
+                        policy_from_name(name).ok_or_else(|| {
+                            SvcError::with_entity(
+                                "bad_request",
+                                "unknown policy (expected iced, drips, static)",
+                                name,
+                            )
+                        })?
+                    }
+                };
+                Payload::Stream(StreamSpec {
+                    pipeline,
+                    policy,
+                    inputs: bounded_u64(&v, "inputs", 64, 100_000)?.max(1) as usize,
+                    seed: bounded_u64(&v, "seed", 7, u64::MAX - 1)?,
+                })
+            }
+            Verb::Healthz | Verb::Metrics | Verb::Shutdown => Payload::Control,
+        })
+    })()
+    .map_err(fail)?;
+    Ok(Request { id, verb, payload })
+}
+
+impl CompileSpec {
+    /// The mapper options this request runs with. `deadline` is installed
+    /// by the worker at execution time, not here.
+    pub fn mapper_options(&self) -> MapperOptions {
+        let mut opts = match self.strategy {
+            Strategy::IcedIslands => MapperOptions::default(),
+            _ => MapperOptions::baseline(),
+        };
+        if let Some(m) = self.max_ii {
+            opts.max_ii = m;
+        }
+        opts
+    }
+}
+
+/// Renders a success envelope. `result` is already-rendered JSON — for
+/// cacheable verbs it is exactly the cached byte payload, so warm and
+/// cold responses differ only in the `cached` flag.
+pub fn render_ok(id: u64, verb: Verb, cached: bool, result: &str) -> String {
+    Obj::new()
+        .u64("id", id)
+        .bool("ok", true)
+        .str("verb", verb.name())
+        .bool("cached", cached)
+        .raw("result", result)
+        .finish()
+}
+
+/// Renders an error envelope.
+pub fn render_err(id: u64, verb: Option<Verb>, err: &SvcError) -> String {
+    let mut o = Obj::new().u64("id", id).bool("ok", false);
+    if let Some(v) = verb {
+        o = o.str("verb", v.name());
+    }
+    o.raw("error", &err.render()).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_compile_request() {
+        let r = parse_request(r#"{"id":3,"verb":"compile","kernel":"fir","unroll":2}"#).unwrap();
+        assert_eq!(r.id, 3);
+        assert_eq!(r.verb, Verb::Compile);
+        match r.payload {
+            Payload::Compile(c) => {
+                assert!(matches!(
+                    c.source,
+                    Source::Named(Kernel::Fir, UnrollFactor::X2)
+                ));
+                assert_eq!(c.strategy, Strategy::IcedIslands);
+                assert_eq!(c.max_ii, None);
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_an_inline_dfg() {
+        let dfg = "dfg tiny\nnode n0 add a\nnode n1 add b\nedge n0 n1\n";
+        let line = format!(
+            r#"{{"id":1,"verb":"compile","dfg":"{}"}}"#,
+            dfg.replace('\n', "\\n")
+        );
+        let r = parse_request(&line).unwrap();
+        match r.payload {
+            Payload::Compile(c) => {
+                let d = c.source.dfg();
+                assert_eq!(d.node_count(), 2);
+                assert_eq!(d.name(), "tiny");
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn structured_errors_name_the_offender() {
+        let e = parse_request(r#"{"id":4,"verb":"compile","kernel":"nope"}"#).unwrap_err();
+        assert_eq!(e.id, 4, "payload errors still echo the id");
+        assert_eq!(e.error.code, "unknown_kernel");
+        assert_eq!(e.error.entity.as_deref(), Some("nope"));
+
+        let e = parse_request(r#"{"verb":"warp"}"#).unwrap_err();
+        assert_eq!(e.error.code, "unknown_verb");
+        assert_eq!(e.error.entity.as_deref(), Some("warp"));
+
+        let e = parse_request("{nope}").unwrap_err();
+        assert_eq!(e.id, 0);
+        assert_eq!(e.error.code, "bad_json");
+
+        let e = parse_request(r#"{"verb":"compile"}"#).unwrap_err();
+        assert_eq!(e.error.code, "bad_request");
+    }
+
+    #[test]
+    fn simulate_defaults_are_applied_and_bounded() {
+        let r = parse_request(r#"{"verb":"simulate","kernel":"fir"}"#).unwrap();
+        match r.payload {
+            Payload::Simulate(s) => {
+                assert_eq!(s.iterations, 1000);
+                assert_eq!(s.seed, 0);
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+        let e = parse_request(r#"{"verb":"simulate","kernel":"fir","iterations":99999999999}"#)
+            .unwrap_err();
+        assert_eq!(e.error.code, "bad_request");
+        assert_eq!(e.error.entity.as_deref(), Some("iterations"));
+    }
+
+    #[test]
+    fn stream_parses_policy_and_pipeline() {
+        let r = parse_request(r#"{"verb":"stream","pipeline":"lu","policy":"drips","inputs":8}"#)
+            .unwrap();
+        match r.payload {
+            Payload::Stream(s) => {
+                assert_eq!(s.pipeline, "lu");
+                assert_eq!(s.policy, RuntimePolicy::Drips);
+                assert_eq!(s.inputs, 8);
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn envelopes_have_fixed_field_order() {
+        assert_eq!(
+            render_ok(5, Verb::Compile, true, "{\"ii\":2}"),
+            r#"{"id":5,"ok":true,"verb":"compile","cached":true,"result":{"ii":2}}"#
+        );
+        let err = SvcError::with_entity("queue_full", "server saturated", "queue");
+        assert_eq!(
+            render_err(5, Some(Verb::Simulate), &err),
+            r#"{"id":5,"ok":false,"verb":"simulate","error":{"code":"queue_full","message":"server saturated","entity":"queue"}}"#
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! A bounded MPMC work queue with explicit backpressure.
+//!
+//! The acceptor thread *tries* to push; when the queue is at capacity the
+//! push fails immediately and the client gets a typed `queue_full`
+//! response — the daemon never buffers unboundedly. Workers block on
+//! [`BoundedQueue::pop`] until an item arrives or the queue is closed,
+//! at which point remaining items are still drained (graceful shutdown
+//! finishes accepted work before exiting).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — backpressure, try again later.
+    Full,
+    /// The queue was closed by shutdown; no new work is accepted.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. `cap` is fixed at construction.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to enqueue without blocking. On success returns the queue
+    /// depth *after* the push (for metrics).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut q = self.lock();
+        if q.closed {
+            return Err(PushError::Closed);
+        }
+        if q.items.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        q.items.push_back(item);
+        let depth = q.items.len();
+        drop(q);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means no more work will ever arrive.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.lock();
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, workers drain what remains
+    /// and then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_is_a_typed_error_not_a_buffer() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_signals_end() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed));
+        // Accepted work is still handed out after close…
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        // …and only then does the queue report exhaustion.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..5 {
+            // Spin until the consumer makes room; cap 1 forces interleaving.
+            loop {
+                match q.try_push(i) {
+                    Ok(_) => break,
+                    Err(PushError::Full) => std::thread::yield_now(),
+                    Err(PushError::Closed) => panic!("closed early"),
+                }
+            }
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+}

@@ -1,0 +1,694 @@
+//! The daemon: TCP acceptor, bounded request queue, worker pool,
+//! content-addressed cache, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! * One **acceptor** thread polls a nonblocking listener so it can
+//!   observe the shutdown flag without a wake-up hack.
+//! * One **reader** thread per connection parses newline-delimited JSON.
+//!   Control verbs (`healthz`, `metrics`, `shutdown`) are answered inline
+//!   — they stay responsive even when the work queue is saturated. Work
+//!   verbs are pushed onto the bounded queue; a full queue yields an
+//!   immediate typed `queue_full` response, never an unbounded buffer.
+//! * `ICED_SVC_THREADS` **workers** drain the queue, consult the cache,
+//!   compute on miss, and write responses through a per-connection mutex.
+//!
+//! ## Shutdown
+//!
+//! `shutdown` (or [`Server::shutdown`]) flips a flag and closes the
+//! queue. The acceptor stops accepting; workers drain everything already
+//! accepted and write those responses; the cache is flushed to the spill
+//! directory; only then are client sockets closed. A request the server
+//! accepted is therefore always answered.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use iced::arch::CgraConfig;
+use iced::kernels::pipelines::Pipeline;
+use iced::kernels::workloads;
+use iced::mapper::{map_with, power_gate_idle, relax_islands, relax_per_tile, Bitstream, MapError};
+use iced::power::PowerModel;
+use iced::sim::{run_engine, EnergyBreakdown, FabricStats};
+use iced::streaming::{simulate, Partition};
+use iced::Strategy;
+
+use iced_hash::StableHasher;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::metrics::Metrics;
+use crate::proto::{
+    parse_request, policy_name, render_err, render_ok, CompileSpec, Payload, Request, StreamSpec,
+    SvcError, Verb, MAX_LINE_BYTES,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Server configuration, normally taken from the environment.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (`ICED_SVC_ADDR`, default `127.0.0.1:9090`; use port
+    /// 0 for an ephemeral port).
+    pub addr: String,
+    /// Worker pool size (`ICED_SVC_THREADS`).
+    pub threads: usize,
+    /// Request queue capacity (`ICED_SVC_QUEUE`).
+    pub queue_cap: usize,
+    /// In-memory cache budget in MiB (`ICED_SVC_CACHE_MB`).
+    pub cache_mb: u64,
+    /// Optional disk-spill directory (`ICED_SVC_CACHE_DIR`).
+    pub cache_dir: Option<PathBuf>,
+    /// Target CGRA configuration.
+    pub cgra: CgraConfig,
+}
+
+fn env_usize(key: &str, default: usize, lo: usize, hi: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(default, |v| v.clamp(lo, hi))
+}
+
+impl ServiceConfig {
+    /// Reads `ICED_SVC_*` from the environment, with sane defaults.
+    pub fn from_env() -> Self {
+        let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+        ServiceConfig {
+            addr: std::env::var("ICED_SVC_ADDR").unwrap_or_else(|_| "127.0.0.1:9090".into()),
+            threads: env_usize("ICED_SVC_THREADS", threads, 1, 64),
+            queue_cap: env_usize("ICED_SVC_QUEUE", 64, 1, 65_536),
+            cache_mb: env_usize("ICED_SVC_CACHE_MB", 64, 1, 16_384) as u64,
+            cache_dir: std::env::var("ICED_SVC_CACHE_DIR").ok().map(PathBuf::from),
+            cgra: CgraConfig::iced_prototype(),
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            queue_cap: 64,
+            cache_mb: 64,
+            cache_dir: None,
+            cgra: CgraConfig::iced_prototype(),
+        }
+    }
+}
+
+/// One queued unit of work: a parsed request plus the connection to
+/// answer on.
+struct Job {
+    req: Request,
+    writer: Arc<Mutex<TcpStream>>,
+    accepted_at: Instant,
+}
+
+/// State shared by the acceptor, readers, and workers.
+struct Shared {
+    config: CgraConfig,
+    model: PowerModel,
+    cache: ResultCache,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    shutting: AtomicBool,
+    in_flight: AtomicUsize,
+    started: Instant,
+    threads: usize,
+    conns: Mutex<Vec<TcpStream>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running service instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon: acceptor + worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            config: cfg.cgra,
+            model: PowerModel::asap7(),
+            cache: ResultCache::new(cfg.cache_mb.saturating_mul(1 << 20), cfg.cache_dir),
+            queue: BoundedQueue::new(cfg.queue_cap),
+            metrics: Metrics::new(),
+            shutting: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            started: Instant::now(),
+            threads: cfg.threads.max(1),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+        let workers = (0..cfg.threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("iced-svc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("iced-svc-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawn acceptor thread")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers the same graceful shutdown as the `shutdown` verb.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Blocks until shutdown completes: acceptor stopped, queue drained,
+    /// every in-flight response written, cache flushed, sockets closed.
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // All accepted work is answered by now; persist warm state.
+        let flushed = self.shared.cache.flush();
+        if flushed > 0 {
+            iced::trace::counter(
+                iced::trace::Phase::Service,
+                "svc_cache_spilled_entries",
+                flushed as u64,
+            );
+        }
+        // Unblock and retire the per-connection readers.
+        let conns = std::mem::take(&mut *lock(&self.shared.conns));
+        for c in conns {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        let readers = std::mem::take(&mut *lock(&self.shared.readers));
+        for r in readers {
+            let _ = r.join();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn begin_shutdown(shared: &Shared) {
+    if !shared.shutting.swap(true, Ordering::SeqCst) {
+        shared.queue.close();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutting.load(Ordering::SeqCst) {
+            return; // drops the listener: new connections are refused
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                // Responses are single short lines; Nagle would add a
+                // delayed-ACK round trip to every warm hit.
+                let _ = stream.set_nodelay(true);
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                register_connection(shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn register_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(registered) = stream.try_clone() else {
+        return;
+    };
+    lock(&shared.conns).push(registered);
+    let reader_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("iced-svc-conn".into())
+        .spawn(move || reader_loop(&reader_shared, stream));
+    if let Ok(h) = handle {
+        lock(&shared.readers).push(h);
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_bounded_line(&mut reader, &mut line) {
+            Ok(LineRead::Eof) => return,
+            Ok(LineRead::TooLong) => {
+                let err = SvcError::new("too_large", "request line exceeds 1 MiB");
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                if !write_line(&writer, &render_err(0, None, &err)) {
+                    return;
+                }
+                continue;
+            }
+            Ok(LineRead::Line) => {}
+            Err(_) => return,
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        let req = match parse_request(text) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                if !write_line(&writer, &render_err(e.id, None, &e.error)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        match req.verb {
+            Verb::Healthz => {
+                let state = if shared.shutting.load(Ordering::SeqCst) {
+                    "draining"
+                } else {
+                    "running"
+                };
+                let result = crate::json::Obj::new()
+                    .str("status", "ok")
+                    .str("state", state)
+                    .u64("queue_depth", shared.queue.len() as u64)
+                    .u64("in_flight", shared.in_flight.load(Ordering::Relaxed) as u64)
+                    .u64("threads", shared.threads as u64)
+                    .u64("uptime_ms", shared.started.elapsed().as_millis() as u64)
+                    .finish();
+                shared.metrics.observe(Verb::Healthz, t0.elapsed());
+                if !write_line(&writer, &render_ok(req.id, Verb::Healthz, false, &result)) {
+                    return;
+                }
+            }
+            Verb::Metrics => {
+                let result = shared.metrics.render(
+                    shared.queue.len(),
+                    shared.cache.bytes(),
+                    shared.cache.entries(),
+                );
+                shared.metrics.observe(Verb::Metrics, t0.elapsed());
+                if !write_line(&writer, &render_ok(req.id, Verb::Metrics, false, &result)) {
+                    return;
+                }
+            }
+            Verb::Shutdown => {
+                begin_shutdown(shared);
+                let result = crate::json::Obj::new()
+                    .str("state", "draining")
+                    .u64("queued", shared.queue.len() as u64)
+                    .u64("in_flight", shared.in_flight.load(Ordering::Relaxed) as u64)
+                    .finish();
+                shared.metrics.observe(Verb::Shutdown, t0.elapsed());
+                let _ = write_line(&writer, &render_ok(req.id, Verb::Shutdown, false, &result));
+                // Keep reading: the client may pipeline further requests,
+                // which now receive `shutting_down` errors.
+            }
+            Verb::Compile | Verb::Simulate | Verb::Stream => {
+                let id = req.id;
+                let verb = req.verb;
+                let job = Job {
+                    req,
+                    writer: Arc::clone(&writer),
+                    accepted_at: t0,
+                };
+                match shared.queue.try_push(job) {
+                    Ok(depth) => shared.metrics.queue_depth(depth),
+                    Err(PushError::Full) => {
+                        shared.metrics.rejected_request();
+                        let err = SvcError::with_entity(
+                            "queue_full",
+                            format!(
+                                "request queue at capacity ({}); retry later",
+                                shared.queue.capacity()
+                            ),
+                            verb.name(),
+                        );
+                        if !write_line(&writer, &render_err(id, Some(verb), &err)) {
+                            return;
+                        }
+                    }
+                    Err(PushError::Closed) => {
+                        let err = SvcError::new(
+                            "shutting_down",
+                            "server is draining and accepts no new work",
+                        );
+                        if !write_line(&writer, &render_err(id, Some(verb), &err)) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let verb = job.req.verb;
+        let id = job.req.id;
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, &job.req)));
+        let response = match outcome {
+            Ok(Ok((result, cached))) => {
+                shared.metrics.cache_event(cached);
+                render_ok(id, verb, cached, &result)
+            }
+            Ok(Err(e)) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                render_err(id, Some(verb), &e)
+            }
+            Err(_) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let e = SvcError::new("internal", "request processing panicked; see server log");
+                render_err(id, Some(verb), &e)
+            }
+        };
+        let _ = write_line(&job.writer, &response);
+        shared.metrics.observe(verb, job.accepted_at.elapsed());
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs one work verb, consulting the cache. Returns the rendered result
+/// JSON plus whether it came from the cache.
+fn execute(shared: &Shared, req: &Request) -> Result<(Arc<String>, bool), SvcError> {
+    let key = cache_key(shared, req);
+    if let Some(hit) = shared.cache.get(key) {
+        return Ok((hit, true));
+    }
+    let rendered = match &req.payload {
+        Payload::Compile(spec) => compile_result(shared, spec)?,
+        Payload::Simulate(spec) => {
+            let (dfg, mapping) = compile_mapping(shared, &spec.compile)?;
+            let report = run_engine(&dfg, &mapping, spec.iterations, spec.seed)
+                .map_err(|e| SvcError::with_entity("sim_error", e.to_string(), dfg.name()))?;
+            crate::json::Obj::new()
+                .str("kernel", dfg.name())
+                .str("strategy", spec.compile.strategy.name())
+                .u64("ii", u64::from(mapping.ii()))
+                .u64("iterations", report.iterations)
+                .u64("cycles", report.cycles)
+                .u64("ops_executed", report.ops_executed)
+                .f64("fu_activity", report.fu_activity())
+                .u64("fifo_peak", report.fifo_peak as u64)
+                .finish()
+        }
+        Payload::Stream(spec) => stream_result(shared, spec)?,
+        Payload::Control => {
+            return Err(SvcError::new(
+                "internal",
+                "control verb reached the worker pool",
+            ))
+        }
+    };
+    let rendered = Arc::new(rendered);
+    let evicted = shared.cache.put_shared(key, Arc::clone(&rendered));
+    shared.metrics.evicted(evicted);
+    Ok((rendered, false))
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// The content-addressed key: canonical hashes of every semantic input.
+/// Serving knobs (deadline, thread count, client id) are deliberately
+/// excluded — they cannot change the payload bytes.
+fn cache_key(shared: &Shared, req: &Request) -> CacheKey {
+    let cfg = shared.config.canonical_hash();
+    match &req.payload {
+        Payload::Compile(spec) => CacheKey::derive(&[
+            hash_str("compile"),
+            spec.source.dfg().canonical_hash(),
+            cfg,
+            spec.mapper_options().canonical_hash(),
+            hash_str(spec.strategy.name()),
+        ]),
+        Payload::Simulate(spec) => CacheKey::derive(&[
+            hash_str("simulate"),
+            spec.compile.source.dfg().canonical_hash(),
+            cfg,
+            spec.compile.mapper_options().canonical_hash(),
+            hash_str(spec.compile.strategy.name()),
+            spec.iterations,
+            spec.seed,
+        ]),
+        Payload::Stream(spec) => CacheKey::derive(&[
+            hash_str("stream"),
+            cfg,
+            hash_str(&spec.pipeline),
+            hash_str(policy_name(spec.policy)),
+            spec.inputs as u64,
+            spec.seed,
+        ]),
+        Payload::Control => CacheKey::derive(&[hash_str("control")]),
+    }
+}
+
+fn map_err_to_svc(e: MapError, entity: &str) -> SvcError {
+    if matches!(e, MapError::DeadlineExceeded) {
+        SvcError::with_entity("deadline_exceeded", e.to_string(), entity)
+    } else {
+        SvcError::with_entity("map_error", e.to_string(), entity)
+    }
+}
+
+/// Maps per the requested strategy (the `Toolchain::compile` recipe, but
+/// with per-request deadline/II options threaded through).
+fn compile_mapping(
+    shared: &Shared,
+    spec: &CompileSpec,
+) -> Result<(iced::dfg::Dfg, iced::mapper::Mapping), SvcError> {
+    let dfg = spec.source.dfg();
+    let mut opts = spec.mapper_options();
+    if let Some(ms) = spec.deadline_ms {
+        opts.deadline = Some(Instant::now() + Duration::from_millis(ms));
+    }
+    let base = map_with(&dfg, &shared.config, &opts).map_err(|e| map_err_to_svc(e, dfg.name()))?;
+    let mapping = match spec.strategy {
+        Strategy::Baseline => base,
+        Strategy::BaselinePowerGated => power_gate_idle(&dfg, &base),
+        Strategy::PerTileDvfs => relax_per_tile(&dfg, &base),
+        Strategy::IcedIslands => relax_islands(&dfg, &base),
+    };
+    Ok((dfg, mapping))
+}
+
+fn compile_result(shared: &Shared, spec: &CompileSpec) -> Result<String, SvcError> {
+    let (dfg, mapping) = compile_mapping(shared, spec)?;
+    let stats = FabricStats::analyze(&mapping);
+    let energy = EnergyBreakdown::account(
+        &dfg,
+        &mapping,
+        &shared.model,
+        spec.strategy.dvfs_support(),
+        1000,
+    );
+    let bits = Bitstream::assemble(&dfg, &mapping);
+    Ok(crate::json::Obj::new()
+        .str("kernel", dfg.name())
+        .str("strategy", spec.strategy.name())
+        .u64("nodes", dfg.node_count() as u64)
+        .u64("edges", dfg.edge_count() as u64)
+        .u64("ii", u64::from(mapping.ii()))
+        .u64("makespan", mapping.makespan())
+        .f64("avg_dvfs_level", stats.average_dvfs_level())
+        .f64("avg_utilization", stats.average_utilization())
+        .f64("power_mw", energy.total_power_mw())
+        .u64("bitstream_words", bits.words().len() as u64)
+        .u64("bitstream_bytes", bits.total_bytes() as u64)
+        .str("dfg_hash", &format!("{:016x}", dfg.canonical_hash()))
+        .finish())
+}
+
+fn stream_result(shared: &Shared, spec: &StreamSpec) -> Result<String, SvcError> {
+    let pipeline = match spec.pipeline.as_str() {
+        "gcn" => Pipeline::gcn(),
+        _ => Pipeline::lu(),
+    };
+    let partition = Partition::table1(&pipeline, &shared.config)
+        .map_err(|e| map_err_to_svc(e, &spec.pipeline))?;
+    let inputs: Vec<u64> = if spec.pipeline == "gcn" {
+        workloads::enzymes_like(spec.inputs, spec.seed)
+            .iter()
+            .map(|g| g.nnz())
+            .collect()
+    } else {
+        workloads::suitesparse_like(spec.inputs, spec.seed)
+            .iter()
+            .map(|m| m.nnz as u64)
+            .collect()
+    };
+    let report = simulate(&pipeline, &partition, &shared.model, &inputs, spec.policy);
+    Ok(crate::json::Obj::new()
+        .str("pipeline", &spec.pipeline)
+        .str("policy", policy_name(spec.policy))
+        .u64("inputs", report.inputs as u64)
+        .f64("throughput", report.throughput())
+        .f64("avg_power_mw", report.avg_power_mw())
+        .f64("perf_per_watt", report.perf_per_watt())
+        .f64("total_time_us", report.total_time_us)
+        .f64("total_energy_nj", report.total_energy_nj)
+        .u64("windows", report.samples.len() as u64)
+        .finish())
+}
+
+fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
+    let mut w = lock(writer);
+    // One locked write per response keeps concurrent workers' lines whole.
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    w.write_all(&buf).and_then(|()| w.flush()).is_ok()
+}
+
+/// Outcome of a bounded line read.
+enum LineRead {
+    /// Connection closed before any bytes.
+    Eof,
+    /// A complete line is in the output buffer.
+    Line,
+    /// The line exceeded [`MAX_LINE_BYTES`]; it was discarded up to the
+    /// next newline so the stream stays in sync.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// [`MAX_LINE_BYTES`] — a malicious endless line costs bounded memory.
+fn read_bounded_line<R: BufRead>(r: &mut R, out: &mut String) -> std::io::Result<LineRead> {
+    let mut bytes: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            if bytes.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            break; // final unterminated line
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            if bytes.len() + pos > MAX_LINE_BYTES {
+                r.consume(pos + 1);
+                return Ok(LineRead::TooLong);
+            }
+            bytes.extend_from_slice(&buf[..pos]);
+            r.consume(pos + 1);
+            break;
+        }
+        let n = buf.len();
+        if bytes.len() + n > MAX_LINE_BYTES {
+            r.consume(n);
+            return discard_rest_of_line(r);
+        }
+        bytes.extend_from_slice(buf);
+        r.consume(n);
+    }
+    // Invalid UTF-8 flows through as replacement characters and fails
+    // JSON parsing with a structured error rather than an I/O abort.
+    *out = String::from_utf8_lossy(&bytes).into_owned();
+    Ok(LineRead::Line)
+}
+
+fn discard_rest_of_line<R: BufRead>(r: &mut R) -> std::io::Result<LineRead> {
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(LineRead::TooLong); // line ran off the end of input
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            r.consume(pos + 1);
+            return Ok(LineRead::TooLong);
+        }
+        let n = buf.len();
+        r.consume(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_line_reader_handles_eof_and_oversize() {
+        let mut input = std::io::Cursor::new(b"{\"a\":1}\nrest".to_vec());
+        let mut line = String::new();
+        assert!(matches!(
+            read_bounded_line(&mut input, &mut line),
+            Ok(LineRead::Line)
+        ));
+        assert_eq!(line, "{\"a\":1}");
+        assert!(matches!(
+            read_bounded_line(&mut input, &mut line),
+            Ok(LineRead::Line)
+        ));
+        assert_eq!(line, "rest");
+        assert!(matches!(
+            read_bounded_line(&mut input, &mut line),
+            Ok(LineRead::Eof)
+        ));
+
+        let huge = vec![b'x'; MAX_LINE_BYTES + 10];
+        let mut with_tail = huge.clone();
+        with_tail.extend_from_slice(b"\n{\"ok\":1}\n");
+        let mut input = std::io::Cursor::new(with_tail);
+        assert!(matches!(
+            read_bounded_line(&mut input, &mut line),
+            Ok(LineRead::TooLong)
+        ));
+        // The stream resynchronises on the next line.
+        assert!(matches!(
+            read_bounded_line(&mut input, &mut line),
+            Ok(LineRead::Line)
+        ));
+        assert_eq!(line, "{\"ok\":1}");
+    }
+
+    #[test]
+    fn service_config_env_parsing_clamps() {
+        assert_eq!(env_usize("ICED_SVC_DOES_NOT_EXIST", 7, 1, 10), 7);
+    }
+}

@@ -1,0 +1,321 @@
+//! End-to-end tests against a live daemon on an ephemeral port: concurrent
+//! clients, warm-vs-cold byte identity, backpressure, graceful shutdown,
+//! and malformed-input robustness.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use iced_service::{Server, ServiceConfig};
+
+/// A line-oriented test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf).expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-conversation");
+        line.trim_end().to_string()
+    }
+
+    fn round_trip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn start(threads: usize, queue_cap: usize) -> (Server, SocketAddr) {
+    let cfg = ServiceConfig {
+        threads,
+        queue_cap,
+        ..ServiceConfig::default()
+    };
+    let server = Server::start(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// The `result` payload of a success envelope (everything the cache
+/// stores). Panics if the response is not a success envelope.
+fn result_payload(response: &str) -> &str {
+    let idx = response
+        .find("\"result\":")
+        .unwrap_or_else(|| panic!("no result field in {response}"));
+    &response[idx + "\"result\":".len()..response.len() - 1]
+}
+
+#[test]
+fn eight_concurrent_clients_all_get_correct_answers() {
+    let (server, addr) = start(4, 64);
+    let kernels = [
+        "fir",
+        "latnrm",
+        "fft",
+        "dtw",
+        "conv",
+        "relu",
+        "histogram",
+        "mvt",
+    ];
+    let handles: Vec<_> = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, &kernel)| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                // Interleave a control verb to exercise the inline path.
+                let health = c.round_trip(&format!("{{\"id\":{i},\"verb\":\"healthz\"}}"));
+                assert!(health.contains("\"ok\":true"), "{health}");
+                let id = 100 + i;
+                let resp = c.round_trip(&format!(
+                    "{{\"id\":{id},\"verb\":\"compile\",\"kernel\":\"{kernel}\"}}"
+                ));
+                assert!(resp.contains("\"ok\":true"), "{kernel}: {resp}");
+                assert!(
+                    resp.starts_with(&format!("{{\"id\":{id},")),
+                    "id must echo: {resp}"
+                );
+                assert!(resp.contains("\"ii\":"), "{resp}");
+                assert!(resp.contains("\"bitstream_words\":"), "{resp}");
+                resp
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn warm_cache_replays_cold_bytes_verbatim() {
+    let (server, addr) = start(2, 16);
+    let mut c = Client::connect(addr);
+    let req = r#"{"id":1,"verb":"compile","kernel":"fft","unroll":2}"#;
+
+    let t_cold = Instant::now();
+    let cold = c.round_trip(req);
+    let cold_latency = t_cold.elapsed();
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+
+    let t_warm = Instant::now();
+    let warm = c.round_trip(req);
+    let warm_latency = t_warm.elapsed();
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+
+    // The payload must be byte-identical; only the cached marker differs.
+    assert_eq!(result_payload(&cold), result_payload(&warm));
+    assert_eq!(
+        cold.replace("\"cached\":false", "\"cached\":true"),
+        warm,
+        "envelopes differ beyond the cached flag"
+    );
+    // A warm hit skips the mapper entirely; even allowing wild scheduler
+    // noise it must undercut the cold compile.
+    assert!(
+        warm_latency < cold_latency,
+        "warm {warm_latency:?} not faster than cold {cold_latency:?}"
+    );
+
+    // Same kernel requested through a second connection also hits.
+    let mut c2 = Client::connect(addr);
+    let again = c2.round_trip(req);
+    assert!(again.contains("\"cached\":true"), "{again}");
+    assert_eq!(result_payload(&cold), result_payload(&again));
+
+    // An equivalent request with different serving knobs (deadline) is
+    // the same content address — still a hit.
+    let knob =
+        c.round_trip(r#"{"id":9,"verb":"compile","kernel":"fft","unroll":2,"deadline_ms":60000}"#);
+    assert!(knob.contains("\"cached\":true"), "{knob}");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn saturated_queue_answers_queue_full_not_silence() {
+    // One worker, queue bound 1: pipelining several slow jobs must
+    // overflow deterministically.
+    let (server, addr) = start(1, 1);
+    let mut c = Client::connect(addr);
+    for i in 0..4 {
+        // Distinct seeds defeat the cache; 200k iterations keeps the
+        // worker busy long after the pipelined lines land.
+        c.send(&format!(
+            "{{\"id\":{i},\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":200000,\"seed\":{i}}}"
+        ));
+    }
+    let responses: Vec<String> = (0..4).map(|_| c.recv()).collect();
+    let full = responses
+        .iter()
+        .filter(|r| r.contains("\"code\":\"queue_full\""))
+        .count();
+    let ok = responses
+        .iter()
+        .filter(|r| r.contains("\"ok\":true"))
+        .count();
+    assert!(full >= 1, "expected at least one queue_full: {responses:?}");
+    assert!(ok >= 1, "expected at least one success: {responses:?}");
+    assert_eq!(full + ok, 4, "every request gets exactly one answer");
+    // Backpressure responses carry the retry contract fields.
+    let reject = responses.iter().find(|r| r.contains("queue_full")).unwrap();
+    assert!(reject.contains("\"ok\":false"), "{reject}");
+    assert!(reject.contains("\"message\":"), "{reject}");
+
+    // The server is still healthy afterwards.
+    let health = c.round_trip(r#"{"id":50,"verb":"healthz"}"#);
+    assert!(health.contains("\"ok\":true"), "{health}");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_before_closing() {
+    let (server, addr) = start(1, 4);
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+
+    // A's job occupies the single worker for a while.
+    a.send(r#"{"id":1,"verb":"simulate","kernel":"fir","iterations":300000}"#);
+    // Give the worker a moment to pick it up.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // B asks for shutdown and is answered immediately.
+    let bye = b.round_trip(r#"{"id":2,"verb":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    assert!(bye.contains("\"state\":\"draining\""), "{bye}");
+
+    // New work is refused while draining…
+    let refused = b.round_trip(r#"{"id":3,"verb":"compile","kernel":"fir"}"#);
+    assert!(refused.contains("\"shutting_down\""), "{refused}");
+
+    // …but A's accepted request still completes before sockets close.
+    let slow = a.recv();
+    assert!(slow.contains("\"ok\":true"), "in-flight dropped: {slow}");
+    assert!(slow.contains("\"cycles\":"), "{slow}");
+
+    server.wait();
+
+    // After the drain the daemon is really gone.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener should be closed after wait()"
+    );
+}
+
+#[test]
+fn malformed_input_never_kills_the_server() {
+    let (server, addr) = start(2, 8);
+    let mut c = Client::connect(addr);
+    let garbage: &[&str] = &[
+        "{",
+        "}",
+        "garbage",
+        "\"just a string\"",
+        "[1,2,3]",
+        "{\"verb\":42}",
+        "{\"verb\":\"compile\"}",
+        "{\"verb\":\"compile\",\"kernel\":\"fir\",\"dfg\":\"dfg x\"}",
+        "{\"verb\":\"compile\",\"kernel\":\"no-such-kernel\"}",
+        "{\"verb\":\"compile\",\"dfg\":\"node without header\"}",
+        "{\"id\":-5,\"verb\":\"healthz\"}",
+        "{\"id\":1,\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":1e300}",
+        "{\"verb\":\"stream\",\"pipeline\":\"warp-drive\"}",
+        "{\"id\":1,\"verb\":\"compile\",\"kernel\":\"fir\",\"unroll\":7}",
+        "\\u0000\\u0001",
+    ];
+    for (i, g) in garbage.iter().enumerate() {
+        let resp = c.round_trip(g);
+        assert!(
+            resp.contains("\"ok\":false"),
+            "garbage #{i} {g:?} got {resp}"
+        );
+        assert!(resp.contains("\"code\":"), "garbage #{i}: {resp}");
+    }
+
+    // Truncated JSON mid-string, deep nesting, and an over-long line.
+    let deep = "[".repeat(200) + &"]".repeat(200);
+    let resp = c.round_trip(&deep);
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    let huge = format!(
+        "{{\"verb\":\"compile\",\"pad\":\"{}\"}}",
+        "x".repeat(2 << 20)
+    );
+    let resp = c.round_trip(&huge);
+    assert!(resp.contains("too_large"), "{resp}");
+
+    // A raw binary blast (invalid UTF-8) on a fresh connection.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0xff, 0xfe, 0x80, b'\n']).unwrap();
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert!(line.contains("\"ok\":false"), "{line}");
+
+    // After all that abuse the daemon still does real work.
+    let resp = c.round_trip(r#"{"id":77,"verb":"compile","kernel":"fir"}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let metrics = c.round_trip(r#"{"id":78,"verb":"metrics"}"#);
+    assert!(metrics.contains("\"errors\":"), "{metrics}");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn stream_and_simulate_verbs_return_reports() {
+    let (server, addr) = start(2, 8);
+    let mut c = Client::connect(addr);
+    let sim =
+        c.round_trip(r#"{"id":1,"verb":"simulate","kernel":"fir","iterations":1000,"seed":3}"#);
+    assert!(sim.contains("\"ok\":true"), "{sim}");
+    assert!(sim.contains("\"cycles\":"), "{sim}");
+    assert!(sim.contains("\"fu_activity\":"), "{sim}");
+
+    let stream = c.round_trip(
+        r#"{"id":2,"verb":"stream","pipeline":"gcn","policy":"iced","inputs":20,"seed":5}"#,
+    );
+    assert!(stream.contains("\"ok\":true"), "{stream}");
+    assert!(stream.contains("\"throughput\":"), "{stream}");
+    assert!(stream.contains("\"perf_per_watt\":"), "{stream}");
+
+    // Stream results are cached too.
+    let warm = c.round_trip(
+        r#"{"id":3,"verb":"stream","pipeline":"gcn","policy":"iced","inputs":20,"seed":5}"#,
+    );
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert_eq!(result_payload(&stream), result_payload(&warm));
+
+    // A tiny mapping deadline surfaces as a typed error, not a hang.
+    let dead = c.round_trip(
+        r#"{"id":4,"verb":"compile","kernel":"fft","unroll":2,"strategy":"baseline","deadline_ms":0}"#,
+    );
+    assert!(dead.contains("\"deadline_exceeded\""), "{dead}");
+    server.shutdown();
+    server.wait();
+}

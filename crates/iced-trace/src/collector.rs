@@ -19,16 +19,19 @@ pub enum Phase {
     Controller,
     /// Harness-level spans (figure binaries, suite sweeps).
     Bench,
+    /// `iced-service`: request handling, cache, queue, worker pool.
+    Service,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Mapper,
         Phase::Router,
         Phase::Sim,
         Phase::Controller,
         Phase::Bench,
+        Phase::Service,
     ];
 
     /// Stable lowercase name used in exports and summaries.
@@ -39,6 +42,7 @@ impl Phase {
             Phase::Sim => "sim",
             Phase::Controller => "controller",
             Phase::Bench => "bench",
+            Phase::Service => "service",
         }
     }
 
@@ -50,6 +54,7 @@ impl Phase {
             Phase::Sim => 3,
             Phase::Controller => 4,
             Phase::Bench => 5,
+            Phase::Service => 6,
         }
     }
 }

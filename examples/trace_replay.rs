@@ -4,7 +4,7 @@
 //! <https://ui.perfetto.dev> to scrub through the steady-state schedule.
 //!
 //! ```sh
-//! cargo run --example trace_replay            # writes trace_replay.json
+//! cargo run --example trace_replay            # writes $TMPDIR/trace_replay.json
 //! cargo run --example trace_replay -- out.json
 //! ```
 
@@ -15,9 +15,14 @@ use iced::trace::{RecordingCollector, TraceSummary};
 use iced::{Strategy, Toolchain};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "trace_replay.json".to_string());
+    // Default to the temp dir so a casual run never litters (or worse,
+    // commits) an artifact into the working tree.
+    let out = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("trace_replay.json")
+            .to_string_lossy()
+            .into_owned()
+    });
 
     // Record everything, including one event per simulated FU firing.
     let collector = Arc::new(RecordingCollector::new());
