@@ -16,68 +16,31 @@
 //! and exits.
 
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use iced_service::{Server, ServiceConfig};
+use iced_service::{Client, Server, ServiceConfig};
 
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
-    }
-
-    /// Connects, retrying while an external daemon finishes booting.
-    fn connect_retry(addr: &str, budget: Duration) -> Client {
-        let t0 = Instant::now();
-        loop {
-            match Client::connect(addr) {
-                Ok(c) => return c,
-                Err(e) if t0.elapsed() < budget => {
-                    let _ = e;
-                    std::thread::sleep(Duration::from_millis(100));
-                }
-                Err(e) => {
-                    eprintln!("svc_load: cannot reach {addr}: {e}");
-                    std::process::exit(1);
-                }
-            }
+/// Connects via the shared resilient client, exiting with a diagnostic
+/// when the daemon never comes up.
+fn connect_or_die(addr: &str, budget: Duration) -> Client {
+    match Client::connect_retry(addr, budget) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("svc_load: cannot reach {addr}: {e}");
+            std::process::exit(1);
         }
     }
+}
 
-    fn send(&mut self, line: &str) {
-        // One write per request: a split write would re-introduce the
-        // Nagle + delayed-ACK stall the server disables nodelay to avoid.
-        let mut buf = Vec::with_capacity(line.len() + 1);
-        buf.extend_from_slice(line.as_bytes());
-        buf.push(b'\n');
-        self.writer.write_all(&buf).expect("send request");
-    }
-
-    fn recv(&mut self) -> String {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line).expect("read response");
-        assert!(n > 0, "server closed the connection unexpectedly");
-        line.trim_end().to_string()
-    }
-
-    fn round_trip(&mut self, line: &str) -> (String, u128) {
-        let t0 = Instant::now();
-        self.send(line);
-        let resp = self.recv();
-        (resp, t0.elapsed().as_micros())
-    }
+/// One closed-loop request with the client's retry discipline; transient
+/// failures (queue_full, chaos-injected drops and panics) are absorbed by
+/// the backoff loop, so what comes back is the server's real answer.
+fn round_trip(c: &mut Client, line: &str) -> (String, u128) {
+    let t0 = Instant::now();
+    let resp = c.request(line).unwrap_or_else(|e| {
+        panic!("request exhausted retries: {e}");
+    });
+    (resp, t0.elapsed().as_micros())
 }
 
 /// Latency series summarised for the report.
@@ -180,6 +143,10 @@ fn main() {
             let cfg = ServiceConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: clients.clamp(1, 8),
+                // Honor ICED_SVC_CHAOS in self-contained mode too, so a
+                // local `ICED_SVC_CHAOS=1 svc_load --quick` is a one-line
+                // chaos smoke test.
+                chaos: iced_service::ChaosInjector::seed_from_env(),
                 ..ServiceConfig::default()
             };
             let s = Server::start(cfg).expect("start in-process server");
@@ -188,8 +155,8 @@ fn main() {
         }
     };
 
-    let mut c = Client::connect_retry(&addr, Duration::from_secs(10));
-    let (health, _) = c.round_trip("{\"id\":1,\"verb\":\"healthz\"}");
+    let mut c = connect_or_die(&addr, Duration::from_secs(10));
+    let (health, _) = round_trip(&mut c, "{\"id\":1,\"verb\":\"healthz\"}");
     assert!(health.contains("\"ok\":true"), "daemon unhealthy: {health}");
 
     // Phase 1+2: closed loop, same request set twice. Responses are
@@ -202,7 +169,7 @@ fn main() {
     let mut first_pass: Vec<String> = Vec::new();
     for pass in 0..2 {
         for (i, req) in reqs.iter().enumerate() {
-            let (resp, us) = c.round_trip(req);
+            let (resp, us) = round_trip(&mut c, req);
             assert!(resp.contains("\"ok\":true"), "compile failed: {resp}");
             if resp.contains("\"cached\":true") {
                 warm.push(us);
@@ -232,47 +199,69 @@ fn main() {
         .map(|ci| {
             let addr = addr2.clone();
             std::thread::spawn(move || {
-                let mut c = Client::connect_retry(&addr, Duration::from_secs(10));
+                let mut c = connect_or_die(&addr, Duration::from_secs(10)).with_salt(ci as u64 + 1);
+                // Pipelined fire-then-collect. A connection a chaos-mode
+                // daemon tears down takes its in-flight responses with it;
+                // those count as `dropped`, not as protocol failures.
+                let (mut ok, mut full, mut other, mut dropped) = (0usize, 0usize, 0usize, 0usize);
+                let mut pending = 0usize;
                 for r in 0..burst {
                     let seed = ci * 1000 + r;
-                    c.send(&format!(
+                    let line = format!(
                         "{{\"id\":{seed},\"verb\":\"simulate\",\"kernel\":\"fir\",\
                          \"iterations\":2000,\"seed\":{seed}}}"
-                    ));
-                }
-                let (mut ok, mut full, mut other) = (0usize, 0usize, 0usize);
-                for _ in 0..burst {
-                    let resp = c.recv();
-                    if resp.contains("\"ok\":true") {
-                        ok += 1;
-                    } else if resp.contains("queue_full") {
-                        full += 1;
+                    );
+                    if c.send(&line).is_ok() {
+                        pending += 1;
                     } else {
-                        other += 1;
+                        // The dead connection's unanswered requests are
+                        // gone too; the next send reconnects.
+                        dropped += pending + 1;
+                        pending = 0;
                     }
                 }
-                (ok, full, other)
+                for _ in 0..pending {
+                    match c.recv() {
+                        Ok(resp) if resp.contains("\"ok\":true") => ok += 1,
+                        Ok(resp) if resp.contains("queue_full") => full += 1,
+                        Ok(_) => other += 1,
+                        Err(_) => {
+                            dropped += pending - (ok + full + other);
+                            break;
+                        }
+                    }
+                }
+                (ok, full, other, dropped)
             })
         })
         .collect();
-    let (mut ok, mut full, mut other) = (0usize, 0usize, 0usize);
+    let (mut ok, mut full, mut other, mut dropped) = (0usize, 0usize, 0usize, 0usize);
     for h in handles {
-        let (o, f, x) = h.join().expect("open-loop client");
+        let (o, f, x, d) = h.join().expect("open-loop client");
         ok += o;
         full += f;
         other += x;
+        dropped += d;
     }
     let open_wall_us = t_open.elapsed().as_micros();
 
-    let (metrics, _) = c.round_trip("{\"id\":2,\"verb\":\"metrics\"}");
+    let (metrics, _) = round_trip(&mut c, "{\"id\":2,\"verb\":\"metrics\"}");
     let metrics_result = metrics
         .find("\"result\":")
         .map(|i| metrics[i + 9..metrics.len() - 1].to_string())
         .unwrap_or_else(|| "{}".into());
 
     if want_shutdown || external.is_none() {
-        let (bye, _) = c.round_trip("{\"id\":3,\"verb\":\"shutdown\"}");
-        assert!(bye.contains("\"ok\":true"), "shutdown failed: {bye}");
+        // Under chaos the shutdown *response* can be torn even though the
+        // drain began; a retry may then find the listener already gone.
+        // Either way the daemon is draining, which is what we asked for.
+        match c.request("{\"id\":3,\"verb\":\"shutdown\"}") {
+            Ok(bye) => assert!(
+                bye.contains("\"ok\":true") || bye.contains("shutting_down"),
+                "shutdown failed: {bye}"
+            ),
+            Err(e) => eprintln!("svc_load: shutdown response lost ({e}); daemon draining"),
+        }
     }
     if let Some(s) = server {
         s.wait();
@@ -305,7 +294,8 @@ fn main() {
     let _ = writeln!(
         out,
         "  \"open_loop\": {{\"requests\": {}, \"ok\": {ok}, \"queue_full\": {full}, \
-         \"other\": {other}, \"wall_us\": {open_wall_us}, \"answered_per_sec\": {:.0}}},",
+         \"other\": {other}, \"dropped\": {dropped}, \"wall_us\": {open_wall_us}, \
+         \"answered_per_sec\": {:.0}}},",
         clients * burst,
         (ok + full + other) as f64 / (open_wall_us.max(1) as f64 / 1e6)
     );
@@ -325,10 +315,11 @@ fn main() {
     );
     println!("svc_load: warm speedup {speedup:.1}x, payload mismatches {mismatched}");
     println!(
-        "svc_load: open loop {} ok / {} queue_full / {} other in {:.1} ms",
+        "svc_load: open loop {} ok / {} queue_full / {} other / {} dropped in {:.1} ms",
         ok,
         full,
         other,
+        dropped,
         open_wall_us as f64 / 1000.0
     );
     println!("svc_load: report written to {out_path}");

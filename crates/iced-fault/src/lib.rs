@@ -1,0 +1,636 @@
+//! Deterministic fault model for the ICED CGRA.
+//!
+//! ICED's value proposition is running tiles at aggressive low-voltage
+//! levels (rest = 0.42 V, relax = 0.5 V) — exactly the regime where timing
+//! faults, single-event upsets, and island-level failures appear in real
+//! silicon. This crate defines the fault vocabulary shared by the mapper,
+//! the cycle engine, the streaming controller, and the service:
+//!
+//! * [`PermanentFault`] — manufacturing/wear-out defects the *mapper* must
+//!   route around: dead tiles, dead functional units, broken mesh links,
+//!   stuck crossbar ports, and whole failed DVFS islands.
+//! * [`SeuRates`] — transient single-event-upset rates per DVFS level.
+//!   Rates rise as voltage drops, tying resilience directly to the paper's
+//!   V/F levels: a rest tile (0.42 V) upsets more often than a relax tile
+//!   (0.5 V), which upsets more often than a normal tile (0.7 V).
+//! * [`MidRunFailure`] — an island dying mid-run, which the *streaming*
+//!   layer answers by repartitioning the pipeline onto survivors.
+//! * [`FaultPlan`] — a seeded bundle of all three. Everything is derived
+//!   from the seed with [`StableHasher`], so the same seed reproduces a
+//!   byte-identical fault schedule on every run, thread count, and host.
+//! * [`FaultMask`] — the dense occupancy view of the permanent faults that
+//!   MRRG construction consumes.
+//!
+//! Nothing here consults wall-clock time or ambient randomness: a
+//! `FaultPlan` is a pure function of `(config, seed, density)` and the
+//! upset schedule is a pure function of `(seed, tile, cycle)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iced_arch::{CgraConfig, Dir, DvfsLevel, IslandId, TileId};
+use iced_hash::StableHasher;
+
+/// Domain-separation salts for the seeded rolls, so the per-class fault
+/// streams are independent even under one seed.
+const SALT_DEAD_TILE: u64 = 0x1ced_fa01;
+const SALT_DEAD_FU: u64 = 0x1ced_fa02;
+const SALT_BROKEN_LINK: u64 = 0x1ced_fa03;
+const SALT_STUCK_PORT: u64 = 0x1ced_fa04;
+const SALT_DEAD_ISLAND: u64 = 0x1ced_fa05;
+const SALT_SEU: u64 = 0x1ced_fa06;
+
+/// One seeded roll in `[0, 1_000_000)`: parts-per-million comparisons keep
+/// the thresholds integral and platform-independent.
+fn roll_ppm(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    let mut h = StableHasher::with_seed(seed);
+    h.write_u64(salt);
+    h.write_u64(a);
+    h.write_u64(b);
+    h.finish() % 1_000_000
+}
+
+/// A permanent (hard) fault in the fabric, present from power-on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PermanentFault {
+    /// The whole tile is dead: no FU, no crossbar, no registers.
+    DeadTile(TileId),
+    /// Only the functional unit is dead; the crossbar still routes.
+    DeadFu(TileId),
+    /// The outgoing mesh link of `tile` towards `dir` is broken.
+    BrokenLink(TileId, Dir),
+    /// The crossbar output port of `tile` towards `dir` is stuck; the
+    /// effect on mapping is the same as a broken link, but it is reported
+    /// separately because the repair strategy differs in hardware.
+    StuckPort(TileId, Dir),
+    /// The island's LDO/ADPLL failed: every tile in it is dead.
+    DeadIsland(IslandId),
+}
+
+impl PermanentFault {
+    fn hash_into(&self, h: &mut StableHasher) {
+        match *self {
+            PermanentFault::DeadTile(t) => {
+                h.write_u8(1);
+                h.write_u64(t.index() as u64);
+            }
+            PermanentFault::DeadFu(t) => {
+                h.write_u8(2);
+                h.write_u64(t.index() as u64);
+            }
+            PermanentFault::BrokenLink(t, d) => {
+                h.write_u8(3);
+                h.write_u64(t.index() as u64);
+                h.write_u8(d.index() as u8);
+            }
+            PermanentFault::StuckPort(t, d) => {
+                h.write_u8(4);
+                h.write_u64(t.index() as u64);
+                h.write_u8(d.index() as u8);
+            }
+            PermanentFault::DeadIsland(i) => {
+                h.write_u8(5);
+                h.write_u64(i.index() as u64);
+            }
+        }
+    }
+}
+
+/// Transient single-event-upset rates, in upsets per million FU firings,
+/// keyed by the DVFS level the firing tile runs at. Lower voltage → higher
+/// rate, so the paper's rest/relax tiles pay a resilience tax for their
+/// energy savings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeuRates {
+    /// Upsets per million firings on a normal-level (0.7 V) tile.
+    pub normal_per_million: u32,
+    /// Upsets per million firings on a relax-level (0.5 V) tile.
+    pub relax_per_million: u32,
+    /// Upsets per million firings on a rest-level (0.42 V) tile.
+    pub rest_per_million: u32,
+}
+
+impl SeuRates {
+    /// No transient faults at any level.
+    pub fn zero() -> SeuRates {
+        SeuRates::default()
+    }
+
+    /// The rate for `level`. Power-gated tiles cannot fire, so their rate
+    /// is zero by construction.
+    pub fn rate(&self, level: DvfsLevel) -> u32 {
+        match level {
+            DvfsLevel::PowerGated => 0,
+            DvfsLevel::Rest => self.rest_per_million,
+            DvfsLevel::Relax => self.relax_per_million,
+            DvfsLevel::Normal => self.normal_per_million,
+        }
+    }
+
+    /// Whether every level's rate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.normal_per_million == 0 && self.relax_per_million == 0 && self.rest_per_million == 0
+    }
+}
+
+/// A DVFS island dying while a streaming pipeline is running: after
+/// `after_inputs` inputs have been dispatched, `island` is gone and the
+/// pipeline must repartition onto the survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MidRunFailure {
+    /// The island that fails.
+    pub island: IslandId,
+    /// Number of inputs processed before the failure strikes.
+    pub after_inputs: usize,
+}
+
+/// A complete seeded fault schedule: permanent fabric defects, transient
+/// upset rates, and mid-run island failures. Two plans built from the same
+/// `(config, seed, density)` are identical, and [`FaultPlan::upset`] is a
+/// pure function of the plan — the whole model is replayable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed every derived decision (upset schedule included) flows from.
+    pub seed: u64,
+    /// Permanent fabric faults, in deterministic generation order.
+    pub permanent: Vec<PermanentFault>,
+    /// Transient upset rates per DVFS level.
+    pub seu: SeuRates,
+    /// Mid-run island failures, for the streaming layer.
+    pub midrun: Vec<MidRunFailure>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan. Mapper and engine treat it as a strict no-op:
+    /// output under the empty plan is bit-identical to the fault-free path.
+    pub fn empty() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            permanent: Vec::new(),
+            seu: SeuRates::zero(),
+            midrun: Vec::new(),
+        }
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.permanent.is_empty() && self.seu.is_zero() && self.midrun.is_empty()
+    }
+
+    /// Generates a plan for `config` from `seed` at the given fault
+    /// `density` in `[0, 1]`. Density scales every per-resource fault
+    /// probability and the SEU rates; `0.0` yields the empty plan.
+    ///
+    /// The SPM column (memory tiles, column 0) and the islands containing
+    /// it are assumed hardened and never drawn as dead — killing the only
+    /// memory interface would make *every* kernel unmappable, which is a
+    /// configuration error rather than an interesting fault scenario.
+    /// Explicitly constructed plans may still fault them.
+    pub fn generate(config: &CgraConfig, seed: u64, density: f64) -> FaultPlan {
+        let density = density.clamp(0.0, 1.0);
+        if density == 0.0 {
+            return FaultPlan {
+                seed,
+                ..FaultPlan::empty()
+            };
+        }
+        // Parts-per-million thresholds at density 1.0; the f64→u64 cast is
+        // exact for these magnitudes, so the thresholds are portable.
+        let thr = |per_million_at_one: f64| (density * per_million_at_one) as u64;
+        let dead_tile_thr = thr(60_000.0);
+        let dead_fu_thr = thr(60_000.0);
+        let broken_link_thr = thr(40_000.0);
+        let stuck_port_thr = thr(20_000.0);
+        let dead_island_thr = thr(15_000.0);
+
+        let mut permanent = Vec::new();
+        let hardened_island = |island: IslandId| {
+            config
+                .island_tiles(island)
+                .iter()
+                .any(|&t| config.is_memory_tile(t))
+        };
+        for island in config.islands() {
+            if hardened_island(island) {
+                continue;
+            }
+            if roll_ppm(seed, SALT_DEAD_ISLAND, island.index() as u64, 0) < dead_island_thr {
+                permanent.push(PermanentFault::DeadIsland(island));
+            }
+        }
+        for tile in config.tiles() {
+            let t = tile.index() as u64;
+            let in_dead_island = permanent.iter().any(
+                |f| matches!(f, PermanentFault::DeadIsland(i) if *i == config.island_of(tile)),
+            );
+            if !config.is_memory_tile(tile) && !in_dead_island {
+                if roll_ppm(seed, SALT_DEAD_TILE, t, 0) < dead_tile_thr {
+                    permanent.push(PermanentFault::DeadTile(tile));
+                } else if roll_ppm(seed, SALT_DEAD_FU, t, 0) < dead_fu_thr {
+                    permanent.push(PermanentFault::DeadFu(tile));
+                }
+            }
+            for dir in Dir::ALL {
+                if config.neighbor(tile, dir).is_none() {
+                    continue;
+                }
+                let d = dir.index() as u64;
+                if roll_ppm(seed, SALT_BROKEN_LINK, t, d) < broken_link_thr {
+                    permanent.push(PermanentFault::BrokenLink(tile, dir));
+                } else if roll_ppm(seed, SALT_STUCK_PORT, t, d) < stuck_port_thr {
+                    permanent.push(PermanentFault::StuckPort(tile, dir));
+                }
+            }
+        }
+        let seu = SeuRates {
+            // Rest (0.42 V) is the most fragile level; the 8:4:1 ratio is a
+            // modeling choice, not a silicon measurement.
+            rest_per_million: (density * 800.0) as u32,
+            relax_per_million: (density * 400.0) as u32,
+            normal_per_million: (density * 100.0) as u32,
+        };
+        FaultPlan {
+            seed,
+            permanent,
+            seu,
+            midrun: Vec::new(),
+        }
+    }
+
+    /// Returns the plan with one mid-run island failure appended (builder
+    /// style, for streaming failover scenarios).
+    pub fn with_island_failure(mut self, island: IslandId, after_inputs: usize) -> FaultPlan {
+        self.midrun.push(MidRunFailure {
+            island,
+            after_inputs,
+        });
+        self
+    }
+
+    /// Stable content hash of the whole plan. Suitable as a cache-key
+    /// part: two plans hash equal iff they inject the same faults.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = StableHasher::with_seed(0x1ced_fa07);
+        h.write_u64(self.seed);
+        h.write_usize(self.permanent.len());
+        for f in &self.permanent {
+            f.hash_into(&mut h);
+        }
+        h.write_u32(self.seu.normal_per_million);
+        h.write_u32(self.seu.relax_per_million);
+        h.write_u32(self.seu.rest_per_million);
+        h.write_usize(self.midrun.len());
+        for m in &self.midrun {
+            h.write_u64(m.island.index() as u64);
+            h.write_u64(m.after_inputs as u64);
+        }
+        h.finish()
+    }
+
+    /// Whether the FU firing on `tile` at absolute base `cycle`, with the
+    /// tile running at `level`, suffers an upset — and if so, which bit of
+    /// the computed value flips. Pure function of `(seed, tile, cycle)`:
+    /// the upset schedule replays identically across runs.
+    pub fn upset(&self, tile: TileId, level: DvfsLevel, cycle: u64) -> Option<u32> {
+        let rate = self.seu.rate(level);
+        if rate == 0 {
+            return None;
+        }
+        let mut h = StableHasher::with_seed(self.seed);
+        h.write_u64(SALT_SEU);
+        h.write_u64(tile.index() as u64);
+        h.write_u64(cycle);
+        let v = h.finish();
+        if v % 1_000_000 < u64::from(rate) {
+            Some(((v >> 32) % 64) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// The dense per-resource view of the permanent faults, for MRRG
+    /// construction and placement filtering.
+    pub fn mask(&self, config: &CgraConfig) -> FaultMask {
+        FaultMask::from_plan(self, config)
+    }
+
+    /// The resources the permanent faults exclude, as sorted, deduplicated
+    /// lists (the mapper reports this alongside a degraded mapping).
+    pub fn excluded(&self, config: &CgraConfig) -> ExcludedResources {
+        let mask = self.mask(config);
+        let mut tiles = Vec::new();
+        let mut fus = Vec::new();
+        for t in config.tiles() {
+            if !mask.tile_usable(t) {
+                tiles.push(t);
+            } else if !mask.fu_usable(t) {
+                fus.push(t);
+            }
+        }
+        let mut links: Vec<(TileId, Dir)> = self
+            .permanent
+            .iter()
+            .filter_map(|f| match *f {
+                PermanentFault::BrokenLink(t, d) | PermanentFault::StuckPort(t, d) => Some((t, d)),
+                _ => None,
+            })
+            .filter(|&(t, _)| mask.tile_usable(t))
+            .collect();
+        links.sort_by_key(|&(t, d)| (t, d.index()));
+        links.dedup();
+        let mut islands: Vec<IslandId> = self
+            .permanent
+            .iter()
+            .filter_map(|f| match *f {
+                PermanentFault::DeadIsland(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        islands.sort();
+        islands.dedup();
+        ExcludedResources {
+            tiles,
+            fus,
+            links,
+            islands,
+        }
+    }
+}
+
+/// The resources a [`FaultPlan`]'s permanent faults remove from the
+/// fabric, reported alongside a degraded mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExcludedResources {
+    /// Tiles excluded entirely (dead tiles plus all tiles of dead islands).
+    pub tiles: Vec<TileId>,
+    /// Tiles whose FU is dead but whose crossbar still routes.
+    pub fus: Vec<TileId>,
+    /// Explicitly faulted outgoing links (broken links and stuck ports) on
+    /// otherwise-usable tiles.
+    pub links: Vec<(TileId, Dir)>,
+    /// Islands whose DVFS supply failed outright.
+    pub islands: Vec<IslandId>,
+}
+
+impl ExcludedResources {
+    /// Whether nothing is excluded.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty() && self.fus.is_empty() && self.links.is_empty()
+    }
+
+    /// Total number of excluded resources (for reporting).
+    pub fn count(&self) -> usize {
+        self.tiles.len() + self.fus.len() + self.links.len()
+    }
+}
+
+/// Dense per-resource usability derived from a [`FaultPlan`]'s permanent
+/// faults — the view MRRG construction and placement filtering consume.
+///
+/// A dead tile poisons more than itself: its four outgoing links are gone
+/// with its crossbar, and every neighbor's link *towards* it is useless,
+/// so those are masked too. This keeps the router from ever exploring a
+/// hop that ends inside dead silicon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMask {
+    tiles: usize,
+    dead_tile: Vec<bool>,
+    dead_fu: Vec<bool>,
+    dead_link: Vec<bool>,
+}
+
+impl FaultMask {
+    /// Builds the mask for `plan` against `config`.
+    pub fn from_plan(plan: &FaultPlan, config: &CgraConfig) -> FaultMask {
+        let n = config.tile_count();
+        let mut mask = FaultMask {
+            tiles: n,
+            dead_tile: vec![false; n],
+            dead_fu: vec![false; n],
+            dead_link: vec![false; n * 4],
+        };
+        for f in &plan.permanent {
+            match *f {
+                PermanentFault::DeadTile(t) => mask.kill_tile(t, config),
+                PermanentFault::DeadFu(t) => {
+                    if t.index() < n {
+                        mask.dead_fu[t.index()] = true;
+                    }
+                }
+                PermanentFault::BrokenLink(t, d) | PermanentFault::StuckPort(t, d) => {
+                    if t.index() < n {
+                        mask.dead_link[t.index() * 4 + d.index()] = true;
+                    }
+                }
+                PermanentFault::DeadIsland(i) => {
+                    for t in config.island_tiles(i) {
+                        mask.kill_tile(t, config);
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    fn kill_tile(&mut self, t: TileId, config: &CgraConfig) {
+        if t.index() >= self.tiles {
+            return;
+        }
+        self.dead_tile[t.index()] = true;
+        self.dead_fu[t.index()] = true;
+        for d in Dir::ALL {
+            self.dead_link[t.index() * 4 + d.index()] = true;
+        }
+        // Neighbors' links towards the corpse are equally useless.
+        for (d, n) in config.neighbors(t) {
+            self.dead_link[n.index() * 4 + d.opposite().index()] = true;
+        }
+    }
+
+    /// Whether the tile is alive at all (placement *and* routing).
+    pub fn tile_usable(&self, t: TileId) -> bool {
+        t.index() >= self.tiles || !self.dead_tile[t.index()]
+    }
+
+    /// Whether the tile's FU can execute operations (placement).
+    pub fn fu_usable(&self, t: TileId) -> bool {
+        t.index() >= self.tiles || !self.dead_fu[t.index()]
+    }
+
+    /// Whether the outgoing link of `t` towards `dir` carries data.
+    pub fn link_usable(&self, t: TileId, dir: Dir) -> bool {
+        t.index() >= self.tiles || !self.dead_link[t.index() * 4 + dir.index()]
+    }
+
+    /// Whether the mask excludes nothing.
+    pub fn is_empty(&self) -> bool {
+        !self.dead_fu.iter().any(|&b| b) && !self.dead_link.iter().any(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CgraConfig {
+        CgraConfig::iced_prototype()
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_masks_nothing() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        let mask = plan.mask(&cfg());
+        assert!(mask.is_empty());
+        for t in cfg().tiles() {
+            assert!(mask.tile_usable(t));
+            assert!(mask.fu_usable(t));
+            for d in Dir::ALL {
+                assert!(mask.link_usable(t, d));
+            }
+        }
+        assert!(plan.excluded(&cfg()).is_empty());
+        assert_eq!(plan.upset(TileId(0), DvfsLevel::Rest, 123), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let c = cfg();
+        let a = FaultPlan::generate(&c, 7, 0.5);
+        let b = FaultPlan::generate(&c, 7, 0.5);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        // Across many seeds at this density at least one plan must differ.
+        let differs = (0..16).any(|s| FaultPlan::generate(&c, s, 0.5) != a);
+        assert!(differs, "seed never changed the plan");
+    }
+
+    #[test]
+    fn zero_density_yields_the_empty_schedule() {
+        let plan = FaultPlan::generate(&cfg(), 99, 0.0);
+        assert!(plan.is_empty());
+        assert_eq!(plan.seed, 99);
+    }
+
+    #[test]
+    fn generated_plans_spare_the_memory_column() {
+        let c = cfg();
+        for seed in 0..32 {
+            let plan = FaultPlan::generate(&c, seed, 1.0);
+            let mask = plan.mask(&c);
+            for t in c.tiles().filter(|&t| c.is_memory_tile(t)) {
+                assert!(mask.tile_usable(t), "seed {seed}: memory {t} died");
+                assert!(mask.fu_usable(t), "seed {seed}: memory {t} FU died");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_tile_poisons_links_in_both_directions() {
+        let c = cfg();
+        let t = c.tile_at(2, 2); // interior tile: four live neighbors
+        let plan = FaultPlan {
+            seed: 0,
+            permanent: vec![PermanentFault::DeadTile(t)],
+            seu: SeuRates::zero(),
+            midrun: Vec::new(),
+        };
+        let mask = plan.mask(&c);
+        assert!(!mask.tile_usable(t));
+        for d in Dir::ALL {
+            assert!(!mask.link_usable(t, d));
+            let n = c.neighbor(t, d).unwrap();
+            assert!(
+                !mask.link_usable(n, d.opposite()),
+                "neighbor {n} still routes into dead {t}"
+            );
+        }
+        let ex = plan.excluded(&c);
+        assert_eq!(ex.tiles, vec![t]);
+        assert!(ex.links.is_empty(), "implied links are not reported");
+    }
+
+    #[test]
+    fn dead_island_kills_all_member_tiles() {
+        let c = cfg();
+        let island = IslandId((c.island_count() - 1) as u16);
+        let plan = FaultPlan {
+            seed: 0,
+            permanent: vec![PermanentFault::DeadIsland(island)],
+            seu: SeuRates::zero(),
+            midrun: Vec::new(),
+        };
+        let mask = plan.mask(&c);
+        for t in c.island_tiles(island) {
+            assert!(!mask.tile_usable(t));
+        }
+        let ex = plan.excluded(&c);
+        assert_eq!(ex.islands, vec![island]);
+        assert_eq!(ex.tiles, c.island_tiles(island));
+    }
+
+    #[test]
+    fn upset_schedule_is_pure_and_level_ordered() {
+        let plan = FaultPlan {
+            seed: 42,
+            permanent: Vec::new(),
+            seu: SeuRates {
+                normal_per_million: 1_000,
+                relax_per_million: 10_000,
+                rest_per_million: 100_000,
+            },
+            midrun: Vec::new(),
+        };
+        let t = TileId(5);
+        let count = |level: DvfsLevel| {
+            (0..200_000)
+                .filter(|&c| plan.upset(t, level, c).is_some())
+                .count()
+        };
+        let (n, x, r) = (
+            count(DvfsLevel::Normal),
+            count(DvfsLevel::Relax),
+            count(DvfsLevel::Rest),
+        );
+        assert!(n < x && x < r, "rates not ordered: {n} {x} {r}");
+        assert_eq!(count(DvfsLevel::PowerGated), 0);
+        // Replays identically.
+        for c in 0..1_000 {
+            assert_eq!(
+                plan.upset(t, DvfsLevel::Rest, c),
+                plan.upset(t, DvfsLevel::Rest, c)
+            );
+        }
+        // Flipped bits stay within a 64-bit word.
+        for c in 0..200_000 {
+            if let Some(bit) = plan.upset(t, DvfsLevel::Rest, c) {
+                assert!(bit < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_plans() {
+        let c = cfg();
+        let a = FaultPlan::generate(&c, 1, 0.5);
+        let b = FaultPlan::generate(&c, 2, 0.5);
+        if a != b {
+            assert_ne!(a.canonical_hash(), b.canonical_hash());
+        }
+        let with_midrun = a.clone().with_island_failure(IslandId(3), 10);
+        assert_ne!(a.canonical_hash(), with_midrun.canonical_hash());
+        assert_eq!(with_midrun.midrun.len(), 1);
+    }
+
+    #[test]
+    fn density_scales_fault_population() {
+        let c = cfg();
+        let sparse: usize = (0..8)
+            .map(|s| FaultPlan::generate(&c, s, 0.05).permanent.len())
+            .sum();
+        let dense: usize = (0..8)
+            .map(|s| FaultPlan::generate(&c, s, 1.0).permanent.len())
+            .sum();
+        assert!(dense > sparse, "density had no effect: {sparse} vs {dense}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the fault model's determinism guarantee: a
+//! `FaultPlan` is a pure function of `(config, seed, density)` and its
+//! upset schedule is a pure function of `(seed, tile, cycle)`.
+
+use iced_arch::{CgraConfig, Dir, DvfsLevel, TileId};
+use iced_fault::{FaultPlan, PermanentFault};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_seed_same_plan(seed in any::<u64>(), density in 0.0f64..=1.0) {
+        let cfg = CgraConfig::iced_prototype();
+        let a = FaultPlan::generate(&cfg, seed, density);
+        let b = FaultPlan::generate(&cfg, seed, density);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.canonical_hash(), b.canonical_hash());
+        // Masks and exclusion reports derive deterministically too.
+        prop_assert_eq!(a.mask(&cfg), b.mask(&cfg));
+        prop_assert_eq!(a.excluded(&cfg), b.excluded(&cfg));
+    }
+
+    #[test]
+    fn upset_schedule_replays(seed in any::<u64>(), tile in 0u16..36, cycle in 0u64..100_000) {
+        let plan = FaultPlan {
+            seed,
+            permanent: Vec::new(),
+            seu: iced_fault::SeuRates {
+                normal_per_million: 5_000,
+                relax_per_million: 20_000,
+                rest_per_million: 80_000,
+            },
+            midrun: Vec::new(),
+        };
+        for level in [DvfsLevel::Normal, DvfsLevel::Relax, DvfsLevel::Rest] {
+            let first = plan.upset(TileId(tile), level, cycle);
+            prop_assert_eq!(first, plan.upset(TileId(tile), level, cycle));
+            if let Some(bit) = first {
+                prop_assert!(bit < 64);
+            }
+        }
+        prop_assert_eq!(plan.upset(TileId(tile), DvfsLevel::PowerGated, cycle), None);
+    }
+
+    #[test]
+    fn mask_agrees_with_plan_faults(seed in any::<u64>(), density in 0.0f64..=1.0) {
+        let cfg = CgraConfig::iced_prototype();
+        let plan = FaultPlan::generate(&cfg, seed, density);
+        let mask = plan.mask(&cfg);
+        prop_assert_eq!(mask.is_empty(), plan.permanent.is_empty());
+        for f in &plan.permanent {
+            match *f {
+                PermanentFault::DeadTile(t) => prop_assert!(!mask.tile_usable(t)),
+                PermanentFault::DeadFu(t) => prop_assert!(!mask.fu_usable(t)),
+                PermanentFault::BrokenLink(t, d) | PermanentFault::StuckPort(t, d) => {
+                    prop_assert!(!mask.link_usable(t, d));
+                }
+                PermanentFault::DeadIsland(i) => {
+                    for t in cfg.island_tiles(i) {
+                        prop_assert!(!mask.tile_usable(t));
+                    }
+                }
+            }
+        }
+        // The memory column always survives generation.
+        for t in cfg.tiles().filter(|&t| cfg.is_memory_tile(t)) {
+            prop_assert!(mask.fu_usable(t));
+        }
+        // A usable link never points into a dead tile.
+        for t in cfg.tiles() {
+            for d in Dir::ALL {
+                if let Some(n) = cfg.neighbor(t, d) {
+                    if !mask.tile_usable(n) {
+                        prop_assert!(!mask.link_usable(t, d));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -52,6 +52,7 @@
 
 pub mod bitstream;
 mod error;
+mod fault;
 mod labeling;
 mod mapping;
 mod place;
@@ -60,6 +61,7 @@ mod router;
 
 pub use bitstream::{Bitstream, ConfigWord, LinkSource};
 pub use error::MapError;
+pub use fault::{map_with_faults, DegradedMapping};
 pub use labeling::{label_dvfs_levels, LabelSummary};
 pub use mapping::{Hop, Mapping, Placement, Route};
 pub use place::{check_dependencies, map_baseline, map_dvfs_aware, map_with, MapperOptions};

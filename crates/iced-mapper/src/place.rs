@@ -20,8 +20,9 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use iced_arch::{CgraConfig, DvfsLevel, IslandId, Mrrg, TileId};
+use iced_arch::{CgraConfig, Dir, DvfsLevel, IslandId, Mrrg, TileId};
 use iced_dfg::{Dfg, NodeId};
+use iced_fault::FaultMask;
 use iced_trace::Phase;
 
 use crate::error::MapError;
@@ -185,12 +186,25 @@ pub fn map_dvfs_aware(dfg: &Dfg, config: &CgraConfig) -> Result<Mapping, MapErro
 /// `opts.max_ii`, or [`MapError::MemoryPressure`] when the kernel's
 /// load/store count can never fit the SPM-connected column.
 pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<Mapping, MapError> {
-    let tiles_avail = usable_tiles(config, opts).len();
+    map_with_mask(dfg, config, opts, None)
+}
+
+/// [`map_with`] against a partially dead fabric: tiles/FUs/links excluded
+/// by `mask` are never placed on or routed through. `None` (and the empty
+/// mask) is bit-identical to the fault-free path — the mask only removes
+/// candidates, it never reorders the surviving ones.
+pub(crate) fn map_with_mask(
+    dfg: &Dfg,
+    config: &CgraConfig,
+    opts: &MapperOptions,
+    mask: Option<&FaultMask>,
+) -> Result<Mapping, MapError> {
+    let tiles_avail = usable_tiles(config, opts, mask).len();
     if tiles_avail == 0 {
         return Err(MapError::MemoryPressure);
     }
     let mem_nodes = dfg.count_ops(|op| op.is_memory());
-    let mem_tiles = usable_tiles(config, opts)
+    let mem_tiles = usable_tiles(config, opts, mask)
         .iter()
         .filter(|&&t| config.is_memory_tile(t))
         .count();
@@ -222,9 +236,9 @@ pub fn map_with(dfg: &Dfg, config: &CgraConfig, opts: &MapperOptions) -> Result<
         ],
     );
     let outcome = if threads <= 1 || start_ii > opts.max_ii {
-        map_serial(dfg, config, opts, start_ii)
+        map_serial(dfg, config, opts, start_ii, mask)
     } else {
-        map_portfolio(dfg, config, opts, start_ii, threads)
+        map_portfolio(dfg, config, opts, start_ii, threads, mask)
     };
     match outcome {
         SearchOutcome::Found(mapping) => {
@@ -275,6 +289,7 @@ fn map_serial(
     config: &CgraConfig,
     opts: &MapperOptions,
     start_ii: u32,
+    mask: Option<&FaultMask>,
 ) -> SearchOutcome {
     let mut runner = AttemptRunner::default();
     for ii in start_ii..=opts.max_ii {
@@ -299,9 +314,16 @@ fn map_serial(
             }
             iced_trace::counter(Phase::Mapper, "label_attempts", 1);
             let (labels, spread) = ladder.rung(rung);
-            if let Some(mapping) =
-                runner.run(dfg, config, opts, ii, labels, spread, CancelToken::none())
-            {
+            if let Some(mapping) = runner.run(
+                dfg,
+                config,
+                opts,
+                ii,
+                labels,
+                spread,
+                mask,
+                CancelToken::none(),
+            ) {
                 return SearchOutcome::Found(mapping);
             }
         }
@@ -319,6 +341,7 @@ fn map_portfolio(
     opts: &MapperOptions,
     start_ii: u32,
     threads: usize,
+    mask: Option<&FaultMask>,
 ) -> SearchOutcome {
     let grid = LabelLadder::grid(opts);
     let total = (opts.max_ii - start_ii + 1) as usize * grid;
@@ -326,6 +349,7 @@ fn map_portfolio(
         dfg,
         cfg: config,
         opts,
+        mask,
         start_ii,
         grid,
         total,
@@ -367,6 +391,7 @@ struct Portfolio<'a> {
     dfg: &'a Dfg,
     cfg: &'a CgraConfig,
     opts: &'a MapperOptions,
+    mask: Option<&'a FaultMask>,
     start_ii: u32,
     grid: usize,
     total: usize,
@@ -416,9 +441,9 @@ impl Portfolio<'_> {
                 best: &self.best,
                 idx,
             };
-            if let Some(mapping) =
-                runner.run(self.dfg, self.cfg, self.opts, ii, labels, spread, cancel)
-            {
+            if let Some(mapping) = runner.run(
+                self.dfg, self.cfg, self.opts, ii, labels, spread, self.mask, cancel,
+            ) {
                 self.record(idx, mapping);
             }
         }
@@ -477,15 +502,19 @@ impl AttemptRunner {
         ii: u32,
         labels: &[DvfsLevel],
         spread: bool,
+        mask: Option<&FaultMask>,
         cancel: CancelToken<'_>,
     ) -> Option<Mapping> {
-        let mrrg = match self.mrrg.take() {
+        let mut mrrg = match self.mrrg.take() {
             Some(mut m) if m.ii() == ii => {
                 m.reset();
                 m
             }
             _ => Mrrg::new(cfg, ii).expect("mapper II is always nonzero"),
         };
+        if let Some(mask) = mask {
+            apply_fault_mask(&mut mrrg, cfg, mask);
+        }
         let mrrg = self.mrrg.insert(mrrg);
         let mut engine = Engine::new(
             dfg,
@@ -494,11 +523,30 @@ impl AttemptRunner {
             ii,
             labels,
             spread,
+            mask,
             mrrg,
             &mut self.scratch,
             cancel,
         );
         engine.run()
+    }
+}
+
+/// Pre-occupies every faulted resource for the whole II window so neither
+/// placement nor routing can touch it: a dead FU can never fire, and a dead
+/// or stuck link can never carry a value. Done once per attempt, right
+/// after the MRRG is reset, so the search itself stays fault-oblivious.
+fn apply_fault_mask(mrrg: &mut Mrrg, cfg: &CgraConfig, mask: &FaultMask) {
+    let ii = mrrg.ii();
+    for t in cfg.tiles() {
+        if !mask.fu_usable(t) {
+            mrrg.occupy_fu(t, 0, ii);
+        }
+        for d in Dir::ALL {
+            if cfg.neighbor(t, d).is_some() && !mask.link_usable(t, d) {
+                mrrg.occupy_link(t, d, 0, ii);
+            }
+        }
     }
 }
 
@@ -535,14 +583,21 @@ fn trace_mapped(mapping: &Mapping, start_ii: u32) {
     );
 }
 
-/// Tiles the mapper may use under the island budget.
-fn usable_tiles(config: &CgraConfig, opts: &MapperOptions) -> Vec<TileId> {
+/// Tiles the mapper may place on: under the island budget, and — when a
+/// fault mask is present — with a live FU (a tile with a dead FU may still
+/// be routed *through*; the MRRG pre-occupation handles dead links).
+fn usable_tiles(
+    config: &CgraConfig,
+    opts: &MapperOptions,
+    mask: Option<&FaultMask>,
+) -> Vec<TileId> {
+    let live = |t: &TileId| mask.is_none_or(|m| m.fu_usable(*t));
     match opts.island_budget {
-        None => config.tiles().collect(),
+        None => config.tiles().filter(live).collect(),
         Some(n) => {
             let mut tiles = Vec::new();
             for island in config.islands().take(n) {
-                tiles.extend(config.island_tiles(island));
+                tiles.extend(config.island_tiles(island).into_iter().filter(|t| live(t)));
             }
             tiles.sort_unstable();
             tiles
@@ -590,6 +645,7 @@ impl<'a> Engine<'a> {
         ii: u32,
         labels: &'a [DvfsLevel],
         spread: bool,
+        mask: Option<&FaultMask>,
         mrrg: &'a mut Mrrg,
         scratch: &'a mut RouterScratch,
         cancel: CancelToken<'a>,
@@ -608,7 +664,7 @@ impl<'a> Engine<'a> {
             island_assigned: vec![None; cfg.island_count()],
             placements: vec![None; dfg.node_count()],
             routes: vec![None; dfg.edge_count()],
-            tiles: usable_tiles(cfg, opts),
+            tiles: usable_tiles(cfg, opts, mask),
             asap: Vec::new(),
             on_cycle: Vec::new(),
             virgin: vec![true; cfg.tile_count()],

@@ -9,6 +9,7 @@
 //! | `ICED_SVC_QUEUE` | 64 | request queue capacity |
 //! | `ICED_SVC_CACHE_MB` | 64 | in-memory cache budget |
 //! | `ICED_SVC_CACHE_DIR` | unset | disk-spill directory (off when unset) |
+//! | `ICED_SVC_CHAOS` | unset | chaos-injection seed (number or label; off when unset) |
 //!
 //! The process runs until a client sends the `shutdown` verb, then drains
 //! in-flight work, flushes the cache, and exits 0.
@@ -43,12 +44,17 @@ fn main() {
             "--cache-dir" => {
                 cfg.cache_dir = args.next().map(std::path::PathBuf::from);
             }
+            "--chaos" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.chaos = Some(n);
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: iced-serviced [--addr HOST:PORT] [--threads N] [--queue N] \
-                     [--cache-mb N] [--cache-dir PATH]\n\
+                     [--cache-mb N] [--cache-dir PATH] [--chaos SEED]\n\
                      env: ICED_SVC_ADDR ICED_SVC_THREADS ICED_SVC_QUEUE \
-                     ICED_SVC_CACHE_MB ICED_SVC_CACHE_DIR"
+                     ICED_SVC_CACHE_MB ICED_SVC_CACHE_DIR ICED_SVC_CHAOS"
                 );
                 return;
             }
@@ -68,6 +74,9 @@ fn main() {
     // Stdout line protocol for supervisors: the bound address, flushed
     // before any request is served (svc_load waits for this).
     println!("iced-serviced listening on {}", server.local_addr());
+    if let Some(seed) = cfg.chaos {
+        println!("iced-serviced: chaos injection ACTIVE (seed {seed:#x})");
+    }
     server.wait();
     println!("iced-serviced: drained and stopped");
 }

@@ -13,6 +13,12 @@
 //! (`ICED_SVC_CACHE_DIR`), evicted and flushed entries are written to
 //! disk — keyed by their digest, so a stale entry can never be returned
 //! for a different request — and promoted back into memory on a hit.
+//!
+//! Spill files carry an integrity header (`iced-cache-v1 <checksum>`) over
+//! the payload. A file that fails verification — truncated, bit-flipped,
+//! or written by an older format — is deleted and the lookup reported as
+//! a miss, so disk corruption degrades to a recompute, never to serving
+//! corrupt bytes.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -20,6 +26,31 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 use iced_hash::StableHasher;
+
+/// Spill-file format tag; bumping it invalidates all on-disk entries.
+const SPILL_MAGIC: &str = "iced-cache-v1";
+
+/// Checksum of a spill payload (seed distinct from the key-derivation
+/// seeds, so a payload can never collide with its own key material).
+fn payload_digest(bytes: &str) -> u64 {
+    let mut h = StableHasher::with_seed(0x1ced_0003);
+    h.write_bytes(bytes.as_bytes());
+    h.finish()
+}
+
+/// Parses a spill file and returns the payload iff the header checks out:
+/// correct magic, well-formed checksum, and a digest that matches the
+/// payload bytes. Anything else — truncation, bit flips, a legacy
+/// headerless file — returns `None`.
+fn verify_spill(raw: &str) -> Option<&str> {
+    let (header, payload) = raw.split_once('\n')?;
+    let (magic, digest_hex) = header.split_once(' ')?;
+    if magic != SPILL_MAGIC || digest_hex.len() != 16 {
+        return None;
+    }
+    let digest = u64::from_str_radix(digest_hex, 16).ok()?;
+    (digest == payload_digest(payload)).then_some(payload)
+}
 
 /// A 128-bit content digest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,8 +134,14 @@ impl ResultCache {
             }
         }
         let path = self.spill_path(key)?;
-        let bytes = std::fs::read_to_string(path).ok()?;
-        let bytes = Arc::new(bytes);
+        let raw = std::fs::read_to_string(&path).ok()?;
+        let Some(payload) = verify_spill(&raw) else {
+            // Corrupt, truncated, or stale-format entry: delete it and
+            // report a miss so the caller recomputes from scratch.
+            let _ = std::fs::remove_file(&path);
+            return None;
+        };
+        let bytes = Arc::new(payload.to_owned());
         self.insert(key, Arc::clone(&bytes));
         Some(bytes)
     }
@@ -164,12 +201,45 @@ impl ResultCache {
     fn spill(&self, key: CacheKey, bytes: &str) {
         if let Some(path) = self.spill_path(key) {
             // Write-then-rename so a crashed writer never leaves a torn
-            // entry that a later get() could replay.
+            // entry that a later get() could replay; the checksum header
+            // catches everything rename atomicity cannot (bit rot, manual
+            // edits, partial writes on non-atomic filesystems).
             let tmp = path.with_extension("tmp");
-            if std::fs::write(&tmp, bytes).is_ok() {
+            let framed = format!("{SPILL_MAGIC} {:016x}\n{bytes}", payload_digest(bytes));
+            if std::fs::write(&tmp, framed).is_ok() {
                 let _ = std::fs::rename(&tmp, &path);
             }
         }
+    }
+
+    /// Chaos hook: writes `key`'s spill file with one payload byte
+    /// flipped (the header keeps the digest of the *intact* payload, so
+    /// verification is guaranteed to fail) and drops the in-memory copy.
+    /// The next lookup must take the disk path, detect the corruption,
+    /// delete the file, and recompute. Returns `true` when a corrupt file
+    /// was written — requires a spill dir and a resident entry.
+    pub fn corrupt_for_chaos(&self, key: CacheKey) -> bool {
+        let Some(path) = self.spill_path(key) else {
+            return false;
+        };
+        let bytes = {
+            let mut inner = self.lock();
+            let Some(e) = inner.map.remove(&key) else {
+                return false;
+            };
+            inner.bytes -= e.bytes.len() as u64;
+            e.bytes
+        };
+        let mut corrupt = bytes.as_bytes().to_vec();
+        if let Some(b) = corrupt.last_mut() {
+            *b ^= 0x01;
+        }
+        let framed = format!(
+            "{SPILL_MAGIC} {:016x}\n{}",
+            payload_digest(&bytes),
+            String::from_utf8_lossy(&corrupt)
+        );
+        std::fs::write(&path, framed).is_ok()
     }
 
     /// Spills every in-memory entry to disk (no-op without a spill dir).
@@ -270,6 +340,79 @@ mod tests {
         // And the hit was promoted into memory.
         assert_eq!(c2.entries(), 1);
         assert!(c2.get(k(10)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_spill_file_is_a_miss_and_gets_deleted() {
+        let dir =
+            std::env::temp_dir().join(format!("iced-svc-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = ResultCache::new(1 << 20, Some(dir.clone()));
+        c.put(k(5), "{\"ops\":12345}".into());
+        assert_eq!(c.flush(), 1);
+        let path = dir.join(format!("{}.json", k(5).hex()));
+        // Flip one payload byte on disk, as a failing sector would.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        // A fresh cache must refuse the corrupt entry (miss, not bad data)
+        // and remove it so it is never re-read.
+        let c2 = ResultCache::new(1 << 20, Some(dir.clone()));
+        assert!(c2.get(k(5)).is_none());
+        assert!(!path.exists(), "corrupt spill file must be deleted");
+        // The entry recomputes cold and round-trips cleanly again.
+        c2.put(k(5), "{\"ops\":12345}".into());
+        assert_eq!(c2.flush(), 1);
+        assert_eq!(
+            ResultCache::new(1 << 20, Some(dir.clone()))
+                .get(k(5))
+                .unwrap()
+                .as_str(),
+            "{\"ops\":12345}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_headerless_spill_files_are_misses() {
+        let dir = std::env::temp_dir().join(format!("iced-svc-trunc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = ResultCache::new(1 << 20, Some(dir.clone()));
+        // Headerless (legacy / hand-written) file.
+        let p1 = dir.join(format!("{}.json", k(1).hex()));
+        std::fs::write(&p1, "{\"ii\":3}").unwrap();
+        assert!(c.get(k(1)).is_none());
+        assert!(!p1.exists());
+        // Header present but payload cut short mid-write.
+        c.put(k(2), "x".repeat(64));
+        assert_eq!(c.flush(), 1);
+        let p2 = dir.join(format!("{}.json", k(2).hex()));
+        let full = std::fs::read_to_string(&p2).unwrap();
+        std::fs::write(&p2, &full[..full.len() - 7]).unwrap();
+        let c2 = ResultCache::new(1 << 20, Some(dir.clone()));
+        assert!(c2.get(k(2)).is_none());
+        assert!(!p2.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_corruption_forces_the_recovery_path() {
+        let dir = std::env::temp_dir().join(format!("iced-svc-chaos-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = ResultCache::new(1 << 20, Some(dir.clone()));
+        // No spill dir → no-op.
+        assert!(!ResultCache::new(1 << 20, None).corrupt_for_chaos(k(3)));
+        // Entry not resident → no-op.
+        assert!(!c.corrupt_for_chaos(k(3)));
+        c.put(k(3), "{\"ii\":4}".into());
+        assert!(c.corrupt_for_chaos(k(3)));
+        assert_eq!(c.entries(), 0, "in-memory copy dropped");
+        // The poisoned disk copy is detected, deleted, and missed.
+        assert!(c.get(k(3)).is_none());
+        assert!(!dir.join(format!("{}.json", k(3).hex())).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

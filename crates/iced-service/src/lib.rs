@@ -16,6 +16,12 @@
 //! * [`server`] — acceptor, per-connection readers, worker pool
 //!   (`ICED_SVC_THREADS`), per-request mapper deadlines, and graceful
 //!   shutdown that drains in-flight work before closing sockets.
+//! * [`chaos`] — deterministic fault injection (`ICED_SVC_CHAOS`): worker
+//!   panics, torn response writes, spill-file corruption; the daemon must
+//!   convert all of it into structured errors and keep serving.
+//! * [`client`] — reconnecting protocol client with per-request timeouts
+//!   and jittered-backoff retries on transient failures, shared by the
+//!   load generator and the chaos suite.
 //! * [`proto`] — verbs, typed request parsing, structured errors.
 //! * [`json`] — defensive std-only JSON parsing and deterministic
 //!   insertion-ordered serialization.
@@ -26,6 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
+pub mod client;
 pub mod json;
 pub mod metrics;
 pub mod proto;
@@ -33,6 +41,8 @@ pub mod queue;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
+pub use chaos::ChaosInjector;
+pub use client::{Client, ClientError};
 pub use proto::{Request, SvcError, Verb};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServiceConfig};

@@ -87,6 +87,8 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Faults injected by the chaos layer (0 unless `ICED_SVC_CHAOS`).
+    pub chaos_faults: AtomicU64,
     /// High-water mark of the request queue depth.
     pub queue_peak: AtomicU64,
     latency: [Histogram; Verb::ALL.len()],
@@ -129,6 +131,11 @@ impl Metrics {
         iced::trace::counter(Phase::Service, "svc_queue_full", 1);
     }
 
+    /// Records one injected chaos fault (any site).
+    pub fn chaos_fault(&self) {
+        self.chaos_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Tracks the queue high-water mark.
     pub fn queue_depth(&self, depth: usize) {
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
@@ -160,6 +167,7 @@ impl Metrics {
             .u64("rejected", self.rejected.load(Ordering::Relaxed))
             .u64("errors", self.errors.load(Ordering::Relaxed))
             .u64("connections", self.connections.load(Ordering::Relaxed))
+            .u64("chaos_faults", self.chaos_faults.load(Ordering::Relaxed))
             .raw("latency", &verbs.finish())
             .finish()
     }

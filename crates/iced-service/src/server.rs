@@ -42,6 +42,7 @@ use iced::Strategy;
 use iced_hash::StableHasher;
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::chaos::ChaosInjector;
 use crate::metrics::Metrics;
 use crate::proto::{
     parse_request, policy_name, render_err, render_ok, CompileSpec, Payload, Request, StreamSpec,
@@ -63,6 +64,9 @@ pub struct ServiceConfig {
     pub cache_mb: u64,
     /// Optional disk-spill directory (`ICED_SVC_CACHE_DIR`).
     pub cache_dir: Option<PathBuf>,
+    /// Chaos-injection seed (`ICED_SVC_CHAOS`); `None` disables chaos.
+    /// See [`crate::chaos`] for the fault sites and rates.
+    pub chaos: Option<u64>,
     /// Target CGRA configuration.
     pub cgra: CgraConfig,
 }
@@ -84,6 +88,7 @@ impl ServiceConfig {
             queue_cap: env_usize("ICED_SVC_QUEUE", 64, 1, 65_536),
             cache_mb: env_usize("ICED_SVC_CACHE_MB", 64, 1, 16_384) as u64,
             cache_dir: std::env::var("ICED_SVC_CACHE_DIR").ok().map(PathBuf::from),
+            chaos: ChaosInjector::seed_from_env(),
             cgra: CgraConfig::iced_prototype(),
         }
     }
@@ -97,6 +102,7 @@ impl Default for ServiceConfig {
             queue_cap: 64,
             cache_mb: 64,
             cache_dir: None,
+            chaos: None,
             cgra: CgraConfig::iced_prototype(),
         }
     }
@@ -117,6 +123,7 @@ struct Shared {
     cache: ResultCache,
     queue: BoundedQueue<Job>,
     metrics: Metrics,
+    chaos: Option<ChaosInjector>,
     shutting: AtomicBool,
     in_flight: AtomicUsize,
     started: Instant,
@@ -149,6 +156,7 @@ impl Server {
             cache: ResultCache::new(cfg.cache_mb.saturating_mul(1 << 20), cfg.cache_dir),
             queue: BoundedQueue::new(cfg.queue_cap),
             metrics: Metrics::new(),
+            chaos: cfg.chaos.map(ChaosInjector::new),
             shutting: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             started: Instant::now(),
@@ -280,7 +288,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(LineRead::TooLong) => {
                 let err = SvcError::new("too_large", "request line exceeds 1 MiB");
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                if !write_line(&writer, &render_err(0, None, &err)) {
+                if !write_line(shared, &writer, &render_err(0, None, &err)) {
                     return;
                 }
                 continue;
@@ -297,7 +305,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(r) => r,
             Err(e) => {
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                if !write_line(&writer, &render_err(e.id, None, &e.error)) {
+                if !write_line(shared, &writer, &render_err(e.id, None, &e.error)) {
                     return;
                 }
                 continue;
@@ -319,7 +327,11 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                     .u64("uptime_ms", shared.started.elapsed().as_millis() as u64)
                     .finish();
                 shared.metrics.observe(Verb::Healthz, t0.elapsed());
-                if !write_line(&writer, &render_ok(req.id, Verb::Healthz, false, &result)) {
+                if !write_line(
+                    shared,
+                    &writer,
+                    &render_ok(req.id, Verb::Healthz, false, &result),
+                ) {
                     return;
                 }
             }
@@ -330,7 +342,11 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                     shared.cache.entries(),
                 );
                 shared.metrics.observe(Verb::Metrics, t0.elapsed());
-                if !write_line(&writer, &render_ok(req.id, Verb::Metrics, false, &result)) {
+                if !write_line(
+                    shared,
+                    &writer,
+                    &render_ok(req.id, Verb::Metrics, false, &result),
+                ) {
                     return;
                 }
             }
@@ -342,7 +358,11 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                     .u64("in_flight", shared.in_flight.load(Ordering::Relaxed) as u64)
                     .finish();
                 shared.metrics.observe(Verb::Shutdown, t0.elapsed());
-                let _ = write_line(&writer, &render_ok(req.id, Verb::Shutdown, false, &result));
+                let _ = write_line(
+                    shared,
+                    &writer,
+                    &render_ok(req.id, Verb::Shutdown, false, &result),
+                );
                 // Keep reading: the client may pipeline further requests,
                 // which now receive `shutting_down` errors.
             }
@@ -366,7 +386,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                             ),
                             verb.name(),
                         );
-                        if !write_line(&writer, &render_err(id, Some(verb), &err)) {
+                        if !write_line(shared, &writer, &render_err(id, Some(verb), &err)) {
                             return;
                         }
                     }
@@ -375,7 +395,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                             "shutting_down",
                             "server is draining and accepts no new work",
                         );
-                        if !write_line(&writer, &render_err(id, Some(verb), &err)) {
+                        if !write_line(shared, &writer, &render_err(id, Some(verb), &err)) {
                             return;
                         }
                     }
@@ -390,7 +410,16 @@ fn worker_loop(shared: &Shared) {
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let verb = job.req.verb;
         let id = job.req.id;
-        let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, &job.req)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(chaos) = &shared.chaos {
+                if chaos.worker_panic() {
+                    shared.metrics.chaos_fault();
+                    iced::trace::counter(iced::trace::Phase::Service, "svc_chaos_panics", 1);
+                    panic!("chaos: injected worker panic");
+                }
+            }
+            execute(shared, &job.req)
+        }));
         let response = match outcome {
             Ok(Ok((result, cached))) => {
                 shared.metrics.cache_event(cached);
@@ -406,7 +435,7 @@ fn worker_loop(shared: &Shared) {
                 render_err(id, Some(verb), &e)
             }
         };
-        let _ = write_line(&job.writer, &response);
+        let _ = write_line(shared, &job.writer, &response);
         shared.metrics.observe(verb, job.accepted_at.elapsed());
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
@@ -447,6 +476,12 @@ fn execute(shared: &Shared, req: &Request) -> Result<(Arc<String>, bool), SvcErr
     let rendered = Arc::new(rendered);
     let evicted = shared.cache.put_shared(key, Arc::clone(&rendered));
     shared.metrics.evicted(evicted);
+    if let Some(chaos) = &shared.chaos {
+        if chaos.corrupt_spill() && shared.cache.corrupt_for_chaos(key) {
+            shared.metrics.chaos_fault();
+            iced::trace::counter(iced::trace::Phase::Service, "svc_chaos_corruptions", 1);
+        }
+    }
     Ok((rendered, false))
 }
 
@@ -578,8 +613,21 @@ fn stream_result(shared: &Shared, spec: &StreamSpec) -> Result<String, SvcError>
         .finish())
 }
 
-fn write_line(writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
+fn write_line(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
     let mut w = lock(writer);
+    if let Some(chaos) = &shared.chaos {
+        if chaos.drop_write() {
+            // Tear the response — half the bytes, no newline — then drop
+            // the socket hard, as a dying peer or failing NIC would. The
+            // connection is lost; the daemon must not be.
+            shared.metrics.chaos_fault();
+            iced::trace::counter(iced::trace::Phase::Service, "svc_chaos_drops", 1);
+            let _ = w.write_all(&line.as_bytes()[..line.len() / 2]);
+            let _ = w.flush();
+            let _ = w.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+    }
     // One locked write per response keeps concurrent workers' lines whole.
     let mut buf = Vec::with_capacity(line.len() + 1);
     buf.extend_from_slice(line.as_bytes());

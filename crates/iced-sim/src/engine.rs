@@ -52,6 +52,7 @@ use std::fmt;
 
 use iced_arch::{Dir, TileId};
 use iced_dfg::{Dfg, EdgeId, NodeId, Opcode};
+use iced_fault::FaultPlan;
 use iced_mapper::Mapping;
 use iced_trace::Phase;
 
@@ -89,6 +90,16 @@ pub enum EngineError {
         /// The iteration whose value diverged.
         iteration: u64,
     },
+    /// The mapping does not belong to this kernel: its placement/route
+    /// tables cannot index the DFG (or vice versa). Detected up front so a
+    /// mismatched (kernel, mapping) pair from an untrusted caller yields a
+    /// typed error instead of an out-of-bounds panic mid-run.
+    KernelMismatch {
+        /// Nodes in the DFG handed to the engine.
+        nodes: usize,
+        /// Placements in the mapping (one per node of *its* kernel).
+        placements: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -105,6 +116,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::ValueMismatch { node, iteration } => {
                 write!(f, "value mismatch for {node} in iteration {iteration}")
+            }
+            EngineError::KernelMismatch { nodes, placements } => {
+                write!(
+                    f,
+                    "mapping does not fit kernel: {nodes} nodes vs {placements} placements"
+                )
             }
         }
     }
@@ -144,6 +161,37 @@ impl EngineReport {
         }
         let busy: u64 = self.fu_busy.iter().sum();
         busy as f64 / (self.cycles * self.fu_busy.len() as u64) as f64
+    }
+}
+
+/// Result of a fault-injected run: the clean-machine report plus the
+/// resilience accounting. With an empty [`FaultPlan`] the wrapped `report`
+/// is bit-identical to [`run`]'s and every fault counter is zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSimReport {
+    /// The underlying machine report (cycles, busy counters, ops).
+    pub report: EngineReport,
+    /// Transient upsets the plan injected into computed values.
+    pub upsets_injected: u64,
+    /// Upsets the reference checker caught. Equal to `upsets_injected` by
+    /// construction — every produced value is compared — kept separate so
+    /// the report states the guarantee rather than implying it.
+    pub upsets_detected: u64,
+    /// Iteration re-executions triggered by detected upsets.
+    pub rollbacks: u64,
+    /// Base cycles spent re-executing rolled-back iterations (one mapping
+    /// makespan per rollback — the pipeline restarts from the corrupted
+    /// iteration).
+    pub recovery_cycles: u64,
+}
+
+impl FaultSimReport {
+    /// Fraction of the run spent on recovery re-execution.
+    pub fn recovery_overhead(&self) -> f64 {
+        if self.report.cycles == 0 {
+            return 0.0;
+        }
+        self.recovery_cycles as f64 / (self.report.cycles + self.recovery_cycles) as f64
     }
 }
 
@@ -203,7 +251,60 @@ pub fn run(
     iterations: u64,
     seed: u64,
 ) -> Result<EngineReport, EngineError> {
+    run_inner(dfg, mapping, iterations, seed, None).map(|r| r.report)
+}
+
+/// [`run`] with seeded transient-fault injection and re-execution recovery.
+///
+/// At every FU firing the plan's deterministic upset schedule may flip one
+/// bit of the computed value (SEU model; per-DVFS-level rates, so slowed
+/// tiles fault more often). The streaming reference checker detects the
+/// divergence at the firing itself, and the machine recovers by rolling
+/// the iteration back and re-executing — modeled as one mapping makespan
+/// of extra latency per rollback, accounted in
+/// [`FaultSimReport::recovery_cycles`] and the `sim_rollbacks` /
+/// `sim_recovery_cycles` trace counters. A genuine divergence (one not
+/// injected this cycle) still fails with [`EngineError::ValueMismatch`].
+///
+/// Same plan, kernel, mapping, and seed → byte-identical report; an empty
+/// plan is bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_with_faults(
+    dfg: &Dfg,
+    mapping: &Mapping,
+    iterations: u64,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<FaultSimReport, EngineError> {
+    run_inner(dfg, mapping, iterations, seed, Some(plan))
+}
+
+fn run_inner(
+    dfg: &Dfg,
+    mapping: &Mapping,
+    iterations: u64,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+) -> Result<FaultSimReport, EngineError> {
     let cfg = mapping.config();
+    // Arity gate: a mapping only indexes into the kernel it was compiled
+    // from. Service callers can pair an arbitrary kernel with a cached
+    // mapping, so the mismatch must surface as a typed error up front.
+    if mapping.placements().len() != dfg.node_count()
+        || mapping.routes().len() > dfg.edge_count()
+        || mapping
+            .routes()
+            .iter()
+            .any(|r| r.edge.index() >= dfg.edge_count())
+    {
+        return Err(EngineError::KernelMismatch {
+            nodes: dfg.node_count(),
+            placements: mapping.placements().len(),
+        });
+    }
     let ii = mapping.ii() as u64;
     let tiles = cfg.tile_count();
     let _run_span = iced_trace::span(
@@ -314,6 +415,11 @@ pub fn run(
     let mut fifo_peak = 0usize;
     let mut ops_executed = 0u64;
 
+    // Resilience accounting (stays zero on the fault-free path).
+    let mut upsets_injected = 0u64;
+    let mut rollbacks = 0u64;
+    let mut recovery_cycles = 0u64;
+
     // Value ring: slot `node·win + i % win` holds the node's iteration-`i`
     // value from its firing until every delivery has read it. A delivery
     // trails its producer's firing by at most one makespan plus the edge's
@@ -423,16 +529,38 @@ pub fn run(
                     }
                     let op = dfg.node(node_id).op();
                     let rv = reference.value(node_id, i);
-                    let v = if op == Opcode::Load {
+                    let mut v = if op == Opcode::Load {
                         rv
                     } else {
                         functional::eval_public(op, &inputs)
                     };
+                    // Seeded SEU: flip one bit of the produced value. The
+                    // flip is pure in (plan seed, tile, cycle), so the
+                    // whole recovery trace replays under the same plan.
+                    let mut injected = false;
+                    if let Some(plan) = faults {
+                        if let Some(bit) = plan.upset(p.tile, mapping.tile_level(p.tile), cycle) {
+                            v ^= 1i64 << bit;
+                            injected = true;
+                            upsets_injected += 1;
+                        }
+                    }
                     if v != rv {
-                        return Err(EngineError::ValueMismatch {
-                            node: node_id,
-                            iteration: i,
-                        });
+                        if injected {
+                            // The checker caught the upset at the firing:
+                            // roll the iteration back and re-execute. The
+                            // pipeline refills from this iteration, so the
+                            // recovery costs one makespan; the re-executed
+                            // value is the reference value by definition.
+                            rollbacks += 1;
+                            recovery_cycles += makespan;
+                            v = rv;
+                        } else {
+                            return Err(EngineError::ValueMismatch {
+                                node: node_id,
+                                iteration: i,
+                            });
+                        }
                     }
                     values[n * win + (i % win as u64) as usize] = v;
                     ops_executed += 1;
@@ -462,15 +590,29 @@ pub fn run(
             &link_busy,
             &token_wait,
         );
+        // Resilience counters only exist on the fault path, so the
+        // fault-free trace surface (checked by the oracle-equivalence
+        // suite) is untouched.
+        if faults.is_some() {
+            iced_trace::counter(Phase::Sim, "sim_upsets_injected", upsets_injected);
+            iced_trace::counter(Phase::Sim, "sim_rollbacks", rollbacks);
+            iced_trace::counter(Phase::Sim, "sim_recovery_cycles", recovery_cycles);
+        }
     }
 
-    Ok(EngineReport {
-        cycles: horizon,
-        iterations,
-        fu_busy,
-        link_busy,
-        fifo_peak,
-        ops_executed,
+    Ok(FaultSimReport {
+        report: EngineReport {
+            cycles: horizon,
+            iterations,
+            fu_busy,
+            link_busy,
+            fifo_peak,
+            ops_executed,
+        },
+        upsets_injected,
+        upsets_detected: upsets_injected,
+        rollbacks,
+        recovery_cycles,
     })
 }
 
@@ -526,7 +668,7 @@ mod tests {
         // Every variant's Display must name the resource it concerns and
         // the cycle/iteration it happened at, so a failure is actionable
         // without re-running under a debugger.
-        let cases: [(EngineError, [String; 2]); 4] = [
+        let cases: [(EngineError, [String; 2]); 5] = [
             (
                 EngineError::TokenNotReady { edge, cycle: 17 },
                 [edge.to_string(), "cycle 17".to_string()],
@@ -542,6 +684,13 @@ mod tests {
             (
                 EngineError::ValueMismatch { node, iteration: 7 },
                 [node.to_string(), "iteration 7".to_string()],
+            ),
+            (
+                EngineError::KernelMismatch {
+                    nodes: 12,
+                    placements: 31,
+                },
+                ["12 nodes".to_string(), "31 placements".to_string()],
             ),
         ];
         for (err, needles) in cases {

@@ -38,7 +38,7 @@ pub mod render;
 mod validate;
 
 pub use energy::{DvfsSupport, EnergyBreakdown};
-pub use engine::{run as run_engine, EngineError, EngineReport};
+pub use engine::{run as run_engine, run_with_faults, EngineError, EngineReport, FaultSimReport};
 pub use metrics::{FabricStats, TileStats};
 pub use oracle::run_oracle;
 pub use validate::{edge_fifo_depths, validate_schedule, ScheduleError};

@@ -49,4 +49,7 @@ pub mod simulate;
 
 pub use controller::{ControllerDecision, DvfsController};
 pub use partition::{KernelProfile, Partition};
-pub use simulate::{simulate, simulate_with_window, RuntimePolicy, StreamReport, WindowSample};
+pub use simulate::{
+    simulate, simulate_with_faults, simulate_with_window, FailoverEvent, FailoverReport,
+    RuntimePolicy, StreamReport, WindowSample,
+};

@@ -189,6 +189,38 @@ impl Partition {
         })
     }
 
+    /// Re-searches the island allocation for a shrunken fabric — the
+    /// failover path when islands die mid-run. Reuses the offline profiles
+    /// (no re-mapping) and the same exhaustive bottleneck search as
+    /// [`Partition::exhaustive`], so the result is deterministic in
+    /// `(self, total_islands, profile_units)`.
+    ///
+    /// Returns the flat per-kernel island counts, or `None` when the
+    /// surviving fabric cannot grant every kernel its feasible minimum —
+    /// the pipeline cannot continue and the caller must halt the stream.
+    pub fn reallocate(&self, total_islands: usize, profile_units: &[u64]) -> Option<Vec<usize>> {
+        let mins: Vec<usize> = self
+            .profiles
+            .iter()
+            .map(KernelProfile::min_islands)
+            .collect();
+        if mins.iter().sum::<usize>() > total_islands {
+            return None;
+        }
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut current = mins.clone();
+        search(
+            &self.profiles,
+            profile_units,
+            &mins,
+            total_islands,
+            0,
+            &mut current,
+            &mut best,
+        );
+        Some(best.map(|(_, a)| a).unwrap_or(mins))
+    }
+
     /// Islands granted to flattened kernel index `i`.
     pub fn islands_of(&self, i: usize) -> usize {
         let mut idx = 0;

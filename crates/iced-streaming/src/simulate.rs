@@ -1,8 +1,10 @@
 //! Pipeline event simulation with runtime DVFS or DRIPS re-partitioning.
 
-use iced_arch::DvfsLevel;
+use iced_arch::{DvfsLevel, IslandId};
+use iced_fault::{FaultPlan, MidRunFailure};
 use iced_kernels::pipelines::Pipeline;
 use iced_power::{PowerModel, TransitionModel, VfPoint};
+use iced_trace::Phase;
 
 use crate::controller::DvfsController;
 use crate::partition::Partition;
@@ -89,6 +91,36 @@ impl StreamReport {
     }
 }
 
+/// One island failure absorbed mid-run (the failover trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// Input index at which the failure struck (the repartition happened
+    /// before this input was processed).
+    pub input_index: usize,
+    /// The island that died.
+    pub island: IslandId,
+    /// Islands still alive after this failure.
+    pub surviving_islands: usize,
+    /// The per-kernel island allocation chosen for the surviving fabric
+    /// (empty when the pipeline could not be repartitioned and halted).
+    pub reallocation: Vec<usize>,
+}
+
+/// Result of a stream run under a fault plan: the ordinary report plus the
+/// failover trace. With no mid-run failures `report` is bit-identical to
+/// [`simulate_with_window`]'s and `failovers` is empty.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// The stream report over the inputs that were actually processed.
+    pub report: StreamReport,
+    /// Every island failure absorbed, in input order.
+    pub failovers: Vec<FailoverEvent>,
+    /// True when a failure left too few islands for every kernel's feasible
+    /// minimum and the stream halted early; `report.inputs` then counts
+    /// only the inputs processed before the halt.
+    pub halted: bool,
+}
+
 /// Simulates streaming `inputs` (work units per input, e.g. graph nnz)
 /// through `pipeline` under `policy` with the paper's 10-input adaptation
 /// window.
@@ -100,6 +132,34 @@ pub fn simulate(
     policy: RuntimePolicy,
 ) -> StreamReport {
     simulate_with_window(pipeline, partition, model, inputs, policy, 10)
+}
+
+/// [`simulate_with_window`] under a [`FaultPlan`]: every
+/// [`MidRunFailure`] in the plan kills one island when its input index is
+/// reached, and the runtime repartitions the surviving islands with the
+/// same exhaustive bottleneck search used offline
+/// ([`Partition::reallocate`], profiled over the not-yet-processed
+/// inputs). When the survivors cannot grant every kernel its feasible
+/// minimum the stream halts and the report says so — a structured
+/// degradation, never a panic. Fully deterministic in its arguments.
+pub fn simulate_with_faults(
+    pipeline: &Pipeline,
+    partition: &Partition,
+    model: &PowerModel,
+    inputs: &[u64],
+    policy: RuntimePolicy,
+    window: usize,
+    plan: &FaultPlan,
+) -> FailoverReport {
+    simulate_inner(
+        pipeline,
+        partition,
+        model,
+        inputs,
+        policy,
+        window,
+        &plan.midrun,
+    )
 }
 
 /// [`simulate`] with an explicit adaptation window. The paper adapts every
@@ -114,19 +174,81 @@ pub fn simulate_with_window(
     policy: RuntimePolicy,
     window: usize,
 ) -> StreamReport {
+    simulate_inner(pipeline, partition, model, inputs, policy, window, &[]).report
+}
+
+fn simulate_inner(
+    pipeline: &Pipeline,
+    partition: &Partition,
+    model: &PowerModel,
+    inputs: &[u64],
+    policy: RuntimePolicy,
+    window: usize,
+    failures: &[MidRunFailure],
+) -> FailoverReport {
     let window = window.max(1);
     let n_kernels = partition.profiles.len();
     if n_kernels == 0 {
         // A kernel-less pipeline processes nothing: report an empty stream
         // rather than indexing into per-kernel state that does not exist.
-        return StreamReport {
-            policy,
-            samples: Vec::new(),
-            total_time_us: 0.0,
-            total_energy_nj: 0.0,
-            inputs: 0,
+        return FailoverReport {
+            report: StreamReport {
+                policy,
+                samples: Vec::new(),
+                total_time_us: 0.0,
+                total_energy_nj: 0.0,
+                inputs: 0,
+            },
+            failovers: Vec::new(),
+            halted: false,
         };
     }
+    // Pre-resolve the failure schedule: the repartition at each strike
+    // depends only on (partition, surviving capacity, remaining inputs),
+    // so the allocation swaps — and the halt point, if the survivors ever
+    // drop below the feasible minimum — are computed up front. Truncating
+    // the stream at the halt point lets the ordinary window bookkeeping
+    // flush the final (partial) window exactly as at end-of-stream.
+    let mut sorted_failures: Vec<&MidRunFailure> = failures.iter().collect();
+    sorted_failures.sort_by_key(|f| f.after_inputs);
+    let mut capacity = partition.total_islands();
+    let mut failovers: Vec<FailoverEvent> = Vec::new();
+    let mut swaps: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut truncate_at: Option<usize> = None;
+    let mut halted = false;
+    for f in sorted_failures {
+        let at = f.after_inputs;
+        if at >= inputs.len() || truncate_at.is_some() {
+            // Strikes past the stream's end (or past a halt) never happen.
+            continue;
+        }
+        capacity = capacity.saturating_sub(1);
+        iced_trace::counter(Phase::Controller, "stream_failovers", 1);
+        match partition.reallocate(capacity, &inputs[at..]) {
+            Some(a) => {
+                failovers.push(FailoverEvent {
+                    input_index: at,
+                    island: f.island,
+                    surviving_islands: capacity,
+                    reallocation: a.clone(),
+                });
+                swaps.push((at, a));
+            }
+            None => {
+                iced_trace::counter(Phase::Controller, "stream_halts", 1);
+                failovers.push(FailoverEvent {
+                    input_index: at,
+                    island: f.island,
+                    surviving_islands: capacity,
+                    reallocation: Vec::new(),
+                });
+                truncate_at = Some(at);
+                halted = true;
+            }
+        }
+    }
+    let inputs = &inputs[..truncate_at.unwrap_or(inputs.len())];
+    let mut swaps = swaps.into_iter().peekable();
     let stage_of: Vec<usize> = pipeline
         .stages
         .iter()
@@ -157,6 +279,12 @@ pub fn simulate_with_window(
     };
 
     for (i, &units) in inputs.iter().enumerate() {
+        // Apply any repartition scheduled at this input (island failures
+        // strike *before* the input is processed).
+        while swaps.peek().is_some_and(|(at, _)| *at == i) {
+            let (_, a) = swaps.next().expect("peeked");
+            alloc = a;
+        }
         // Stage readiness: every kernel of stage s-1 must have finished
         // this input before stage s starts it.
         let mut stage_ready = 0.0f64;
@@ -257,12 +385,16 @@ pub fn simulate_with_window(
     // Wall clock: when the last kernel finishes the last input (0 when no
     // inputs streamed).
     let total_time = finish.iter().fold(0.0f64, |a, &b| a.max(b));
-    StreamReport {
-        policy,
-        samples,
-        total_time_us: total_time,
-        total_energy_nj: total_energy,
-        inputs: inputs.len(),
+    FailoverReport {
+        report: StreamReport {
+            policy,
+            samples,
+            total_time_us: total_time,
+            total_energy_nj: total_energy,
+            inputs: inputs.len(),
+        },
+        failovers,
+        halted,
     }
 }
 

@@ -1,0 +1,161 @@
+//! Mid-run island failure: the streaming runtime must repartition the
+//! pipeline onto the surviving islands, keep processing, and degrade to a
+//! structured halt — never a panic — when the survivors cannot carry every
+//! kernel. An empty fault plan must be bit-identical to the plain
+//! simulator.
+
+use iced_arch::{CgraConfig, IslandId};
+use iced_fault::FaultPlan;
+use iced_kernels::pipelines::Pipeline;
+use iced_kernels::workloads;
+use iced_power::PowerModel;
+use iced_streaming::{simulate_with_faults, simulate_with_window, Partition, RuntimePolicy};
+
+fn gcn_setup() -> (Pipeline, Partition, PowerModel, Vec<u64>) {
+    let cfg = CgraConfig::iced_prototype();
+    let pipeline = Pipeline::gcn();
+    let partition = Partition::table1(&pipeline, &cfg).unwrap();
+    let inputs: Vec<u64> = workloads::enzymes_like(60, 5)
+        .iter()
+        .map(|g| g.nnz())
+        .collect();
+    (pipeline, partition, PowerModel::asap7(), inputs)
+}
+
+#[test]
+fn empty_plan_matches_plain_simulation_bit_for_bit() {
+    let (pipeline, partition, model, inputs) = gcn_setup();
+    let plan = FaultPlan::empty();
+    for policy in [
+        RuntimePolicy::IcedDvfs,
+        RuntimePolicy::Drips,
+        RuntimePolicy::StaticNormal,
+    ] {
+        let plain = simulate_with_window(&pipeline, &partition, &model, &inputs, policy, 10);
+        let faulted =
+            simulate_with_faults(&pipeline, &partition, &model, &inputs, policy, 10, &plan);
+        assert!(faulted.failovers.is_empty());
+        assert!(!faulted.halted);
+        assert_eq!(plain.samples, faulted.report.samples, "{policy:?}");
+        assert_eq!(plain.total_time_us, faulted.report.total_time_us);
+        assert_eq!(plain.total_energy_nj, faulted.report.total_energy_nj);
+        assert_eq!(plain.inputs, faulted.report.inputs);
+    }
+}
+
+#[test]
+fn single_island_failure_repartitions_and_continues() {
+    let (pipeline, partition, model, inputs) = gcn_setup();
+    let plan = FaultPlan::empty().with_island_failure(IslandId(4), 20);
+    let r = simulate_with_faults(
+        &pipeline,
+        &partition,
+        &model,
+        &inputs,
+        RuntimePolicy::IcedDvfs,
+        10,
+        &plan,
+    );
+    assert!(!r.halted, "one island loss must be survivable");
+    assert_eq!(r.report.inputs, inputs.len(), "whole stream processed");
+    assert_eq!(r.failovers.len(), 1);
+    let ev = &r.failovers[0];
+    assert_eq!(ev.input_index, 20);
+    assert_eq!(ev.island, IslandId(4));
+    assert_eq!(ev.surviving_islands, partition.total_islands() - 1);
+    // The new allocation fits the survivors and respects every minimum.
+    assert!(ev.reallocation.iter().sum::<usize>() <= ev.surviving_islands);
+    for (k, prof) in partition.profiles.iter().enumerate() {
+        assert!(ev.reallocation[k] >= prof.min_islands());
+    }
+    // Losing an island can only slow the pipeline down.
+    let clean = simulate_with_window(
+        &pipeline,
+        &partition,
+        &model,
+        &inputs,
+        RuntimePolicy::IcedDvfs,
+        10,
+    );
+    assert!(r.report.total_time_us >= clean.total_time_us);
+}
+
+#[test]
+fn cascading_failures_halt_with_a_structured_report() {
+    let (pipeline, partition, model, inputs) = gcn_setup();
+    // Kill more islands than the pipeline's feasible minimum can survive.
+    let mins: usize = partition.profiles.iter().map(|p| p.min_islands()).sum();
+    let total = partition.total_islands();
+    let mut plan = FaultPlan::empty();
+    // One failure every 5 inputs until fewer than `mins` islands remain.
+    let deaths = total - mins + 1;
+    for d in 0..deaths {
+        plan = plan.with_island_failure(IslandId(d as u16), 5 * (d + 1));
+    }
+    let r = simulate_with_faults(
+        &pipeline,
+        &partition,
+        &model,
+        &inputs,
+        RuntimePolicy::IcedDvfs,
+        10,
+        &plan,
+    );
+    assert!(r.halted, "dropping below the feasible minimum must halt");
+    assert_eq!(r.failovers.len(), deaths);
+    let last = r.failovers.last().unwrap();
+    assert!(
+        last.reallocation.is_empty(),
+        "halt event carries no realloc"
+    );
+    assert!(last.surviving_islands < mins);
+    // The stream stopped at the fatal strike; earlier inputs were
+    // processed and reported.
+    assert_eq!(r.report.inputs, last.input_index);
+    assert!(r.report.inputs < inputs.len());
+    assert!(r.report.total_time_us > 0.0);
+}
+
+#[test]
+fn failover_trace_is_deterministic() {
+    let (pipeline, partition, model, inputs) = gcn_setup();
+    let plan = FaultPlan::empty()
+        .with_island_failure(IslandId(2), 10)
+        .with_island_failure(IslandId(7), 35);
+    let run = || {
+        simulate_with_faults(
+            &pipeline,
+            &partition,
+            &model,
+            &inputs,
+            RuntimePolicy::Drips,
+            10,
+            &plan,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.failovers, b.failovers);
+    assert_eq!(a.halted, b.halted);
+    assert_eq!(a.report.samples, b.report.samples);
+    assert_eq!(a.report.total_time_us, b.report.total_time_us);
+    assert_eq!(a.report.total_energy_nj, b.report.total_energy_nj);
+}
+
+#[test]
+fn failures_past_the_stream_end_never_strike() {
+    let (pipeline, partition, model, inputs) = gcn_setup();
+    let plan = FaultPlan::empty().with_island_failure(IslandId(0), inputs.len() + 100);
+    let r = simulate_with_faults(
+        &pipeline,
+        &partition,
+        &model,
+        &inputs,
+        RuntimePolicy::IcedDvfs,
+        10,
+        &plan,
+    );
+    assert!(r.failovers.is_empty());
+    assert!(!r.halted);
+    assert_eq!(r.report.inputs, inputs.len());
+}

@@ -16,6 +16,7 @@
 //! | [`mapper`] | `iced-mapper` | Algorithm 1 + 2, baseline/per-tile comparators |
 //! | [`sim`] | `iced-sim` | schedule validation, activity metrics, functional replay |
 //! | [`streaming`] | `iced-streaming` | partitioning, runtime DVFS controller, DRIPS |
+//! | [`fault`] | `iced-fault` | deterministic fault plans, masks, SEU schedules |
 //! | [`kernels`] | `iced-kernels` | Table I kernel suite, workloads, pipelines |
 //! | [`trace`] | `iced-trace` | structured tracing, counters, Chrome-trace/JSONL export |
 //!
@@ -48,6 +49,7 @@
 
 pub use iced_arch as arch;
 pub use iced_dfg as dfg;
+pub use iced_fault as fault;
 pub use iced_kernels as kernels;
 pub use iced_mapper as mapper;
 pub use iced_power as power;
