@@ -5,8 +5,12 @@
 //!
 //! ```sh
 //! cargo run --release -p iced-bench --bin svc_load -- \
-//!     [--quick] [--addr HOST:PORT] [--out PATH] [--clients N] [--shutdown]
+//!     [--quick|--tiny] [--addr HOST:PORT] [--out PATH] [--clients N] [--shutdown]
 //! ```
+//!
+//! The report includes true client-side per-request latency percentiles
+//! (p50/p95/p99, cold/warm split) plus the server's own `metrics`,
+//! `stats` (windowed quantiles), and Prometheus expositions.
 //!
 //! Without `--addr` an in-process server is started on an ephemeral port
 //! (self-contained mode, used by local runs). With `--addr` the generator
@@ -74,18 +78,32 @@ impl Series {
     fn render(&self, label: &str) -> String {
         format!(
             "{{\"phase\": \"{label}\", \"requests\": {}, \"mean_us\": {:.1}, \
-             \"p50_us\": {}, \"p95_us\": {}, \"max_us\": {}}}",
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
             self.us.len(),
             self.mean(),
             self.percentile(0.5),
             self.percentile(0.95),
+            self.percentile(0.99),
             self.us.iter().max().copied().unwrap_or(0)
         )
     }
 }
 
-fn compile_requests(quick: bool) -> Vec<String> {
-    let kernels: &[&str] = if quick {
+/// Canonicalises an envelope for the warm-replay byte-identity check:
+/// the `cached` flag and the per-request `req` token are the only fields
+/// allowed to differ between a cold response and its warm replay.
+fn canonicalize(envelope: &str) -> String {
+    let s = envelope.replace("\"cached\":false", "\"cached\":true");
+    match (s.find(",\"req\":\""), s.find("\",\"ok\"")) {
+        (Some(a), Some(b)) if a < b => format!("{}{}", &s[..a], &s[b + 1..]),
+        _ => s,
+    }
+}
+
+fn compile_requests(quick: bool, tiny: bool) -> Vec<String> {
+    let kernels: &[&str] = if tiny {
+        &["fir", "latnrm"]
+    } else if quick {
         &["fir", "latnrm", "fft", "dtw", "spmv", "conv"]
     } else {
         &[
@@ -101,7 +119,7 @@ fn compile_requests(quick: bool) -> Vec<String> {
             "gemm",
         ]
     };
-    let strategies: &[&str] = if quick {
+    let strategies: &[&str] = if quick || tiny {
         &["iced"]
     } else {
         &["baseline", "iced"]
@@ -122,6 +140,9 @@ fn compile_requests(quick: bool) -> Vec<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // --tiny is the smallest honest run (2 kernels, 2 clients): used by
+    // the e2e observability test, where debug-build wall clock matters.
+    let tiny = args.iter().any(|a| a == "--tiny");
     let want_shutdown = args.iter().any(|a| a == "--shutdown");
     let flag = |name: &str| {
         args.iter()
@@ -132,7 +153,13 @@ fn main() {
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".into());
     let clients: usize = flag("--clients")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 4 } else { 8 });
+        .unwrap_or(if tiny {
+            2
+        } else if quick {
+            4
+        } else {
+            8
+        });
 
     // Self-contained mode starts an in-process server on an ephemeral
     // port; --addr drives an external daemon instead.
@@ -162,7 +189,7 @@ fn main() {
     // Phase 1+2: closed loop, same request set twice. Responses are
     // classified by the server's own `cached` marker, so an already-warm
     // external daemon still produces honest numbers.
-    let reqs = compile_requests(quick);
+    let reqs = compile_requests(quick, tiny);
     let mut cold = Series::default();
     let mut warm = Series::default();
     let mut mismatched = 0usize;
@@ -181,8 +208,7 @@ fn main() {
             } else {
                 // Byte-identity check: warm payloads replay cold bytes.
                 let cold_resp = &first_pass[i];
-                let strip = |s: &str| s.replace("\"cached\":false", "\"cached\":true");
-                if strip(cold_resp) != strip(&resp) {
+                if canonicalize(cold_resp) != canonicalize(&resp) {
                     mismatched += 1;
                 }
             }
@@ -192,7 +218,13 @@ fn main() {
     // Phase 3: open loop — every client fires its whole batch without
     // waiting, then collects. Saturation is expected; queue_full replies
     // are part of the contract, not failures.
-    let burst = if quick { 12 } else { 40 };
+    let burst = if tiny {
+        4
+    } else if quick {
+        12
+    } else {
+        40
+    };
     let t_open = Instant::now();
     let addr2 = addr.clone();
     let handles: Vec<_> = (0..clients)
@@ -245,11 +277,22 @@ fn main() {
     }
     let open_wall_us = t_open.elapsed().as_micros();
 
+    let result_of = |resp: &str| {
+        resp.find("\"result\":")
+            .map(|i| resp[i + 9..resp.len() - 1].to_string())
+            .unwrap_or_else(|| "{}".into())
+    };
     let (metrics, _) = round_trip(&mut c, "{\"id\":2,\"verb\":\"metrics\"}");
-    let metrics_result = metrics
-        .find("\"result\":")
-        .map(|i| metrics[i + 9..metrics.len() - 1].to_string())
-        .unwrap_or_else(|| "{}".into());
+    let metrics_result = result_of(&metrics);
+    // Windowed quantile view plus the Prometheus text exposition, so the
+    // report carries every metric family the daemon can render.
+    let (stats, _) = round_trip(&mut c, "{\"id\":4,\"verb\":\"stats\"}");
+    let stats_result = result_of(&stats);
+    let (prom, _) = round_trip(
+        &mut c,
+        "{\"id\":5,\"verb\":\"stats\",\"format\":\"prometheus\"}",
+    );
+    let prom_result = result_of(&prom);
 
     if want_shutdown || external.is_none() {
         // Under chaos the shutdown *response* can be torn even though the
@@ -299,7 +342,9 @@ fn main() {
         clients * burst,
         (ok + full + other) as f64 / (open_wall_us.max(1) as f64 / 1e6)
     );
-    let _ = writeln!(out, "  \"server_metrics\": {metrics_result}");
+    let _ = writeln!(out, "  \"server_metrics\": {metrics_result},");
+    let _ = writeln!(out, "  \"server_stats\": {stats_result},");
+    let _ = writeln!(out, "  \"server_prometheus\": {prom_result}");
     out.push_str("}\n");
 
     std::fs::write(&out_path, &out).expect("write report");

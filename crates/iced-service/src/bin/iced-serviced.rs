@@ -10,11 +10,13 @@
 //! | `ICED_SVC_CACHE_MB` | 64 | in-memory cache budget |
 //! | `ICED_SVC_CACHE_DIR` | unset | disk-spill directory (off when unset) |
 //! | `ICED_SVC_CHAOS` | unset | chaos-injection seed (number or label; off when unset) |
+//! | `ICED_SVC_LOG` | unset | JSONL event-log path (logging off when unset) |
+//! | `ICED_SVC_LOG_LEVEL` | `info` | minimum severity: `error`, `warn`, `info`, `debug` |
 //!
 //! The process runs until a client sends the `shutdown` verb, then drains
 //! in-flight work, flushes the cache, and exits 0.
 
-use iced_service::{Server, ServiceConfig};
+use iced_service::{Level, Server, ServiceConfig};
 
 fn main() {
     let mut cfg = ServiceConfig::from_env();
@@ -49,12 +51,22 @@ fn main() {
                     cfg.chaos = Some(n);
                 }
             }
+            "--log" => {
+                cfg.log_path = args.next().map(std::path::PathBuf::from);
+            }
+            "--log-level" => {
+                if let Some(l) = args.next().and_then(|v| Level::parse(&v)) {
+                    cfg.log_level = l;
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: iced-serviced [--addr HOST:PORT] [--threads N] [--queue N] \
-                     [--cache-mb N] [--cache-dir PATH] [--chaos SEED]\n\
+                     [--cache-mb N] [--cache-dir PATH] [--chaos SEED] \
+                     [--log PATH] [--log-level error|warn|info|debug]\n\
                      env: ICED_SVC_ADDR ICED_SVC_THREADS ICED_SVC_QUEUE \
-                     ICED_SVC_CACHE_MB ICED_SVC_CACHE_DIR ICED_SVC_CHAOS"
+                     ICED_SVC_CACHE_MB ICED_SVC_CACHE_DIR ICED_SVC_CHAOS \
+                     ICED_SVC_LOG ICED_SVC_LOG_LEVEL"
                 );
                 return;
             }

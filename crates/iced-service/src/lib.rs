@@ -22,11 +22,17 @@
 //! * [`client`] — reconnecting protocol client with per-request timeouts
 //!   and jittered-backoff retries on transient failures, shared by the
 //!   load generator and the chaos suite.
-//! * [`proto`] — verbs, typed request parsing, structured errors.
+//! * [`proto`] — verbs, typed request parsing, structured errors, and
+//!   deterministic per-request ids (`c<conn>-<seq>`) echoed as `req`.
 //! * [`json`] — defensive std-only JSON parsing and deterministic
 //!   insertion-ordered serialization.
-//! * [`metrics`] — hit/miss/eviction counters and per-verb log2 latency
-//!   histograms backing the `metrics` verb (mirrored into `iced-trace`).
+//! * [`metrics`] — hit/miss/eviction counters, per-verb log2 latency
+//!   histograms with p50/p95/p99 estimation, a sliding-window view
+//!   (`stats` verb), in-flight gauges, and Prometheus text exposition.
+//! * [`log`] — leveled JSONL event log (`ICED_SVC_LOG`,
+//!   `ICED_SVC_LOG_LEVEL`) written off the request path by a dedicated
+//!   thread; request lifecycle, chaos injections, and worker panics all
+//!   land here keyed by request id.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +41,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod proto;
 pub mod queue;
@@ -43,6 +50,7 @@ pub mod server;
 pub use cache::{CacheKey, ResultCache};
 pub use chaos::ChaosInjector;
 pub use client::{Client, ClientError};
-pub use proto::{Request, SvcError, Verb};
+pub use log::{EventLog, Level};
+pub use proto::{Request, RequestId, SvcError, Verb};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServiceConfig};

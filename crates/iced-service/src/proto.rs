@@ -29,17 +29,20 @@ pub enum Verb {
     Metrics = 4,
     /// Graceful shutdown: drain in-flight work, then stop.
     Shutdown = 5,
+    /// Windowed quantile view (JSON, or Prometheus text when asked).
+    Stats = 6,
 }
 
 impl Verb {
     /// Every verb, in wire-name order used by the metrics payload.
-    pub const ALL: [Verb; 6] = [
+    pub const ALL: [Verb; 7] = [
         Verb::Compile,
         Verb::Simulate,
         Verb::Stream,
         Verb::Healthz,
         Verb::Metrics,
         Verb::Shutdown,
+        Verb::Stats,
     ];
 
     /// Wire name.
@@ -51,6 +54,7 @@ impl Verb {
             Verb::Healthz => "healthz",
             Verb::Metrics => "metrics",
             Verb::Shutdown => "shutdown",
+            Verb::Stats => "stats",
         }
     }
 
@@ -61,6 +65,37 @@ impl Verb {
     /// Whether responses for this verb are content-addressed cacheable.
     pub fn cacheable(self) -> bool {
         matches!(self, Verb::Compile | Verb::Simulate | Verb::Stream)
+    }
+}
+
+/// Deterministic per-request identity: the accepting connection's ordinal
+/// paired with the request's sequence number on that connection. Both
+/// counters start at 1 and advance in accept/read order, so a given test
+/// or chaos scenario produces the same ids on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId {
+    /// Connection ordinal (1-based, in accept order).
+    pub conn: u64,
+    /// Request ordinal within the connection (1-based, in read order).
+    pub seq: u64,
+}
+
+impl RequestId {
+    /// Wire token, e.g. `"c3-7"` for the 7th request on connection 3.
+    pub fn token(self) -> String {
+        format!("c{}-{}", self.conn, self.seq)
+    }
+
+    /// Packed form for trace args (`conn` in the high 32 bits). Lossy for
+    /// connections past 2^32 requests, which the daemon never reaches.
+    pub fn as_u64(self) -> u64 {
+        (self.conn << 32) | (self.seq & 0xffff_ffff)
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}-{}", self.conn, self.seq)
     }
 }
 
@@ -177,6 +212,11 @@ pub enum Payload {
     Simulate(SimulateSpec),
     /// `stream`.
     Stream(StreamSpec),
+    /// `stats`: windowed quantiles, optionally as Prometheus text.
+    Stats {
+        /// `"format":"prometheus"` asks for text exposition.
+        prometheus: bool,
+    },
     /// `healthz` / `metrics` / `shutdown` carry no payload.
     Control,
 }
@@ -332,6 +372,8 @@ fn bounded_u64(v: &Value, key: &str, default: u64, max: u64) -> Result<u64, SvcE
 pub struct RequestError {
     /// Echoed request id (best effort).
     pub id: u64,
+    /// The verb, when parsing got far enough to recover it.
+    pub verb: Option<Verb>,
     /// The structured error.
     pub error: SvcError,
 }
@@ -343,7 +385,11 @@ pub struct RequestError {
 /// Every malformed input maps to a structured [`RequestError`]; this
 /// function never panics on untrusted bytes.
 pub fn parse_request(line: &str) -> Result<Request, RequestError> {
-    let anon = |error: SvcError| RequestError { id: 0, error };
+    let anon = |error: SvcError| RequestError {
+        id: 0,
+        verb: None,
+        error,
+    };
     if line.len() > MAX_LINE_BYTES {
         return Err(anon(SvcError::new(
             "too_large",
@@ -367,7 +413,11 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             ))
         })?,
     };
-    let fail = |error: SvcError| RequestError { id, error };
+    let fail = |error: SvcError| RequestError {
+        id,
+        verb: None,
+        error,
+    };
     let verb_name = v
         .get("verb")
         .and_then(Value::as_str)
@@ -379,6 +429,11 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             verb_name,
         ))
     })?;
+    let fail = |error: SvcError| RequestError {
+        id,
+        verb: Some(verb),
+        error,
+    };
     let payload = (|| -> Result<Payload, SvcError> {
         Ok(match verb {
             Verb::Compile => Payload::Compile(parse_compile_spec(&v)?),
@@ -426,6 +481,9 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     seed: bounded_u64(&v, "seed", 7, u64::MAX - 1)?,
                 })
             }
+            Verb::Stats => Payload::Stats {
+                prometheus: v.get("format").and_then(Value::as_str) == Some("prometheus"),
+            },
             Verb::Healthz | Verb::Metrics | Verb::Shutdown => Payload::Control,
         })
     })()
@@ -450,11 +508,20 @@ impl CompileSpec {
 
 /// Renders a success envelope. `result` is already-rendered JSON — for
 /// cacheable verbs it is exactly the cached byte payload, so warm and
-/// cold responses differ only in the `cached` flag.
-pub fn render_ok(id: u64, verb: Verb, cached: bool, result: &str) -> String {
-    Obj::new()
-        .u64("id", id)
-        .bool("ok", true)
+/// cold responses differ only in the `cached` flag and the per-request
+/// `req` token.
+pub fn render_ok(
+    id: u64,
+    req: Option<RequestId>,
+    verb: Verb,
+    cached: bool,
+    result: &str,
+) -> String {
+    let mut o = Obj::new().u64("id", id);
+    if let Some(r) = req {
+        o = o.str("req", &r.token());
+    }
+    o.bool("ok", true)
         .str("verb", verb.name())
         .bool("cached", cached)
         .raw("result", result)
@@ -462,8 +529,12 @@ pub fn render_ok(id: u64, verb: Verb, cached: bool, result: &str) -> String {
 }
 
 /// Renders an error envelope.
-pub fn render_err(id: u64, verb: Option<Verb>, err: &SvcError) -> String {
-    let mut o = Obj::new().u64("id", id).bool("ok", false);
+pub fn render_err(id: u64, req: Option<RequestId>, verb: Option<Verb>, err: &SvcError) -> String {
+    let mut o = Obj::new().u64("id", id);
+    if let Some(r) = req {
+        o = o.str("req", &r.token());
+    }
+    let mut o = o.bool("ok", false);
     if let Some(v) = verb {
         o = o.str("verb", v.name());
     }
@@ -562,13 +633,48 @@ mod tests {
     #[test]
     fn envelopes_have_fixed_field_order() {
         assert_eq!(
-            render_ok(5, Verb::Compile, true, "{\"ii\":2}"),
+            render_ok(5, None, Verb::Compile, true, "{\"ii\":2}"),
             r#"{"id":5,"ok":true,"verb":"compile","cached":true,"result":{"ii":2}}"#
+        );
+        let req = RequestId { conn: 3, seq: 7 };
+        assert_eq!(
+            render_ok(5, Some(req), Verb::Compile, false, "{\"ii\":2}"),
+            r#"{"id":5,"req":"c3-7","ok":true,"verb":"compile","cached":false,"result":{"ii":2}}"#
         );
         let err = SvcError::with_entity("queue_full", "server saturated", "queue");
         assert_eq!(
-            render_err(5, Some(Verb::Simulate), &err),
-            r#"{"id":5,"ok":false,"verb":"simulate","error":{"code":"queue_full","message":"server saturated","entity":"queue"}}"#
+            render_err(5, Some(req), Some(Verb::Simulate), &err),
+            r#"{"id":5,"req":"c3-7","ok":false,"verb":"simulate","error":{"code":"queue_full","message":"server saturated","entity":"queue"}}"#
         );
+        assert_eq!(
+            render_err(0, None, None, &SvcError::new("bad_json", "oops")),
+            r#"{"id":0,"ok":false,"error":{"code":"bad_json","message":"oops"}}"#
+        );
+    }
+
+    #[test]
+    fn request_ids_are_deterministic_and_packable() {
+        let r = RequestId { conn: 1, seq: 2 };
+        assert_eq!(r.token(), "c1-2");
+        assert_eq!(r.to_string(), "c1-2");
+        assert_eq!(r.as_u64(), (1 << 32) | 2);
+        assert_eq!(RequestId { conn: 0, seq: 9 }.as_u64(), 9);
+    }
+
+    #[test]
+    fn stats_verb_parses_with_optional_prometheus_format() {
+        let r = parse_request(r#"{"id":1,"verb":"stats"}"#).unwrap();
+        assert_eq!(r.verb, Verb::Stats);
+        assert!(matches!(r.payload, Payload::Stats { prometheus: false }));
+        let r = parse_request(r#"{"id":2,"verb":"stats","format":"prometheus"}"#).unwrap();
+        assert!(matches!(r.payload, Payload::Stats { prometheus: true }));
+    }
+
+    #[test]
+    fn payload_errors_recover_the_verb_for_the_envelope() {
+        let e = parse_request(r#"{"id":4,"verb":"compile","kernel":"nope"}"#).unwrap_err();
+        assert_eq!(e.verb, Some(Verb::Compile));
+        let e = parse_request(r#"{"verb":"warp"}"#).unwrap_err();
+        assert_eq!(e.verb, None);
     }
 }

@@ -25,7 +25,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,10 +43,11 @@ use iced_hash::StableHasher;
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::chaos::ChaosInjector;
+use crate::log::{EventLog, Level};
 use crate::metrics::Metrics;
 use crate::proto::{
-    parse_request, policy_name, render_err, render_ok, CompileSpec, Payload, Request, StreamSpec,
-    SvcError, Verb, MAX_LINE_BYTES,
+    parse_request, policy_name, render_err, render_ok, CompileSpec, Payload, Request, RequestId,
+    StreamSpec, SvcError, Verb, MAX_LINE_BYTES,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -67,6 +68,10 @@ pub struct ServiceConfig {
     /// Chaos-injection seed (`ICED_SVC_CHAOS`); `None` disables chaos.
     /// See [`crate::chaos`] for the fault sites and rates.
     pub chaos: Option<u64>,
+    /// JSONL event-log path (`ICED_SVC_LOG`); `None` disables logging.
+    pub log_path: Option<PathBuf>,
+    /// Minimum event severity written (`ICED_SVC_LOG_LEVEL`).
+    pub log_level: Level,
     /// Target CGRA configuration.
     pub cgra: CgraConfig,
 }
@@ -89,6 +94,14 @@ impl ServiceConfig {
             cache_mb: env_usize("ICED_SVC_CACHE_MB", 64, 1, 16_384) as u64,
             cache_dir: std::env::var("ICED_SVC_CACHE_DIR").ok().map(PathBuf::from),
             chaos: ChaosInjector::seed_from_env(),
+            log_path: std::env::var(crate::log::ENV_LOG)
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(PathBuf::from),
+            log_level: std::env::var(crate::log::ENV_LOG_LEVEL)
+                .ok()
+                .and_then(|s| Level::parse(&s))
+                .unwrap_or(Level::Info),
             cgra: CgraConfig::iced_prototype(),
         }
     }
@@ -103,6 +116,8 @@ impl Default for ServiceConfig {
             cache_mb: 64,
             cache_dir: None,
             chaos: None,
+            log_path: None,
+            log_level: Level::Info,
             cgra: CgraConfig::iced_prototype(),
         }
     }
@@ -112,6 +127,7 @@ impl Default for ServiceConfig {
 /// answer on.
 struct Job {
     req: Request,
+    rid: RequestId,
     writer: Arc<Mutex<TcpStream>>,
     accepted_at: Instant,
 }
@@ -124,10 +140,14 @@ struct Shared {
     queue: BoundedQueue<Job>,
     metrics: Metrics,
     chaos: Option<ChaosInjector>,
+    log: EventLog,
     shutting: AtomicBool,
     in_flight: AtomicUsize,
     started: Instant,
     threads: usize,
+    queue_cap: usize,
+    /// Connection ordinal source for deterministic request ids.
+    conn_seq: AtomicU64,
     conns: Mutex<Vec<TcpStream>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -150,6 +170,18 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let log = match &cfg.log_path {
+            Some(p) => EventLog::to_path(p, cfg.log_level)?,
+            None => EventLog::disabled(),
+        };
+        log.emit(Level::Info, "server_start", |o| {
+            o.str("addr", &addr.to_string())
+                .str("version", env!("CARGO_PKG_VERSION"))
+                .u64("threads", cfg.threads.max(1) as u64)
+                .u64("queue_cap", cfg.queue_cap as u64)
+                .u64("cache_mb", cfg.cache_mb)
+                .bool("chaos_armed", cfg.chaos.is_some())
+        });
         let shared = Arc::new(Shared {
             config: cfg.cgra,
             model: PowerModel::asap7(),
@@ -157,10 +189,13 @@ impl Server {
             queue: BoundedQueue::new(cfg.queue_cap),
             metrics: Metrics::new(),
             chaos: cfg.chaos.map(ChaosInjector::new),
+            log,
             shutting: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             started: Instant::now(),
             threads: cfg.threads.max(1),
+            queue_cap: cfg.queue_cap,
+            conn_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
         });
@@ -215,6 +250,9 @@ impl Server {
                 "svc_cache_spilled_entries",
                 flushed as u64,
             );
+            self.shared.log.emit(Level::Info, "cache_spill", |o| {
+                o.u64("entries", flushed as u64)
+            });
         }
         // Unblock and retire the per-connection readers.
         let conns = std::mem::take(&mut *lock(&self.shared.conns));
@@ -225,6 +263,13 @@ impl Server {
         for r in readers {
             let _ = r.join();
         }
+        let shared = &self.shared;
+        shared.log.emit(Level::Info, "server_stop", |o| {
+            o.u64("uptime_s", shared.started.elapsed().as_secs())
+                .u64("connections", shared.conn_seq.load(Ordering::SeqCst))
+                .u64("log_dropped", shared.log.dropped())
+        });
+        shared.log.shutdown();
     }
 }
 
@@ -265,30 +310,63 @@ fn register_connection(shared: &Arc<Shared>, stream: TcpStream) {
         return;
     };
     lock(&shared.conns).push(registered);
+    // 1-based, in accept order — the `conn` half of every request id on
+    // this connection.
+    let conn = shared.conn_seq.fetch_add(1, Ordering::SeqCst) + 1;
     let reader_shared = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name("iced-svc-conn".into())
-        .spawn(move || reader_loop(&reader_shared, stream));
+        .spawn(move || reader_loop(&reader_shared, stream, conn));
     if let Ok(h) = handle {
         lock(&shared.readers).push(h);
     }
 }
 
-fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
+/// Logs a `request_error` event for an error envelope about to be written.
+fn log_request_error(shared: &Shared, rid: RequestId, verb: Option<Verb>, err: &SvcError) {
+    shared.log.emit(Level::Warn, "request_error", |mut o| {
+        o = o.str("req", &rid.token());
+        if let Some(v) = verb {
+            o = o.str("verb", v.name());
+        }
+        o.str("code", err.code).str("message", &err.message)
+    });
+}
+
+/// Logs a `request_finish` event for a successful control-verb response.
+fn log_control_finish(shared: &Shared, rid: RequestId, verb: Verb, t0: Instant) {
+    shared.log.emit(Level::Info, "request_finish", |o| {
+        o.str("req", &rid.token())
+            .str("verb", verb.name())
+            .str("outcome", "ok")
+            .u64("total_us", t0.elapsed().as_micros() as u64)
+    });
+}
+
+fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, conn: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let writer = Arc::new(Mutex::new(write_half));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut seq = 0u64;
     loop {
         line.clear();
         match read_bounded_line(&mut reader, &mut line) {
             Ok(LineRead::Eof) => return,
             Ok(LineRead::TooLong) => {
+                seq += 1;
+                let rid = RequestId { conn, seq };
                 let err = SvcError::new("too_large", "request line exceeds 1 MiB");
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                if !write_line(shared, &writer, &render_err(0, None, &err)) {
+                log_request_error(shared, rid, None, &err);
+                if !write_line(
+                    shared,
+                    &writer,
+                    Some(rid),
+                    &render_err(0, Some(rid), None, &err),
+                ) {
                     return;
                 }
                 continue;
@@ -300,19 +378,33 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
         if text.is_empty() {
             continue;
         }
+        seq += 1;
+        let rid = RequestId { conn, seq };
         let t0 = Instant::now();
         let req = match parse_request(text) {
             Ok(r) => r,
             Err(e) => {
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                if !write_line(shared, &writer, &render_err(e.id, None, &e.error)) {
+                log_request_error(shared, rid, e.verb, &e.error);
+                if !write_line(
+                    shared,
+                    &writer,
+                    Some(rid),
+                    &render_err(e.id, Some(rid), e.verb, &e.error),
+                ) {
                     return;
                 }
                 continue;
             }
         };
+        shared.log.emit(Level::Debug, "request_start", |o| {
+            o.str("req", &rid.token())
+                .str("verb", req.verb.name())
+                .u64("id", req.id)
+        });
         match req.verb {
             Verb::Healthz => {
+                let _flight = shared.metrics.flight(Verb::Healthz);
                 let state = if shared.shutting.load(Ordering::SeqCst) {
                     "draining"
                 } else {
@@ -321,36 +413,75 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                 let result = crate::json::Obj::new()
                     .str("status", "ok")
                     .str("state", state)
+                    .str("version", env!("CARGO_PKG_VERSION"))
+                    .u64("uptime_s", shared.started.elapsed().as_secs())
+                    .u64("uptime_ms", shared.started.elapsed().as_millis() as u64)
+                    .u64("threads", shared.threads as u64)
+                    .u64("queue_cap", shared.queue_cap as u64)
                     .u64("queue_depth", shared.queue.len() as u64)
                     .u64("in_flight", shared.in_flight.load(Ordering::Relaxed) as u64)
-                    .u64("threads", shared.threads as u64)
-                    .u64("uptime_ms", shared.started.elapsed().as_millis() as u64)
+                    .bool("chaos_armed", shared.chaos.is_some())
                     .finish();
                 shared.metrics.observe(Verb::Healthz, t0.elapsed());
+                log_control_finish(shared, rid, Verb::Healthz, t0);
                 if !write_line(
                     shared,
                     &writer,
-                    &render_ok(req.id, Verb::Healthz, false, &result),
+                    Some(rid),
+                    &render_ok(req.id, Some(rid), Verb::Healthz, false, &result),
                 ) {
                     return;
                 }
             }
             Verb::Metrics => {
+                let _flight = shared.metrics.flight(Verb::Metrics);
                 let result = shared.metrics.render(
                     shared.queue.len(),
                     shared.cache.bytes(),
                     shared.cache.entries(),
+                    shared.log.dropped(),
                 );
                 shared.metrics.observe(Verb::Metrics, t0.elapsed());
+                log_control_finish(shared, rid, Verb::Metrics, t0);
                 if !write_line(
                     shared,
                     &writer,
-                    &render_ok(req.id, Verb::Metrics, false, &result),
+                    Some(rid),
+                    &render_ok(req.id, Some(rid), Verb::Metrics, false, &result),
+                ) {
+                    return;
+                }
+            }
+            Verb::Stats => {
+                let _flight = shared.metrics.flight(Verb::Stats);
+                let result = match req.payload {
+                    Payload::Stats { prometheus: true } => {
+                        let body = shared.metrics.render_prometheus(
+                            shared.queue.len(),
+                            shared.cache.bytes(),
+                            shared.cache.entries(),
+                            shared.log.dropped(),
+                        );
+                        crate::json::Obj::new()
+                            .str("format", "prometheus")
+                            .str("body", &body)
+                            .finish()
+                    }
+                    _ => shared.metrics.render_stats(),
+                };
+                shared.metrics.observe(Verb::Stats, t0.elapsed());
+                log_control_finish(shared, rid, Verb::Stats, t0);
+                if !write_line(
+                    shared,
+                    &writer,
+                    Some(rid),
+                    &render_ok(req.id, Some(rid), Verb::Stats, false, &result),
                 ) {
                     return;
                 }
             }
             Verb::Shutdown => {
+                let _flight = shared.metrics.flight(Verb::Shutdown);
                 begin_shutdown(shared);
                 let result = crate::json::Obj::new()
                     .str("state", "draining")
@@ -358,10 +489,12 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                     .u64("in_flight", shared.in_flight.load(Ordering::Relaxed) as u64)
                     .finish();
                 shared.metrics.observe(Verb::Shutdown, t0.elapsed());
+                log_control_finish(shared, rid, Verb::Shutdown, t0);
                 let _ = write_line(
                     shared,
                     &writer,
-                    &render_ok(req.id, Verb::Shutdown, false, &result),
+                    Some(rid),
+                    &render_ok(req.id, Some(rid), Verb::Shutdown, false, &result),
                 );
                 // Keep reading: the client may pipeline further requests,
                 // which now receive `shutting_down` errors.
@@ -371,6 +504,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                 let verb = req.verb;
                 let job = Job {
                     req,
+                    rid,
                     writer: Arc::clone(&writer),
                     accepted_at: t0,
                 };
@@ -386,7 +520,13 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                             ),
                             verb.name(),
                         );
-                        if !write_line(shared, &writer, &render_err(id, Some(verb), &err)) {
+                        log_request_error(shared, rid, Some(verb), &err);
+                        if !write_line(
+                            shared,
+                            &writer,
+                            Some(rid),
+                            &render_err(id, Some(rid), Some(verb), &err),
+                        ) {
                             return;
                         }
                     }
@@ -395,7 +535,13 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
                             "shutting_down",
                             "server is draining and accepts no new work",
                         );
-                        if !write_line(shared, &writer, &render_err(id, Some(verb), &err)) {
+                        log_request_error(shared, rid, Some(verb), &err);
+                        if !write_line(
+                            shared,
+                            &writer,
+                            Some(rid),
+                            &render_err(id, Some(rid), Some(verb), &err),
+                        ) {
                             return;
                         }
                     }
@@ -405,45 +551,125 @@ fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
+/// Renders a panic payload for the error envelope and the event log.
+/// `panic!` almost always carries a `String` or `&str`; anything else is
+/// reported by type only.
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let verb = job.req.verb;
         let id = job.req.id;
+        let rid = job.rid;
+        let queue_wait = job.accepted_at.elapsed();
+        let _flight = shared.metrics.flight(verb);
+        // Everything the worker does for this request — including mapper
+        // and simulator spans — is attributed to its request id.
+        let _scope = iced::trace::request_scope(rid.as_u64());
+        // At debug level, capture this request's own trace via a thread
+        // overlay and log a summary; the global collector (if any) still
+        // sees everything.
+        let trace_rec = if shared.log.enabled(Level::Debug) {
+            Some(Arc::new(iced::trace::RecordingCollector::new()))
+        } else {
+            None
+        };
+        let overlay = trace_rec
+            .as_ref()
+            .map(|r| iced::trace::overlay(Arc::clone(r) as Arc<dyn iced::trace::Collector>));
+        let service_started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _span = iced::trace::span(
+                iced::trace::Phase::Service,
+                "svc_request",
+                &[("verb", verb.name().into())],
+            );
             if let Some(chaos) = &shared.chaos {
                 if chaos.worker_panic() {
                     shared.metrics.chaos_fault();
                     iced::trace::counter(iced::trace::Phase::Service, "svc_chaos_panics", 1);
+                    shared.log.emit(Level::Warn, "chaos_panic", |o| {
+                        o.str("req", &rid.token()).str("verb", verb.name())
+                    });
                     panic!("chaos: injected worker panic");
                 }
             }
-            execute(shared, &job.req)
+            execute(shared, &job.req, rid)
         }));
+        let service_time = service_started.elapsed();
+        drop(overlay);
+        if let Some(rec) = trace_rec {
+            let records = rec.records();
+            let spans = records
+                .iter()
+                .filter(|r| matches!(r, iced::trace::Record::SpanBegin { .. }))
+                .count();
+            shared.log.emit(Level::Debug, "request_trace", |o| {
+                o.str("req", &rid.token())
+                    .u64("trace_records", records.len() as u64)
+                    .u64("trace_spans", spans as u64)
+            });
+        }
         let response = match outcome {
             Ok(Ok((result, cached))) => {
                 shared.metrics.cache_event(cached);
-                render_ok(id, verb, cached, &result)
+                shared.log.emit(Level::Info, "request_finish", |o| {
+                    o.str("req", &rid.token())
+                        .str("verb", verb.name())
+                        .str("outcome", if cached { "cached" } else { "ok" })
+                        .u64("total_us", job.accepted_at.elapsed().as_micros() as u64)
+                        .u64("queue_us", queue_wait.as_micros() as u64)
+                        .u64("service_us", service_time.as_micros() as u64)
+                });
+                render_ok(id, Some(rid), verb, cached, &result)
             }
             Ok(Err(e)) => {
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                render_err(id, Some(verb), &e)
+                log_request_error(shared, rid, Some(verb), &e);
+                render_err(id, Some(rid), Some(verb), &e)
             }
-            Err(_) => {
+            Err(p) => {
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let e = SvcError::new("internal", "request processing panicked; see server log");
-                render_err(id, Some(verb), &e)
+                let payload = panic_payload(p.as_ref());
+                shared.log.emit(Level::Error, "worker_panic", |o| {
+                    o.str("req", &rid.token())
+                        .str("verb", verb.name())
+                        .str("payload", &payload)
+                });
+                let e = SvcError::with_entity(
+                    "internal",
+                    format!("request processing panicked: {payload}"),
+                    rid.token(),
+                );
+                render_err(id, Some(rid), Some(verb), &e)
             }
         };
-        let _ = write_line(shared, &job.writer, &response);
+        // Metrics are recorded before the response is written, so a client
+        // that reads its answer and immediately scrapes `metrics`/`stats`
+        // always sees its own request counted.
         shared.metrics.observe(verb, job.accepted_at.elapsed());
+        shared.metrics.observe_split(verb, queue_wait, service_time);
+        let _ = write_line(shared, &job.writer, Some(rid), &response);
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 /// Runs one work verb, consulting the cache. Returns the rendered result
 /// JSON plus whether it came from the cache.
-fn execute(shared: &Shared, req: &Request) -> Result<(Arc<String>, bool), SvcError> {
+fn execute(
+    shared: &Shared,
+    req: &Request,
+    rid: RequestId,
+) -> Result<(Arc<String>, bool), SvcError> {
     let key = cache_key(shared, req);
     if let Some(hit) = shared.cache.get(key) {
         return Ok((hit, true));
@@ -466,7 +692,7 @@ fn execute(shared: &Shared, req: &Request) -> Result<(Arc<String>, bool), SvcErr
                 .finish()
         }
         Payload::Stream(spec) => stream_result(shared, spec)?,
-        Payload::Control => {
+        Payload::Stats { .. } | Payload::Control => {
             return Err(SvcError::new(
                 "internal",
                 "control verb reached the worker pool",
@@ -476,10 +702,18 @@ fn execute(shared: &Shared, req: &Request) -> Result<(Arc<String>, bool), SvcErr
     let rendered = Arc::new(rendered);
     let evicted = shared.cache.put_shared(key, Arc::clone(&rendered));
     shared.metrics.evicted(evicted);
+    if evicted > 0 {
+        shared.log.emit(Level::Info, "cache_evict", |o| {
+            o.str("req", &rid.token()).u64("evicted", evicted)
+        });
+    }
     if let Some(chaos) = &shared.chaos {
         if chaos.corrupt_spill() && shared.cache.corrupt_for_chaos(key) {
             shared.metrics.chaos_fault();
             iced::trace::counter(iced::trace::Phase::Service, "svc_chaos_corruptions", 1);
+            shared
+                .log
+                .emit(Level::Warn, "chaos_corrupt", |o| o.str("req", &rid.token()));
         }
     }
     Ok((rendered, false))
@@ -521,7 +755,7 @@ fn cache_key(shared: &Shared, req: &Request) -> CacheKey {
             spec.inputs as u64,
             spec.seed,
         ]),
-        Payload::Control => CacheKey::derive(&[hash_str("control")]),
+        Payload::Stats { .. } | Payload::Control => CacheKey::derive(&[hash_str("control")]),
     }
 }
 
@@ -613,7 +847,12 @@ fn stream_result(shared: &Shared, spec: &StreamSpec) -> Result<String, SvcError>
         .finish())
 }
 
-fn write_line(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
+fn write_line(
+    shared: &Shared,
+    writer: &Arc<Mutex<TcpStream>>,
+    req: Option<RequestId>,
+    line: &str,
+) -> bool {
     let mut w = lock(writer);
     if let Some(chaos) = &shared.chaos {
         if chaos.drop_write() {
@@ -622,6 +861,12 @@ fn write_line(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, line: &str) -> bo
             // connection is lost; the daemon must not be.
             shared.metrics.chaos_fault();
             iced::trace::counter(iced::trace::Phase::Service, "svc_chaos_drops", 1);
+            shared.log.emit(Level::Warn, "chaos_drop", |mut o| {
+                if let Some(r) = req {
+                    o = o.str("req", &r.token());
+                }
+                o.u64("bytes_torn", (line.len() / 2) as u64)
+            });
             let _ = w.write_all(&line.as_bytes()[..line.len() / 2]);
             let _ = w.flush();
             let _ = w.shutdown(std::net::Shutdown::Both);

@@ -64,7 +64,7 @@ fn mutate(bytes: &mut Vec<u8>, seed: u64) {
 fn assert_total(line: &str) {
     let _ = json::parse(line);
     if let Err(e) = parse_request(line) {
-        let rendered = render_err(e.id, None, &e.error);
+        let rendered = render_err(e.id, None, e.verb, &e.error);
         assert!(
             json::parse(&rendered).is_ok(),
             "error envelope must be well-formed JSON: {rendered}"

@@ -58,6 +58,15 @@ fn start(threads: usize, queue_cap: usize) -> (Server, SocketAddr) {
     (server, addr)
 }
 
+/// Removes the per-request `"req":"cN-M"` token so envelopes from
+/// different requests can be compared byte-for-byte.
+fn strip_req(envelope: &str) -> String {
+    match (envelope.find(",\"req\":\""), envelope.find("\",\"ok\"")) {
+        (Some(a), Some(b)) if a < b => format!("{}{}", &envelope[..a], &envelope[b + 1..]),
+        _ => envelope.to_string(),
+    }
+}
+
 /// The `result` payload of a success envelope (everything the cache
 /// stores). Panics if the response is not a success envelope.
 fn result_payload(response: &str) -> &str {
@@ -127,12 +136,13 @@ fn warm_cache_replays_cold_bytes_verbatim() {
     let warm_latency = t_warm.elapsed();
     assert!(warm.contains("\"cached\":true"), "{warm}");
 
-    // The payload must be byte-identical; only the cached marker differs.
+    // The payload must be byte-identical; only the cached marker and the
+    // per-request id differ.
     assert_eq!(result_payload(&cold), result_payload(&warm));
     assert_eq!(
-        cold.replace("\"cached\":false", "\"cached\":true"),
-        warm,
-        "envelopes differ beyond the cached flag"
+        strip_req(&cold).replace("\"cached\":false", "\"cached\":true"),
+        strip_req(&warm),
+        "envelopes differ beyond the cached flag and req token"
     );
     // A warm hit skips the mapper entirely; even allowing wild scheduler
     // noise it must undercut the cold compile.
