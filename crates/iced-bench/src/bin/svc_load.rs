@@ -1,16 +1,27 @@
 //! Load generator for the `iced-service` daemon: closed-loop cold/warm
-//! phases (content-addressed cache effectiveness) followed by an
-//! open-loop burst (backpressure behaviour under saturation), emitting
-//! `BENCH_service.json`.
+//! phases (content-addressed cache effectiveness), an open-loop burst
+//! (backpressure behaviour under saturation), a batch-dedup phase, and —
+//! with `--conns N` — a high-connection-count sweep that drives N
+//! concurrent sockets from one thread over the same `poll(2)` shim the
+//! server's reactor uses, emitting `BENCH_service.json`.
 //!
 //! ```sh
 //! cargo run --release -p iced-bench --bin svc_load -- \
-//!     [--quick|--tiny] [--addr HOST:PORT] [--out PATH] [--clients N] [--shutdown]
+//!     [--quick|--tiny] [--addr HOST:PORT] [--out PATH] [--clients N] \
+//!     [--conns N] [--shutdown]
 //! ```
 //!
 //! The report includes true client-side per-request latency percentiles
-//! (p50/p95/p99, cold/warm split) plus the server's own `metrics`,
-//! `stats` (windowed quantiles), and Prometheus expositions.
+//! (p50/p95/p99, cold/warm split, and per-connection-sweep), the batch
+//! dedup ratio, plus the server's own `metrics`, `stats` (windowed
+//! quantiles), and Prometheus expositions.
+//!
+//! The `--conns` sweep asserts routing end to end: every response must
+//! echo its request's unique `id` on the socket that sent it, and the
+//! per-connection `req` tokens must keep one connection ordinal with a
+//! strictly sequential `seq` — zero misrouted and (chaos unarmed) zero
+//! dropped. CI runs `--conns 1000`; a local
+//! `ulimit -n 20000 && svc_load --conns 10000` exercises the 10k target.
 //!
 //! Without `--addr` an in-process server is started on an ephemeral port
 //! (self-contained mode, used by local runs). With `--addr` the generator
@@ -20,8 +31,12 @@
 //! and exits.
 
 use std::fmt::Write as _;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
 
+use iced_service::poll::{poll, PollFd, POLLIN, POLLOUT};
 use iced_service::{Client, Server, ServiceConfig};
 
 /// Connects via the shared resilient client, exiting with a diagnostic
@@ -137,6 +152,236 @@ fn compile_requests(quick: bool, tiny: bool) -> Vec<String> {
     reqs
 }
 
+/// Outcome of the `--conns` sweep.
+#[derive(Default)]
+struct ConnsStats {
+    connections: usize,
+    rounds: usize,
+    ok: usize,
+    backpressure: usize,
+    dropped: usize,
+    misrouted: usize,
+    wall_us: u128,
+}
+
+/// One socket in the connection sweep: closed loop, one request in
+/// flight, strict response-order and routing checks.
+struct SweepConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Rounds answered OK so far.
+    round: usize,
+    /// Server-assigned connection ordinal, learned from the first `req`.
+    token: Option<u64>,
+    /// Last `seq` seen; every answered line must advance it by one.
+    seq_seen: u64,
+    inflight_id: u64,
+    sent_at: Instant,
+    done: bool,
+    dead: bool,
+}
+
+impl SweepConn {
+    fn queue_request(&mut self, idx: usize, rounds: usize) {
+        if self.round >= rounds {
+            self.done = true;
+            return;
+        }
+        // Unique per (connection, round): the routing check.
+        self.inflight_id = (idx as u64 + 1) * 1_000_000 + self.round as u64;
+        let line = if self.round.is_multiple_of(2) {
+            // The same spec on every connection: one cold compile, then
+            // cache hits — the sweep measures multiplexing, not mapping.
+            format!(
+                "{{\"id\":{},\"verb\":\"compile\",\"kernel\":\"fir\",\"strategy\":\"iced\"}}\n",
+                self.inflight_id
+            )
+        } else {
+            format!("{{\"id\":{},\"verb\":\"healthz\"}}\n", self.inflight_id)
+        };
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.sent_at = Instant::now();
+    }
+
+    fn flush(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+}
+
+/// Parses `"req":"c<conn>-<seq>"` out of a response line.
+fn parse_req_token(resp: &str) -> Option<(u64, u64)> {
+    let i = resp.find("\"req\":\"c")? + 8;
+    let rest = &resp[i..];
+    let end = rest.find('"')?;
+    let (conn, seq) = rest[..end].split_once('-')?;
+    Some((conn.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Drives `n` concurrent connections from this one thread, each running
+/// `rounds` closed-loop requests (alternating cached compiles and
+/// healthz). Returns per-request latencies plus routing/ordering stats.
+fn conns_sweep(addr: &str, n: usize, rounds: usize) -> (Series, ConnsStats) {
+    let mut stats = ConnsStats {
+        connections: n,
+        rounds,
+        ..ConnsStats::default()
+    };
+    let mut lat = Series::default();
+    let t0 = Instant::now();
+    let mut conns: Vec<SweepConn> = Vec::with_capacity(n);
+    for i in 0..n {
+        let stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => panic!("conns sweep: connect {} of {n} failed: {e}", i + 1),
+        };
+        stream.set_nonblocking(true).expect("nonblocking");
+        let _ = stream.set_nodelay(true);
+        let mut c = SweepConn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            round: 0,
+            token: None,
+            seq_seen: 0,
+            inflight_id: 0,
+            sent_at: Instant::now(),
+            done: false,
+            dead: false,
+        };
+        c.queue_request(i, rounds);
+        conns.push(c);
+    }
+
+    let budget = Duration::from_secs(300);
+    let mut fds: Vec<PollFd> = Vec::with_capacity(n);
+    let mut fd_idx: Vec<usize> = Vec::with_capacity(n);
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        fds.clear();
+        fd_idx.clear();
+        for (i, c) in conns.iter().enumerate() {
+            if c.done || c.dead {
+                continue;
+            }
+            let mut interest = POLLIN;
+            if c.wpos < c.wbuf.len() {
+                interest |= POLLOUT;
+            }
+            fds.push(PollFd::new(c.stream.as_raw_fd(), interest));
+            fd_idx.push(i);
+        }
+        if fds.is_empty() {
+            break;
+        }
+        assert!(
+            t0.elapsed() < budget,
+            "conns sweep stalled: {} connections unfinished after {budget:?}",
+            fds.len()
+        );
+        let _ = poll(&mut fds, 500).expect("poll");
+        for (k, pfd) in fds.iter().enumerate() {
+            let i = fd_idx[k];
+            let c = &mut conns[i];
+            if pfd.writable() {
+                c.flush();
+            }
+            if !pfd.readable() || c.dead {
+                continue;
+            }
+            match c.stream.read(&mut scratch) {
+                Ok(0) => c.dead = true,
+                Ok(read) => {
+                    c.rbuf.extend_from_slice(&scratch[..read]);
+                    while let Some(pos) = c.rbuf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = c.rbuf.drain(..=pos).collect();
+                        let resp = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                        // Ordering: one connection ordinal, sequential seq.
+                        if let Some((tok, seq)) = parse_req_token(&resp) {
+                            match c.token {
+                                None => c.token = Some(tok),
+                                Some(t) if t != tok => stats.misrouted += 1,
+                                Some(_) => {}
+                            }
+                            if seq != c.seq_seen + 1 {
+                                stats.misrouted += 1;
+                            }
+                            c.seq_seen = seq;
+                        } else {
+                            stats.misrouted += 1;
+                        }
+                        if resp.contains("\"ok\":true") {
+                            // Routing: the echoed id must be ours.
+                            if !resp.contains(&format!("\"id\":{},", c.inflight_id)) {
+                                stats.misrouted += 1;
+                            }
+                            stats.ok += 1;
+                            lat.push(c.sent_at.elapsed().as_micros());
+                            c.round += 1;
+                            c.queue_request(i, rounds);
+                        } else if resp.contains("queue_full") || resp.contains("too_many_requests")
+                        {
+                            // Backpressure: replay the same round.
+                            stats.backpressure += 1;
+                            c.queue_request(i, rounds);
+                        } else {
+                            // A permanent error in this workload means a
+                            // misdelivered or corrupted response.
+                            stats.misrouted += 1;
+                            c.round += 1;
+                            c.queue_request(i, rounds);
+                        }
+                    }
+                    c.flush();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => c.dead = true,
+            }
+        }
+        for c in conns.iter_mut() {
+            if c.dead && !c.done {
+                stats.dropped += rounds - c.round;
+                c.done = true;
+            }
+        }
+    }
+    stats.wall_us = t0.elapsed().as_micros();
+    (lat, stats)
+}
+
+/// Extracts the first `"name":<u64>` field from a JSON text.
+fn field_u64(resp: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\":");
+    resp.find(&pat)
+        .map(|i| {
+            resp[i + pat.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|d| d.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -151,6 +396,7 @@ fn main() {
             .cloned()
     };
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".into());
+    let conns_n: usize = flag("--conns").and_then(|v| v.parse().ok()).unwrap_or(0);
     let clients: usize = flag("--clients")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if tiny {
@@ -170,6 +416,11 @@ fn main() {
             let cfg = ServiceConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: clients.clamp(1, 8),
+                // A conns sweep keeps up to one work request per
+                // connection in flight; size the queue and the connection
+                // ceiling so the sweep measures multiplexing, not limits.
+                queue_cap: (conns_n + 64).max(64),
+                max_conns: (conns_n + 64).max(4096),
                 // Honor ICED_SVC_CHAOS in self-contained mode too, so a
                 // local `ICED_SVC_CHAOS=1 svc_load --quick` is a one-line
                 // chaos smoke test.
@@ -255,7 +506,15 @@ fn main() {
                 for _ in 0..pending {
                     match c.recv() {
                         Ok(resp) if resp.contains("\"ok\":true") => ok += 1,
-                        Ok(resp) if resp.contains("queue_full") => full += 1,
+                        // Both backpressure answers — a saturated worker
+                        // queue and the per-connection pipeline cap — are
+                        // the contract under an open-loop burst.
+                        Ok(resp)
+                            if resp.contains("queue_full")
+                                || resp.contains("too_many_requests") =>
+                        {
+                            full += 1;
+                        }
                         Ok(_) => other += 1,
                         Err(_) => {
                             dropped += pending - (ok + full + other);
@@ -282,6 +541,102 @@ fn main() {
             .map(|i| resp[i + 9..resp.len() - 1].to_string())
             .unwrap_or_else(|| "{}".into())
     };
+
+    // Phase 4: batch — intra-batch dedup and byte identity with the
+    // standalone verb. Three identical compiles plus two identical others
+    // plus one bad slot: 6 slots, 2 unique computations.
+    let item_a = r#"{"verb":"compile","kernel":"fir","strategy":"iced"}"#;
+    let item_b = r#"{"verb":"compile","kernel":"latnrm","strategy":"iced"}"#;
+    let item_bad = r#"{"verb":"compile","kernel":"nosuch"}"#;
+    let (single, _) = round_trip(
+        &mut c,
+        "{\"id\":9000,\"verb\":\"compile\",\"kernel\":\"fir\",\"strategy\":\"iced\"}",
+    );
+    assert!(single.contains("\"ok\":true"), "compile failed: {single}");
+    let single_result = result_of(&single);
+    let batch_line = format!(
+        "{{\"id\":9001,\"verb\":\"batch\",\"items\":[{item_a},{item_a},{item_a},{item_b},{item_b},{item_bad}]}}"
+    );
+    let (batch_resp, batch_us) = round_trip(&mut c, &batch_line);
+    assert!(
+        batch_resp.contains("\"ok\":true"),
+        "batch failed: {batch_resp}"
+    );
+    let batch_slots = field_u64(&batch_resp, "count");
+    let batch_unique = field_u64(&batch_resp, "unique");
+    let batch_deduped = field_u64(&batch_resp, "deduped");
+    assert_eq!(batch_slots, 6, "slot count: {batch_resp}");
+    assert_eq!(batch_unique, 2, "identical specs must dedup: {batch_resp}");
+    assert_eq!(batch_deduped, 4, "deduped = count - unique: {batch_resp}");
+    assert!(
+        batch_resp.contains("\"ok\":false"),
+        "the bad slot must carry a structured error: {batch_resp}"
+    );
+    // Helper path: split slots, byte-compare against the standalone verb.
+    let spec_a = r#"{"kernel":"fir","strategy":"iced"}"#;
+    let spec_b = r#"{"kernel":"latnrm","strategy":"iced"}"#;
+    let slots = c
+        .compile_batch(9002, &[spec_a, spec_a, spec_a, spec_b])
+        .expect("compile_batch");
+    assert_eq!(slots.len(), 4, "one response slot per request slot");
+    for s in &slots {
+        assert!(s.ok, "batch slot failed: {}", s.raw);
+    }
+    assert_eq!(
+        result_of(&slots[0].raw),
+        single_result,
+        "a batch slot's result must be byte-identical to the standalone verb's"
+    );
+    assert_eq!(result_of(&slots[1].raw), result_of(&slots[0].raw));
+    let sim_spec = r#"{"kernel":"fir","iterations":2000,"seed":1}"#;
+    let sims = c
+        .simulate_batch(9003, &[sim_spec, sim_spec])
+        .expect("simulate_batch");
+    assert_eq!(sims.len(), 2);
+    assert!(sims.iter().all(|s| s.ok), "simulate batch slots failed");
+    assert_eq!(result_of(&sims[0].raw), result_of(&sims[1].raw));
+    let (empty, _) = round_trip(&mut c, "{\"id\":9004,\"verb\":\"batch\",\"items\":[]}");
+    assert!(
+        empty.contains("\"count\":0") && empty.contains("\"ok\":true"),
+        "empty batch must succeed with zero slots: {empty}"
+    );
+    println!(
+        "svc_load: batch {batch_slots} slots -> {batch_unique} unique \
+         (dedup ratio {:.2}) in {:.1} ms",
+        batch_deduped as f64 / batch_slots.max(1) as f64,
+        batch_us as f64 / 1000.0
+    );
+
+    // Phase 5 (--conns N): the high-connection-count sweep.
+    let chaos_armed = std::env::var("ICED_SVC_CHAOS").is_ok_and(|v| !v.is_empty());
+    let sweep = if conns_n > 0 {
+        const SWEEP_ROUNDS: usize = 4;
+        println!("svc_load: sweeping {conns_n} connections x {SWEEP_ROUNDS} rounds");
+        let (lat, stats) = conns_sweep(&addr, conns_n, SWEEP_ROUNDS);
+        println!(
+            "svc_load: conns sweep {} ok / {} backpressure / {} dropped / {} misrouted \
+             over {} connections in {:.1} ms",
+            stats.ok,
+            stats.backpressure,
+            stats.dropped,
+            stats.misrouted,
+            stats.connections,
+            stats.wall_us as f64 / 1000.0
+        );
+        assert_eq!(stats.misrouted, 0, "responses landed on the wrong socket");
+        if !chaos_armed {
+            assert_eq!(stats.dropped, 0, "connections lost without chaos armed");
+            assert_eq!(
+                stats.ok,
+                conns_n * SWEEP_ROUNDS,
+                "every round must complete"
+            );
+        }
+        Some((lat, stats))
+    } else {
+        None
+    };
+
     let (metrics, _) = round_trip(&mut c, "{\"id\":2,\"verb\":\"metrics\"}");
     let metrics_result = result_of(&metrics);
     // Windowed quantile view plus the Prometheus text exposition, so the
@@ -342,6 +697,28 @@ fn main() {
         clients * burst,
         (ok + full + other) as f64 / (open_wall_us.max(1) as f64 / 1e6)
     );
+    let _ = writeln!(
+        out,
+        "  \"batch\": {{\"slots\": {batch_slots}, \"unique\": {batch_unique}, \
+         \"deduped\": {batch_deduped}, \"dedup_ratio\": {:.2}, \"latency_us\": {batch_us}}},",
+        batch_deduped as f64 / batch_slots.max(1) as f64
+    );
+    if let Some((lat, stats)) = &sweep {
+        let _ = writeln!(
+            out,
+            "  \"conns\": {{\"connections\": {}, \"rounds\": {}, \"ok\": {}, \
+             \"backpressure\": {}, \"dropped\": {}, \"misrouted\": {}, \
+             \"wall_us\": {}, \"latency\": {}}},",
+            stats.connections,
+            stats.rounds,
+            stats.ok,
+            stats.backpressure,
+            stats.dropped,
+            stats.misrouted,
+            stats.wall_us,
+            lat.render("conns")
+        );
+    }
     let _ = writeln!(out, "  \"server_metrics\": {metrics_result},");
     let _ = writeln!(out, "  \"server_stats\": {stats_result},");
     let _ = writeln!(out, "  \"server_prometheus\": {prom_result}");

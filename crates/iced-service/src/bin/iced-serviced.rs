@@ -10,6 +10,8 @@
 //! | `ICED_SVC_CACHE_MB` | 64 | in-memory cache budget |
 //! | `ICED_SVC_CACHE_DIR` | unset | disk-spill directory (off when unset) |
 //! | `ICED_SVC_CHAOS` | unset | chaos-injection seed (number or label; off when unset) |
+//! | `ICED_SVC_PIPELINE` | 32 | max unanswered requests per connection |
+//! | `ICED_SVC_MAX_CONNS` | 4096 | max open connections (further connects refused) |
 //! | `ICED_SVC_LOG` | unset | JSONL event-log path (logging off when unset) |
 //! | `ICED_SVC_LOG_LEVEL` | `info` | minimum severity: `error`, `warn`, `info`, `debug` |
 //!
@@ -51,6 +53,16 @@ fn main() {
                     cfg.chaos = Some(n);
                 }
             }
+            "--pipeline" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.pipeline = n;
+                }
+            }
+            "--max-conns" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.max_conns = n;
+                }
+            }
             "--log" => {
                 cfg.log_path = args.next().map(std::path::PathBuf::from);
             }
@@ -63,9 +75,11 @@ fn main() {
                 eprintln!(
                     "usage: iced-serviced [--addr HOST:PORT] [--threads N] [--queue N] \
                      [--cache-mb N] [--cache-dir PATH] [--chaos SEED] \
+                     [--pipeline N] [--max-conns N] \
                      [--log PATH] [--log-level error|warn|info|debug]\n\
                      env: ICED_SVC_ADDR ICED_SVC_THREADS ICED_SVC_QUEUE \
                      ICED_SVC_CACHE_MB ICED_SVC_CACHE_DIR ICED_SVC_CHAOS \
+                     ICED_SVC_PIPELINE ICED_SVC_MAX_CONNS \
                      ICED_SVC_LOG ICED_SVC_LOG_LEVEL"
                 );
                 return;

@@ -52,6 +52,35 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// One slot of a batch response, split back out of the envelope's
+/// `results` array. `raw` is the slot's exact rendered bytes — for a
+/// successful slot, its `result` object is byte-identical to what the
+/// standalone verb would have returned.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Did this slot succeed? A `false` here is a *per-slot* structured
+    /// error (bad spec, map failure); the batch as a whole still landed.
+    pub ok: bool,
+    /// Was this slot served from the result cache?
+    pub cached: bool,
+    /// The slot's full JSON text.
+    pub raw: String,
+}
+
+impl BatchItem {
+    fn from_raw(raw: String) -> BatchItem {
+        let ok = raw.starts_with("{\"ok\":true");
+        // Only inspect the slot header: a result payload could legally
+        // contain the same substring.
+        let header = raw.find("\"result\"").map_or(raw.as_str(), |i| &raw[..i]);
+        BatchItem {
+            ok,
+            cached: header.contains("\"cached\":true"),
+            raw,
+        }
+    }
+}
+
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -214,6 +243,66 @@ impl Client {
         })
     }
 
+    /// Sends many compile specs as one `batch` request and splits the
+    /// ordered response array back into per-slot items. Each `spec` is a
+    /// JSON object of compile fields (`kernel`, `strategy`, …) *without*
+    /// a `verb`; the helper splices it in.
+    ///
+    /// Retries follow the whole-batch contract: only an envelope-level
+    /// `queue_full`/`internal` (or a transport failure) replays the
+    /// batch; per-slot errors arrive inside a successful envelope and
+    /// are never retried.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when the attempt budget is spent or the final
+    /// envelope is a structured error.
+    pub fn compile_batch(
+        &mut self,
+        id: u64,
+        specs: &[&str],
+    ) -> Result<Vec<BatchItem>, ClientError> {
+        self.batch_with_verb("compile", id, specs)
+    }
+
+    /// [`compile_batch`](Self::compile_batch) for simulate specs
+    /// (`kernel`, `iterations`, `seed`, …).
+    ///
+    /// # Errors
+    ///
+    /// As [`compile_batch`](Self::compile_batch).
+    pub fn simulate_batch(
+        &mut self,
+        id: u64,
+        specs: &[&str],
+    ) -> Result<Vec<BatchItem>, ClientError> {
+        self.batch_with_verb("simulate", id, specs)
+    }
+
+    fn batch_with_verb(
+        &mut self,
+        verb: &str,
+        id: u64,
+        specs: &[&str],
+    ) -> Result<Vec<BatchItem>, ClientError> {
+        let items: Vec<String> = specs.iter().map(|s| splice_verb(verb, s)).collect();
+        let line = format!(
+            "{{\"id\":{id},\"verb\":\"batch\",\"items\":[{}]}}",
+            items.join(",")
+        );
+        let resp = self.request(&line)?;
+        if !resp.contains("\"ok\":true") {
+            return Err(ClientError {
+                attempts: 1,
+                last: resp,
+            });
+        }
+        Ok(split_results(&resp)
+            .into_iter()
+            .map(BatchItem::from_raw)
+            .collect())
+    }
+
     /// [`request`](Self::request), asserting a success envelope — the
     /// convenience most test/bench call sites want.
     ///
@@ -232,6 +321,69 @@ impl Client {
             })
         }
     }
+}
+
+/// Splices `"verb":…` into a spec object's first position. The spec is
+/// passed through otherwise untouched, so callers keep full control of
+/// the fields (and malformed specs become the server's structured
+/// per-slot answer, not a client-side panic).
+fn splice_verb(verb: &str, spec: &str) -> String {
+    let spec = spec.trim();
+    let inner = spec
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .map_or(spec, str::trim);
+    if inner.is_empty() {
+        format!("{{\"verb\":\"{verb}\"}}")
+    } else {
+        format!("{{\"verb\":\"{verb}\",{inner}}}")
+    }
+}
+
+/// Splits the envelope's `"results":[…]` array into its top-level
+/// elements as raw text, so a successful slot's bytes stay exactly as
+/// the server rendered them (no client-side re-serialization).
+fn split_results(resp: &str) -> Vec<String> {
+    let Some(start) = resp.find("\"results\":[") else {
+        return Vec::new();
+    };
+    let body = &resp[start + "\"results\":[".len()..];
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut item_start = None;
+    for (i, ch) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            _ if in_str => {}
+            '{' | '[' => {
+                if depth == 0 && item_start.is_none() {
+                    item_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' | ']' => {
+                if depth == 0 {
+                    // The array's own closing bracket.
+                    break;
+                }
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = item_start.take() {
+                        items.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    items
 }
 
 /// Is this response worth replaying? Only backpressure and worker-panic
@@ -301,6 +453,50 @@ mod tests {
         assert_eq!(backoff_delay(3, 9), backoff_delay(3, 9));
         // … and decorrelated across salts (at least one pair differs).
         assert!((0..16).any(|s| backoff_delay(3, s) != backoff_delay(3, s + 16)));
+    }
+
+    #[test]
+    fn verb_splicing_handles_empty_and_populated_specs() {
+        assert_eq!(splice_verb("compile", "{}"), "{\"verb\":\"compile\"}");
+        assert_eq!(splice_verb("compile", "  {  }  "), "{\"verb\":\"compile\"}");
+        assert_eq!(
+            splice_verb("simulate", r#"{"kernel":"fir","iterations":100}"#),
+            r#"{"verb":"simulate","kernel":"fir","iterations":100}"#
+        );
+        // A spec that is not an object passes through for the server to
+        // reject with a structured per-slot error.
+        assert_eq!(splice_verb("compile", "42"), "{\"verb\":\"compile\",42}");
+    }
+
+    #[test]
+    fn result_splitting_preserves_slot_bytes_exactly() {
+        let resp = concat!(
+            r#"{"id":7,"req":"c1-1","ok":true,"verb":"batch","cached":false,"result":"#,
+            r#"{"count":3,"unique":2,"deduped":1,"results":["#,
+            r#"{"ok":true,"verb":"compile","cached":false,"result":{"kernel":"fir","note":"has ] and } in string"}},"#,
+            r#"{"ok":false,"verb":"compile","error":{"code":"map_error","message":"no: [{"}},"#,
+            r#"{"ok":true,"verb":"simulate","cached":true,"result":{"cycles":12,"nested":[1,[2,3]]}}"#,
+            r#"]}}"#
+        );
+        let items = split_results(resp);
+        assert_eq!(items.len(), 3);
+        assert_eq!(
+            items[0],
+            r#"{"ok":true,"verb":"compile","cached":false,"result":{"kernel":"fir","note":"has ] and } in string"}}"#
+        );
+        assert_eq!(
+            items[1],
+            r#"{"ok":false,"verb":"compile","error":{"code":"map_error","message":"no: [{"}}"#
+        );
+        let third = BatchItem::from_raw(items[2].clone());
+        assert!(third.ok);
+        assert!(third.cached);
+        let second = BatchItem::from_raw(items[1].clone());
+        assert!(!second.ok);
+        assert!(!second.cached);
+        // An error response or empty array yields no slots.
+        assert!(split_results(r#"{"ok":false,"error":{"code":"x"}}"#).is_empty());
+        assert!(split_results(r#"{"ok":true,"result":{"results":[]}}"#).is_empty());
     }
 
     #[test]

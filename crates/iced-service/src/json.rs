@@ -68,6 +68,14 @@ impl Value {
         }
     }
 
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
     /// Field lookup on an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {

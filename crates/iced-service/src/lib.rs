@@ -13,9 +13,17 @@
 //!   Warm hits replay the cold request's rendered bytes verbatim.
 //! * [`queue`] — bounded request queue; saturation produces a typed
 //!   `queue_full` response instead of unbounded buffering.
-//! * [`server`] — acceptor, per-connection readers, worker pool
-//!   (`ICED_SVC_THREADS`), per-request mapper deadlines, and graceful
-//!   shutdown that drains in-flight work before closing sockets.
+//! * [`server`] — worker pool (`ICED_SVC_THREADS`), per-request mapper
+//!   deadlines, batch dedup execution, and graceful shutdown that drains
+//!   in-flight work before closing sockets.
+//! * `reactor` (internal) — the single-threaded readiness loop that owns
+//!   every connection: nonblocking accept, incremental newline framing,
+//!   strict per-connection response ordering via tickets, interest-driven
+//!   buffered writes, per-connection pipeline caps (`ICED_SVC_PIPELINE`),
+//!   and a connection ceiling (`ICED_SVC_MAX_CONNS`).
+//! * [`poll`] — `libc`-free `poll(2)` (direct syscall on Linux, portable
+//!   degradation elsewhere) plus the loopback wake token the reactor
+//!   sleeps on.
 //! * [`chaos`] — deterministic fault injection (`ICED_SVC_CHAOS`): worker
 //!   panics, torn response writes, spill-file corruption; the daemon must
 //!   convert all of it into structured errors and keep serving.
@@ -34,7 +42,10 @@
 //!   thread; request lifecycle, chaos injections, and worker panics all
 //!   land here keyed by request id.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the poll module carries the only two `unsafe`
+// blocks in the workspace (the raw `poll(2)`/`ppoll(2)` syscalls) behind
+// an explicit allow; everything else stays unsafe-free at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -43,13 +54,16 @@ pub mod client;
 pub mod json;
 pub mod log;
 pub mod metrics;
+#[allow(unsafe_code)]
+pub mod poll;
 pub mod proto;
 pub mod queue;
+mod reactor;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
 pub use chaos::ChaosInjector;
-pub use client::{Client, ClientError};
+pub use client::{BatchItem, Client, ClientError};
 pub use log::{EventLog, Level};
 pub use proto::{Request, RequestId, SvcError, Verb};
 pub use queue::{BoundedQueue, PushError};

@@ -34,6 +34,10 @@ pub const EPOCH_SECONDS: u64 = 10;
 /// Number of slots in the sliding-window ring (6 × 10 s ≈ last minute).
 pub const WINDOW_SLOTS: usize = 6;
 
+/// Verbs whose work flows through the queue/worker pool and therefore
+/// has a queue-wait/service-time split worth reporting.
+const WORK_VERBS: [Verb; 4] = [Verb::Compile, Verb::Simulate, Verb::Stream, Verb::Batch];
+
 /// The log2 bucket an observation of `us` microseconds falls in.
 #[inline]
 fn bucket_of(us: u64) -> usize {
@@ -282,6 +286,24 @@ pub struct Metrics {
     pub chaos_faults: AtomicU64,
     /// High-water mark of the request queue depth.
     pub queue_peak: AtomicU64,
+    /// Connections currently open (reactor-maintained gauge).
+    pub conns_open: AtomicU64,
+    /// High-water mark of concurrently open connections.
+    pub conns_peak: AtomicU64,
+    /// Connections refused at the `ICED_SVC_MAX_CONNS` cap.
+    pub conns_rejected: AtomicU64,
+    /// Requests rejected at the per-connection pipeline cap
+    /// (`too_many_requests`).
+    pub pipeline_rejected: AtomicU64,
+    /// Total slots received across `batch` requests.
+    pub batch_slots: AtomicU64,
+    /// Unique cache keys actually executed across `batch` requests; the
+    /// gap to [`Metrics::batch_slots`] is work the intra-batch dedup saved.
+    pub batch_unique: AtomicU64,
+    /// Configured connection cap, mirrored for exposition.
+    max_conns: AtomicU64,
+    /// Configured per-connection pipeline cap, mirrored for exposition.
+    pipeline_cap: AtomicU64,
     started: Instant,
     latency: [Histogram; Verb::ALL.len()],
     /// Time between queueing and a worker picking the job up (work verbs).
@@ -310,6 +332,14 @@ impl Metrics {
             connections: AtomicU64::new(0),
             chaos_faults: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            pipeline_rejected: AtomicU64::new(0),
+            batch_slots: AtomicU64::new(0),
+            batch_unique: AtomicU64::new(0),
+            max_conns: AtomicU64::new(0),
+            pipeline_cap: AtomicU64::new(0),
             started: Instant::now(),
             latency: Default::default(),
             queue_wait: Default::default(),
@@ -394,6 +424,49 @@ impl Metrics {
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    /// Records the configured connection/pipeline caps for exposition.
+    pub fn set_limits(&self, pipeline_cap: usize, max_conns: usize) {
+        self.pipeline_cap
+            .store(pipeline_cap as u64, Ordering::Relaxed);
+        self.max_conns.store(max_conns as u64, Ordering::Relaxed);
+    }
+
+    /// A connection was accepted: bumps the open gauge and its peak.
+    pub fn conn_opened(&self) {
+        let now = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// A connection was closed or swept.
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused at the `ICED_SVC_MAX_CONNS` cap.
+    pub fn conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+        iced::trace::counter(Phase::Service, "svc_conns_rejected", 1);
+    }
+
+    /// A request was refused at the per-connection pipeline cap.
+    pub fn pipeline_rejected_request(&self) {
+        self.pipeline_rejected.fetch_add(1, Ordering::Relaxed);
+        iced::trace::counter(Phase::Service, "svc_pipeline_rejected", 1);
+    }
+
+    /// Records one executed batch: total slots vs. unique keys computed.
+    pub fn batch_observed(&self, slots: usize, unique: usize) {
+        self.batch_slots.fetch_add(slots as u64, Ordering::Relaxed);
+        self.batch_unique
+            .fetch_add(unique as u64, Ordering::Relaxed);
+        iced::trace::counter(Phase::Service, "svc_batch_slots", slots as u64);
+        iced::trace::counter(
+            Phase::Service,
+            "svc_batch_deduped",
+            slots.saturating_sub(unique) as u64,
+        );
+    }
+
     /// Per-verb request count (for tests and health summaries).
     pub fn requests(&self, verb: Verb) -> u64 {
         self.latency[verb as usize].count()
@@ -421,7 +494,7 @@ impl Metrics {
         }
         let mut wait = Obj::new();
         let mut svc = Obj::new();
-        for v in [Verb::Compile, Verb::Simulate, Verb::Stream] {
+        for v in WORK_VERBS {
             wait = wait.raw(v.name(), &self.queue_wait[v as usize].render());
             svc = svc.raw(v.name(), &self.service[v as usize].render());
         }
@@ -440,6 +513,20 @@ impl Metrics {
             .u64("rejected", self.rejected.load(Ordering::Relaxed))
             .u64("errors", self.errors.load(Ordering::Relaxed))
             .u64("connections", self.connections.load(Ordering::Relaxed))
+            .u64("conns_open", self.conns_open.load(Ordering::Relaxed))
+            .u64("conns_peak", self.conns_peak.load(Ordering::Relaxed))
+            .u64(
+                "conns_rejected",
+                self.conns_rejected.load(Ordering::Relaxed),
+            )
+            .u64("max_conns", self.max_conns.load(Ordering::Relaxed))
+            .u64("pipeline_cap", self.pipeline_cap.load(Ordering::Relaxed))
+            .u64(
+                "pipeline_rejected",
+                self.pipeline_rejected.load(Ordering::Relaxed),
+            )
+            .u64("batch_slots", self.batch_slots.load(Ordering::Relaxed))
+            .u64("batch_unique", self.batch_unique.load(Ordering::Relaxed))
             .u64("chaos_faults", self.chaos_faults.load(Ordering::Relaxed))
             .u64("log_dropped", log_dropped)
             .raw("in_flight", &flight.finish())
@@ -463,12 +550,35 @@ impl Metrics {
             );
             win = win.raw(v.name(), &window[v as usize].render_summary());
         }
+        let conns = Obj::new()
+            .u64("open", self.conns_open.load(Ordering::Relaxed))
+            .u64("peak", self.conns_peak.load(Ordering::Relaxed))
+            .u64("rejected", self.conns_rejected.load(Ordering::Relaxed))
+            .u64("max_conns", self.max_conns.load(Ordering::Relaxed))
+            .u64("pipeline_cap", self.pipeline_cap.load(Ordering::Relaxed))
+            .u64(
+                "pipeline_rejected",
+                self.pipeline_rejected.load(Ordering::Relaxed),
+            )
+            .finish();
+        let batch = Obj::new()
+            .u64("slots", self.batch_slots.load(Ordering::Relaxed))
+            .u64("unique", self.batch_unique.load(Ordering::Relaxed))
+            .u64(
+                "deduped",
+                self.batch_slots
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(self.batch_unique.load(Ordering::Relaxed)),
+            )
+            .finish();
         Obj::new()
             .u64("uptime_s", self.uptime().as_secs())
             .u64("window_seconds", EPOCH_SECONDS * WINDOW_SLOTS as u64)
             .u64("epoch_seconds", EPOCH_SECONDS)
             .raw("lifetime", &life.finish())
             .raw("window", &win.finish())
+            .raw("connections", &conns)
+            .raw("batch", &batch)
             .finish()
     }
 
@@ -523,7 +633,7 @@ impl Metrics {
         out.push_str("# TYPE iced_svc_queue_wait_us summary\n");
         out.push_str("# HELP iced_svc_service_time_us Worker service time.\n");
         out.push_str("# TYPE iced_svc_service_time_us summary\n");
-        for v in [Verb::Compile, Verb::Simulate, Verb::Stream] {
+        for v in WORK_VERBS {
             for (family, hist) in [
                 ("iced_svc_queue_wait_us", &self.queue_wait[v as usize]),
                 ("iced_svc_service_time_us", &self.service[v as usize]),
@@ -552,7 +662,7 @@ impl Metrics {
                 self.in_flight_count(v)
             ));
         }
-        let counters: [(&str, &str, u64); 7] = [
+        let counters: [(&str, &str, u64); 11] = [
             (
                 "iced_svc_cache_hits_total",
                 "Cache hits.",
@@ -588,6 +698,26 @@ impl Metrics {
                 "Faults injected by the chaos layer.",
                 self.chaos_faults.load(Ordering::Relaxed),
             ),
+            (
+                "iced_svc_conns_rejected_total",
+                "Connections refused at the ICED_SVC_MAX_CONNS cap.",
+                self.conns_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "iced_svc_pipeline_rejected_total",
+                "Requests refused at the per-connection pipeline cap.",
+                self.pipeline_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "iced_svc_batch_slots_total",
+                "Slots received across batch requests.",
+                self.batch_slots.load(Ordering::Relaxed),
+            ),
+            (
+                "iced_svc_batch_unique_total",
+                "Unique cache keys executed across batch requests.",
+                self.batch_unique.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in counters {
             out.push_str(&format!(
@@ -622,6 +752,30 @@ impl Metrics {
             "iced_svc_log_dropped_total",
             "Event-log lines dropped under backpressure.",
             log_dropped,
+            &mut out,
+        );
+        gauge(
+            "iced_svc_conns_open",
+            "Connections currently open.",
+            self.conns_open.load(Ordering::Relaxed),
+            &mut out,
+        );
+        gauge(
+            "iced_svc_conns_peak",
+            "High-water mark of concurrently open connections.",
+            self.conns_peak.load(Ordering::Relaxed),
+            &mut out,
+        );
+        gauge(
+            "iced_svc_max_conns",
+            "Configured connection cap.",
+            self.max_conns.load(Ordering::Relaxed),
+            &mut out,
+        );
+        gauge(
+            "iced_svc_pipeline_cap",
+            "Configured per-connection pipeline cap.",
+            self.pipeline_cap.load(Ordering::Relaxed),
             &mut out,
         );
         gauge(
@@ -804,6 +958,63 @@ mod tests {
         assert!(s.contains("\"queue_wait\":"), "{s}");
         assert!(s.contains("\"service_time\":"), "{s}");
         assert!(s.contains("\"p99_us\":"), "{s}");
+    }
+
+    #[test]
+    fn connection_and_batch_gauges_are_exposed_everywhere() {
+        let m = Metrics::new();
+        m.set_limits(32, 4096);
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.conn_rejected();
+        m.pipeline_rejected_request();
+        m.batch_observed(10, 3);
+        assert_eq!(m.conns_open.load(Ordering::Relaxed), 1);
+        assert_eq!(m.conns_peak.load(Ordering::Relaxed), 2);
+
+        let s = m.render(0, 0, 0, 0);
+        for field in [
+            "\"conns_open\":1",
+            "\"conns_peak\":2",
+            "\"conns_rejected\":1",
+            "\"max_conns\":4096",
+            "\"pipeline_cap\":32",
+            "\"pipeline_rejected\":1",
+            "\"batch_slots\":10",
+            "\"batch_unique\":3",
+        ] {
+            assert!(s.contains(field), "missing {field} in {s}");
+        }
+        assert!(
+            s.contains("\"batch\":{\"count\":0"),
+            "batch in latency: {s}"
+        );
+
+        let s = m.render_stats();
+        assert!(
+            s.contains("\"connections\":{\"open\":1,\"peak\":2,\"rejected\":1"),
+            "{s}"
+        );
+        assert!(
+            s.contains("\"batch\":{\"slots\":10,\"unique\":3,\"deduped\":7}"),
+            "{s}"
+        );
+
+        let text = m.render_prometheus(0, 0, 0, 0);
+        for family in [
+            "iced_svc_conns_open 1",
+            "iced_svc_conns_peak 2",
+            "iced_svc_conns_rejected_total 1",
+            "iced_svc_pipeline_rejected_total 1",
+            "iced_svc_batch_slots_total 10",
+            "iced_svc_batch_unique_total 3",
+            "iced_svc_max_conns 4096",
+            "iced_svc_pipeline_cap 32",
+            "iced_svc_queue_wait_us{verb=\"batch\",quantile=\"0.5\"}",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
     }
 
     #[test]

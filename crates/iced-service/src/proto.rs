@@ -31,11 +31,14 @@ pub enum Verb {
     Shutdown = 5,
     /// Windowed quantile view (JSON, or Prometheus text when asked).
     Stats = 6,
+    /// Many compile/simulate specs in one envelope, answered as one
+    /// ordered response array with intra-batch cache dedup.
+    Batch = 7,
 }
 
 impl Verb {
     /// Every verb, in wire-name order used by the metrics payload.
-    pub const ALL: [Verb; 7] = [
+    pub const ALL: [Verb; 8] = [
         Verb::Compile,
         Verb::Simulate,
         Verb::Stream,
@@ -43,6 +46,7 @@ impl Verb {
         Verb::Metrics,
         Verb::Shutdown,
         Verb::Stats,
+        Verb::Batch,
     ];
 
     /// Wire name.
@@ -55,6 +59,7 @@ impl Verb {
             Verb::Metrics => "metrics",
             Verb::Shutdown => "shutdown",
             Verb::Stats => "stats",
+            Verb::Batch => "batch",
         }
     }
 
@@ -63,6 +68,8 @@ impl Verb {
     }
 
     /// Whether responses for this verb are content-addressed cacheable.
+    /// A `batch` envelope is not: its per-slot `cached` flags depend on
+    /// cache state, though each *slot* is served through the cache.
     pub fn cacheable(self) -> bool {
         matches!(self, Verb::Compile | Verb::Simulate | Verb::Stream)
     }
@@ -203,6 +210,53 @@ pub struct StreamSpec {
     pub seed: u64,
 }
 
+/// One batchable work element: only verbs whose specs are cheap to key
+/// and fan out may appear inside a `batch`.
+#[derive(Debug, Clone)]
+pub enum BatchElem {
+    /// A `compile` slot.
+    Compile(CompileSpec),
+    /// A `simulate` slot.
+    Simulate(SimulateSpec),
+}
+
+impl BatchElem {
+    /// The element's verb, for per-slot envelopes and metrics.
+    pub fn verb(&self) -> Verb {
+        match self {
+            BatchElem::Compile(_) => Verb::Compile,
+            BatchElem::Simulate(_) => Verb::Simulate,
+        }
+    }
+}
+
+/// One parsed batch slot: either a valid element or a structured per-slot
+/// error. A bad slot never poisons its siblings — it is answered in place
+/// inside the response array.
+#[derive(Debug, Clone)]
+pub enum BatchSlot {
+    /// A valid compile/simulate element.
+    Elem(BatchElem),
+    /// A slot that failed to parse; answered per-slot.
+    Invalid {
+        /// The slot's verb, when parsing got far enough to recover it.
+        verb: Option<Verb>,
+        /// The structured error for this slot.
+        error: SvcError,
+    },
+}
+
+/// `batch` request payload: the slots in request order.
+#[derive(Debug, Clone)]
+pub struct BatchSpec {
+    /// Slots in the order they were sent (and will be answered).
+    pub items: Vec<BatchSlot>,
+}
+
+/// Hard cap on slots per batch; larger batches are rejected whole with
+/// `bad_request` rather than silently truncated.
+pub const MAX_BATCH_ITEMS: usize = 128;
+
 /// Verb-specific payload.
 #[derive(Debug, Clone)]
 pub enum Payload {
@@ -217,6 +271,8 @@ pub enum Payload {
         /// `"format":"prometheus"` asks for text exposition.
         prometheus: bool,
     },
+    /// `batch`.
+    Batch(BatchSpec),
     /// `healthz` / `metrics` / `shutdown` carry no payload.
     Control,
 }
@@ -366,6 +422,54 @@ fn bounded_u64(v: &Value, key: &str, default: u64, max: u64) -> Result<u64, SvcE
     }
 }
 
+fn parse_simulate_spec(v: &Value) -> Result<SimulateSpec, SvcError> {
+    Ok(SimulateSpec {
+        compile: parse_compile_spec(v)?,
+        iterations: bounded_u64(v, "iterations", 1000, 10_000_000)?.max(1),
+        seed: bounded_u64(v, "seed", 0, u64::MAX - 1)?,
+    })
+}
+
+/// Parses one batch slot. Never fails: malformed slots become
+/// [`BatchSlot::Invalid`] so the rest of the batch still runs.
+fn parse_batch_item(v: &Value) -> BatchSlot {
+    let invalid = |verb, error| BatchSlot::Invalid { verb, error };
+    if !matches!(v, Value::Obj(_)) {
+        return invalid(
+            None,
+            SvcError::new("bad_request", "batch item must be a JSON object"),
+        );
+    }
+    let Some(name) = v.get("verb").and_then(Value::as_str) else {
+        return invalid(
+            None,
+            SvcError::new("bad_request", "missing string field 'verb'"),
+        );
+    };
+    match Verb::from_name(name) {
+        Some(Verb::Compile) => match parse_compile_spec(v) {
+            Ok(spec) => BatchSlot::Elem(BatchElem::Compile(spec)),
+            Err(e) => invalid(Some(Verb::Compile), e),
+        },
+        Some(Verb::Simulate) => match parse_simulate_spec(v) {
+            Ok(spec) => BatchSlot::Elem(BatchElem::Simulate(spec)),
+            Err(e) => invalid(Some(Verb::Simulate), e),
+        },
+        Some(other) => invalid(
+            Some(other),
+            SvcError::with_entity(
+                "bad_request",
+                "only compile and simulate may appear in a batch",
+                name,
+            ),
+        ),
+        None => invalid(
+            None,
+            SvcError::with_entity("unknown_verb", "unsupported verb", name),
+        ),
+    }
+}
+
 /// A parse failure paired with the request id it belongs to (0 when the
 /// id itself could not be recovered), so error responses still correlate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -437,11 +541,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let payload = (|| -> Result<Payload, SvcError> {
         Ok(match verb {
             Verb::Compile => Payload::Compile(parse_compile_spec(&v)?),
-            Verb::Simulate => Payload::Simulate(SimulateSpec {
-                compile: parse_compile_spec(&v)?,
-                iterations: bounded_u64(&v, "iterations", 1000, 10_000_000)?.max(1),
-                seed: bounded_u64(&v, "seed", 0, u64::MAX - 1)?,
-            }),
+            Verb::Simulate => Payload::Simulate(parse_simulate_spec(&v)?),
             Verb::Stream => {
                 let pipeline = v
                     .get("pipeline")
@@ -484,6 +584,27 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             Verb::Stats => Payload::Stats {
                 prometheus: v.get("format").and_then(Value::as_str) == Some("prometheus"),
             },
+            Verb::Batch => {
+                let items = v
+                    .get("items")
+                    .ok_or_else(|| SvcError::new("bad_request", "missing 'items' array"))?;
+                let arr = items.as_arr().ok_or_else(|| {
+                    SvcError::with_entity("bad_request", "'items' must be an array", "items")
+                })?;
+                if arr.len() > MAX_BATCH_ITEMS {
+                    return Err(SvcError::with_entity(
+                        "bad_request",
+                        format!(
+                            "batch has {} items, more than the {MAX_BATCH_ITEMS} allowed",
+                            arr.len()
+                        ),
+                        "items",
+                    ));
+                }
+                Payload::Batch(BatchSpec {
+                    items: arr.iter().map(parse_batch_item).collect(),
+                })
+            }
             Verb::Healthz | Verb::Metrics | Verb::Shutdown => Payload::Control,
         })
     })()
@@ -525,6 +646,46 @@ pub fn render_ok(
         .str("verb", verb.name())
         .bool("cached", cached)
         .raw("result", result)
+        .finish()
+}
+
+/// Renders one successful batch slot. `result` is the slot's rendered
+/// (and cached) result object — exactly the bytes a standalone request
+/// for the same spec would carry, so batch and single-request responses
+/// are byte-identical where it matters.
+pub fn render_batch_item_ok(verb: Verb, cached: bool, result: &str) -> String {
+    Obj::new()
+        .bool("ok", true)
+        .str("verb", verb.name())
+        .bool("cached", cached)
+        .raw("result", result)
+        .finish()
+}
+
+/// Renders one failed batch slot.
+pub fn render_batch_item_err(verb: Option<Verb>, err: &SvcError) -> String {
+    let mut o = Obj::new().bool("ok", false);
+    if let Some(v) = verb {
+        o = o.str("verb", v.name());
+    }
+    o.raw("error", &err.render()).finish()
+}
+
+/// Renders the `batch` result object around already-rendered slot items.
+pub fn render_batch_result(count: usize, unique: usize, items: &[String]) -> String {
+    let mut results = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        results.push_str(item);
+    }
+    results.push(']');
+    Obj::new()
+        .u64("count", count as u64)
+        .u64("unique", unique as u64)
+        .u64("deduped", count.saturating_sub(unique) as u64)
+        .raw("results", &results)
         .finish()
 }
 
@@ -668,6 +829,121 @@ mod tests {
         assert!(matches!(r.payload, Payload::Stats { prometheus: false }));
         let r = parse_request(r#"{"id":2,"verb":"stats","format":"prometheus"}"#).unwrap();
         assert!(matches!(r.payload, Payload::Stats { prometheus: true }));
+    }
+
+    #[test]
+    fn batch_parses_slots_independently() {
+        let line = r#"{"id":9,"verb":"batch","items":[
+            {"verb":"compile","kernel":"fir"},
+            {"verb":"simulate","kernel":"fir","iterations":10},
+            {"verb":"compile","kernel":"nope"},
+            {"verb":"stream","pipeline":"gcn"},
+            {"verb":"warp"},
+            {"kernel":"fir"},
+            7
+        ]}"#;
+        let r = parse_request(line).unwrap();
+        assert_eq!(r.verb, Verb::Batch);
+        let Payload::Batch(spec) = r.payload else {
+            panic!("wrong payload");
+        };
+        assert_eq!(spec.items.len(), 7);
+        assert!(matches!(
+            spec.items[0],
+            BatchSlot::Elem(BatchElem::Compile(_))
+        ));
+        match &spec.items[1] {
+            BatchSlot::Elem(BatchElem::Simulate(s)) => assert_eq!(s.iterations, 10),
+            s => panic!("wrong slot {s:?}"),
+        }
+        match &spec.items[2] {
+            BatchSlot::Invalid { verb, error } => {
+                assert_eq!(*verb, Some(Verb::Compile));
+                assert_eq!(error.code, "unknown_kernel");
+            }
+            s => panic!("wrong slot {s:?}"),
+        }
+        match &spec.items[3] {
+            BatchSlot::Invalid { verb, error } => {
+                assert_eq!(*verb, Some(Verb::Stream));
+                assert_eq!(error.code, "bad_request");
+            }
+            s => panic!("wrong slot {s:?}"),
+        }
+        match &spec.items[4] {
+            BatchSlot::Invalid { verb, error } => {
+                assert_eq!(*verb, None);
+                assert_eq!(error.code, "unknown_verb");
+            }
+            s => panic!("wrong slot {s:?}"),
+        }
+        assert!(matches!(
+            &spec.items[5],
+            BatchSlot::Invalid { verb: None, error } if error.code == "bad_request"
+        ));
+        assert!(matches!(
+            &spec.items[6],
+            BatchSlot::Invalid { verb: None, error } if error.code == "bad_request"
+        ));
+    }
+
+    #[test]
+    fn batch_envelope_bounds_are_enforced() {
+        let e = parse_request(r#"{"verb":"batch"}"#).unwrap_err();
+        assert_eq!(e.error.code, "bad_request");
+        assert_eq!(e.verb, Some(Verb::Batch));
+
+        let e = parse_request(r#"{"verb":"batch","items":3}"#).unwrap_err();
+        assert_eq!(e.error.code, "bad_request");
+        assert_eq!(e.error.entity.as_deref(), Some("items"));
+
+        let slot = r#"{"verb":"compile","kernel":"fir"}"#;
+        let many = vec![slot; MAX_BATCH_ITEMS + 1].join(",");
+        let e = parse_request(&format!(r#"{{"verb":"batch","items":[{many}]}}"#)).unwrap_err();
+        assert_eq!(e.error.code, "bad_request");
+        assert!(e.error.message.contains("129 items"), "{}", e.error.message);
+
+        let r = parse_request(r#"{"id":1,"verb":"batch","items":[]}"#).unwrap();
+        let Payload::Batch(spec) = r.payload else {
+            panic!("wrong payload");
+        };
+        assert!(spec.items.is_empty());
+
+        // A nested batch is rejected per-slot, not recursed into.
+        let r = parse_request(r#"{"verb":"batch","items":[{"verb":"batch","items":[]}]}"#).unwrap();
+        let Payload::Batch(spec) = r.payload else {
+            panic!("wrong payload");
+        };
+        assert!(matches!(
+            &spec.items[0],
+            BatchSlot::Invalid { verb: Some(Verb::Batch), error } if error.code == "bad_request"
+        ));
+    }
+
+    #[test]
+    fn batch_item_and_result_rendering_is_stable() {
+        assert_eq!(
+            render_batch_item_ok(Verb::Compile, true, "{\"ii\":2}"),
+            r#"{"ok":true,"verb":"compile","cached":true,"result":{"ii":2}}"#
+        );
+        let err = SvcError::with_entity("unknown_kernel", "no such kernel in the suite", "nope");
+        assert_eq!(
+            render_batch_item_err(Some(Verb::Compile), &err),
+            r#"{"ok":false,"verb":"compile","error":{"code":"unknown_kernel","message":"no such kernel in the suite","entity":"nope"}}"#
+        );
+        assert_eq!(
+            render_batch_item_err(None, &SvcError::new("bad_request", "oops")),
+            r#"{"ok":false,"error":{"code":"bad_request","message":"oops"}}"#
+        );
+        let items = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
+        assert_eq!(
+            render_batch_result(5, 2, &items),
+            r#"{"count":5,"unique":2,"deduped":3,"results":[{"a":1},{"b":2}]}"#
+        );
+        assert_eq!(
+            render_batch_result(0, 0, &[]),
+            r#"{"count":0,"unique":0,"deduped":0,"results":[]}"#
+        );
     }
 
     #[test]

@@ -1,31 +1,45 @@
-//! The daemon: TCP acceptor, bounded request queue, worker pool,
+//! The daemon: a single-threaded readiness reactor that owns every
+//! connection, a bounded request queue, a fixed worker pool, a
 //! content-addressed cache, and graceful shutdown.
 //!
 //! ## Threading model
 //!
-//! * One **acceptor** thread polls a nonblocking listener so it can
-//!   observe the shutdown flag without a wake-up hack.
-//! * One **reader** thread per connection parses newline-delimited JSON.
-//!   Control verbs (`healthz`, `metrics`, `shutdown`) are answered inline
-//!   — they stay responsive even when the work queue is saturated. Work
-//!   verbs are pushed onto the bounded queue; a full queue yields an
-//!   immediate typed `queue_full` response, never an unbounded buffer.
+//! * One **reactor** thread (see [`crate::reactor`]) multiplexes the
+//!   listener and all client sockets over nonblocking `poll(2)`: it
+//!   accepts, frames newline-delimited JSON incrementally, answers
+//!   control verbs (`healthz`, `metrics`, `stats`, `shutdown`) inline so
+//!   they stay responsive even when the work queue is saturated, pushes
+//!   work verbs onto the bounded queue (a full queue yields an immediate
+//!   typed `queue_full` response, never an unbounded buffer), and writes
+//!   responses back in strict per-connection request order with
+//!   interest-driven writability — partial writes are buffered, never
+//!   blocked on.
 //! * `ICED_SVC_THREADS` **workers** drain the queue, consult the cache,
-//!   compute on miss, and write responses through a per-connection mutex.
+//!   compute on miss, render the full response envelope, and hand it back
+//!   to the reactor through a completion list plus a wake token.
+//!
+//! ## Batching
+//!
+//! The `batch` verb carries many compile/simulate slots in one envelope.
+//! The reactor derives every slot's [`CacheKey`] *before* enqueueing and
+//! dedupes inside the batch: identical specs are computed once and the
+//! rendered bytes fan out to every slot (and into the cache). A bad slot
+//! is answered in place with a structured error; its siblings still run.
 //!
 //! ## Shutdown
 //!
-//! `shutdown` (or [`Server::shutdown`]) flips a flag and closes the
-//! queue. The acceptor stops accepting; workers drain everything already
-//! accepted and write those responses; the cache is flushed to the spill
-//! directory; only then are client sockets closed. A request the server
-//! accepted is therefore always answered.
+//! `shutdown` (or [`Server::shutdown`]) flips a flag, closes the queue,
+//! and wakes the reactor. The listener is dropped immediately; workers
+//! drain everything already accepted; the reactor keeps routing and
+//! flushing those responses and exits once nothing is outstanding (with
+//! a bounded grace period for unflushable sockets); the cache is spilled;
+//! only then are client sockets closed. A request the server accepted is
+//! therefore always answered.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -45,11 +59,13 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::chaos::ChaosInjector;
 use crate::log::{EventLog, Level};
 use crate::metrics::Metrics;
+use crate::poll::Waker;
 use crate::proto::{
-    parse_request, policy_name, render_err, render_ok, CompileSpec, Payload, Request, RequestId,
-    StreamSpec, SvcError, Verb, MAX_LINE_BYTES,
+    policy_name, render_batch_item_err, render_batch_item_ok, render_batch_result, render_err,
+    render_ok, BatchElem, CompileSpec, Payload, Request, RequestId, SimulateSpec, StreamSpec,
+    SvcError, Verb,
 };
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::BoundedQueue;
 
 /// Server configuration, normally taken from the environment.
 #[derive(Debug, Clone)]
@@ -72,6 +88,12 @@ pub struct ServiceConfig {
     pub log_path: Option<PathBuf>,
     /// Minimum event severity written (`ICED_SVC_LOG_LEVEL`).
     pub log_level: Level,
+    /// Max unanswered requests buffered per connection before the server
+    /// answers `too_many_requests` (`ICED_SVC_PIPELINE`).
+    pub pipeline: usize,
+    /// Max concurrently open connections; further connects are refused
+    /// with a `too_many_connections` line (`ICED_SVC_MAX_CONNS`).
+    pub max_conns: usize,
     /// Target CGRA configuration.
     pub cgra: CgraConfig,
 }
@@ -102,6 +124,8 @@ impl ServiceConfig {
                 .ok()
                 .and_then(|s| Level::parse(&s))
                 .unwrap_or(Level::Info),
+            pipeline: env_usize("ICED_SVC_PIPELINE", 32, 1, 4096),
+            max_conns: env_usize("ICED_SVC_MAX_CONNS", 4096, 1, 65_536),
             cgra: CgraConfig::iced_prototype(),
         }
     }
@@ -118,58 +142,124 @@ impl Default for ServiceConfig {
             chaos: None,
             log_path: None,
             log_level: Level::Info,
+            pipeline: 32,
+            max_conns: 4096,
             cgra: CgraConfig::iced_prototype(),
         }
     }
 }
 
-/// One queued unit of work: a parsed request plus the connection to
-/// answer on.
-struct Job {
-    req: Request,
-    rid: RequestId,
-    writer: Arc<Mutex<TcpStream>>,
-    accepted_at: Instant,
+/// How one batch slot resolves: an index into the batch's unique work
+/// list, or a structured per-slot parse error.
+pub(crate) enum SlotPlan {
+    /// Serve this slot from unique element `i`'s rendered bytes.
+    Unique(usize),
+    /// Answer this slot with the error, computed nothing.
+    Invalid(Option<Verb>, SvcError),
 }
 
-/// State shared by the acceptor, readers, and workers.
-struct Shared {
-    config: CgraConfig,
-    model: PowerModel,
-    cache: ResultCache,
-    queue: BoundedQueue<Job>,
-    metrics: Metrics,
-    chaos: Option<ChaosInjector>,
-    log: EventLog,
-    shutting: AtomicBool,
-    in_flight: AtomicUsize,
-    started: Instant,
-    threads: usize,
-    queue_cap: usize,
-    /// Connection ordinal source for deterministic request ids.
-    conn_seq: AtomicU64,
-    conns: Mutex<Vec<TcpStream>>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+/// What a queued job computes.
+pub(crate) enum JobKind {
+    /// One compile/simulate/stream request.
+    Single(Request),
+    /// A batch: per-slot plans plus the deduped unique work list the
+    /// reactor derived before enqueueing.
+    Batch {
+        id: u64,
+        slots: Vec<SlotPlan>,
+        unique: Vec<(CacheKey, BatchElem)>,
+    },
+}
+
+/// One queued unit of work plus the routing needed to answer it: the
+/// connection slot, its generation token, and the response-order ticket.
+pub(crate) struct Job {
+    pub(crate) kind: JobKind,
+    pub(crate) rid: RequestId,
+    pub(crate) slot: usize,
+    pub(crate) token: u64,
+    pub(crate) ticket: u64,
+    pub(crate) accepted_at: Instant,
+}
+
+impl Job {
+    fn verb(&self) -> Verb {
+        match &self.kind {
+            JobKind::Single(req) => req.verb,
+            JobKind::Batch { .. } => Verb::Batch,
+        }
+    }
+
+    fn id(&self) -> u64 {
+        match &self.kind {
+            JobKind::Single(req) => req.id,
+            JobKind::Batch { id, .. } => *id,
+        }
+    }
+}
+
+/// A finished response line, handed from a worker back to the reactor.
+pub(crate) struct Completion {
+    pub(crate) slot: usize,
+    pub(crate) token: u64,
+    pub(crate) ticket: u64,
+    pub(crate) rid: RequestId,
+    pub(crate) line: String,
+}
+
+/// State shared by the reactor and the workers.
+pub(crate) struct Shared {
+    pub(crate) config: CgraConfig,
+    pub(crate) model: PowerModel,
+    pub(crate) cache: ResultCache,
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) metrics: Metrics,
+    pub(crate) chaos: Option<ChaosInjector>,
+    pub(crate) log: EventLog,
+    pub(crate) shutting: AtomicBool,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) started: Instant,
+    pub(crate) threads: usize,
+    pub(crate) queue_cap: usize,
+    pub(crate) pipeline_cap: usize,
+    pub(crate) max_conns: usize,
+    /// Jobs accepted onto the queue whose responses the reactor has not
+    /// yet routed; the drain condition.
+    pub(crate) jobs_outstanding: AtomicUsize,
+    /// Finished responses awaiting reactor pickup.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Pops the reactor out of its poll wait when completions arrive or
+    /// shutdown begins.
+    pub(crate) waker: Waker,
+}
+
+impl Shared {
+    /// Hands a finished response to the reactor and wakes it.
+    pub(crate) fn push_completion(&self, done: Completion) {
+        lock(&self.completions).push(done);
+        self.waker.wake();
+    }
 }
 
 /// A running service instance.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts the daemon: acceptor + worker pool.
+    /// Binds and starts the daemon: reactor + worker pool.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure (or a wake-pair setup failure).
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let (waker, wake_rx) = crate::poll::wake_pair()?;
         let log = match &cfg.log_path {
             Some(p) => EventLog::to_path(p, cfg.log_level)?,
             None => EventLog::disabled(),
@@ -180,6 +270,8 @@ impl Server {
                 .u64("threads", cfg.threads.max(1) as u64)
                 .u64("queue_cap", cfg.queue_cap as u64)
                 .u64("cache_mb", cfg.cache_mb)
+                .u64("pipeline_cap", cfg.pipeline.max(1) as u64)
+                .u64("max_conns", cfg.max_conns.max(1) as u64)
                 .bool("chaos_armed", cfg.chaos.is_some())
         });
         let shared = Arc::new(Shared {
@@ -195,10 +287,15 @@ impl Server {
             started: Instant::now(),
             threads: cfg.threads.max(1),
             queue_cap: cfg.queue_cap,
-            conn_seq: AtomicU64::new(0),
-            conns: Mutex::new(Vec::new()),
-            readers: Mutex::new(Vec::new()),
+            pipeline_cap: cfg.pipeline.max(1),
+            max_conns: cfg.max_conns.max(1),
+            jobs_outstanding: AtomicUsize::new(0),
+            completions: Mutex::new(Vec::new()),
+            waker,
         });
+        shared
+            .metrics
+            .set_limits(cfg.pipeline.max(1), cfg.max_conns.max(1));
         let workers = (0..cfg.threads.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -208,17 +305,17 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
-        let acceptor = {
+        let reactor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("iced-svc-accept".into())
-                .spawn(move || accept_loop(&shared, &listener))
-                .expect("spawn acceptor thread")
+                .name("iced-svc-reactor".into())
+                .spawn(move || crate::reactor::reactor_loop(&shared, listener, wake_rx))
+                .expect("spawn reactor thread")
         };
         Ok(Server {
             shared,
             addr,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             workers,
         })
     }
@@ -233,11 +330,12 @@ impl Server {
         begin_shutdown(&self.shared);
     }
 
-    /// Blocks until shutdown completes: acceptor stopped, queue drained,
-    /// every in-flight response written, cache flushed, sockets closed.
+    /// Blocks until shutdown completes: listener dropped, queue drained,
+    /// every in-flight response routed and flushed, cache flushed,
+    /// sockets closed.
     pub fn wait(mut self) {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -254,76 +352,37 @@ impl Server {
                 o.u64("entries", flushed as u64)
             });
         }
-        // Unblock and retire the per-connection readers.
-        let conns = std::mem::take(&mut *lock(&self.shared.conns));
-        for c in conns {
-            let _ = c.shutdown(std::net::Shutdown::Both);
-        }
-        let readers = std::mem::take(&mut *lock(&self.shared.readers));
-        for r in readers {
-            let _ = r.join();
-        }
         let shared = &self.shared;
         shared.log.emit(Level::Info, "server_stop", |o| {
             o.u64("uptime_s", shared.started.elapsed().as_secs())
-                .u64("connections", shared.conn_seq.load(Ordering::SeqCst))
+                .u64(
+                    "connections",
+                    shared.metrics.connections.load(Ordering::Relaxed),
+                )
                 .u64("log_dropped", shared.log.dropped())
         });
         shared.log.shutdown();
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn begin_shutdown(shared: &Shared) {
+pub(crate) fn begin_shutdown(shared: &Shared) {
     if !shared.shutting.swap(true, Ordering::SeqCst) {
         shared.queue.close();
-    }
-}
-
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    loop {
-        if shared.shutting.load(Ordering::SeqCst) {
-            return; // drops the listener: new connections are refused
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nonblocking(false);
-                // Responses are single short lines; Nagle would add a
-                // delayed-ACK round trip to every warm hit.
-                let _ = stream.set_nodelay(true);
-                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                register_connection(shared, stream);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn register_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(registered) = stream.try_clone() else {
-        return;
-    };
-    lock(&shared.conns).push(registered);
-    // 1-based, in accept order — the `conn` half of every request id on
-    // this connection.
-    let conn = shared.conn_seq.fetch_add(1, Ordering::SeqCst) + 1;
-    let reader_shared = Arc::clone(shared);
-    let handle = std::thread::Builder::new()
-        .name("iced-svc-conn".into())
-        .spawn(move || reader_loop(&reader_shared, stream, conn));
-    if let Ok(h) = handle {
-        lock(&shared.readers).push(h);
+        shared.waker.wake();
     }
 }
 
 /// Logs a `request_error` event for an error envelope about to be written.
-fn log_request_error(shared: &Shared, rid: RequestId, verb: Option<Verb>, err: &SvcError) {
+pub(crate) fn log_request_error(
+    shared: &Shared,
+    rid: RequestId,
+    verb: Option<Verb>,
+    err: &SvcError,
+) {
     shared.log.emit(Level::Warn, "request_error", |mut o| {
         o = o.str("req", &rid.token());
         if let Some(v) = verb {
@@ -334,221 +393,13 @@ fn log_request_error(shared: &Shared, rid: RequestId, verb: Option<Verb>, err: &
 }
 
 /// Logs a `request_finish` event for a successful control-verb response.
-fn log_control_finish(shared: &Shared, rid: RequestId, verb: Verb, t0: Instant) {
+pub(crate) fn log_control_finish(shared: &Shared, rid: RequestId, verb: Verb, t0: Instant) {
     shared.log.emit(Level::Info, "request_finish", |o| {
         o.str("req", &rid.token())
             .str("verb", verb.name())
             .str("outcome", "ok")
             .u64("total_us", t0.elapsed().as_micros() as u64)
     });
-}
-
-fn reader_loop(shared: &Arc<Shared>, stream: TcpStream, conn: u64) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(Mutex::new(write_half));
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut seq = 0u64;
-    loop {
-        line.clear();
-        match read_bounded_line(&mut reader, &mut line) {
-            Ok(LineRead::Eof) => return,
-            Ok(LineRead::TooLong) => {
-                seq += 1;
-                let rid = RequestId { conn, seq };
-                let err = SvcError::new("too_large", "request line exceeds 1 MiB");
-                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                log_request_error(shared, rid, None, &err);
-                if !write_line(
-                    shared,
-                    &writer,
-                    Some(rid),
-                    &render_err(0, Some(rid), None, &err),
-                ) {
-                    return;
-                }
-                continue;
-            }
-            Ok(LineRead::Line) => {}
-            Err(_) => return,
-        }
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        seq += 1;
-        let rid = RequestId { conn, seq };
-        let t0 = Instant::now();
-        let req = match parse_request(text) {
-            Ok(r) => r,
-            Err(e) => {
-                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                log_request_error(shared, rid, e.verb, &e.error);
-                if !write_line(
-                    shared,
-                    &writer,
-                    Some(rid),
-                    &render_err(e.id, Some(rid), e.verb, &e.error),
-                ) {
-                    return;
-                }
-                continue;
-            }
-        };
-        shared.log.emit(Level::Debug, "request_start", |o| {
-            o.str("req", &rid.token())
-                .str("verb", req.verb.name())
-                .u64("id", req.id)
-        });
-        match req.verb {
-            Verb::Healthz => {
-                let _flight = shared.metrics.flight(Verb::Healthz);
-                let state = if shared.shutting.load(Ordering::SeqCst) {
-                    "draining"
-                } else {
-                    "running"
-                };
-                let result = crate::json::Obj::new()
-                    .str("status", "ok")
-                    .str("state", state)
-                    .str("version", env!("CARGO_PKG_VERSION"))
-                    .u64("uptime_s", shared.started.elapsed().as_secs())
-                    .u64("uptime_ms", shared.started.elapsed().as_millis() as u64)
-                    .u64("threads", shared.threads as u64)
-                    .u64("queue_cap", shared.queue_cap as u64)
-                    .u64("queue_depth", shared.queue.len() as u64)
-                    .u64("in_flight", shared.in_flight.load(Ordering::Relaxed) as u64)
-                    .bool("chaos_armed", shared.chaos.is_some())
-                    .finish();
-                shared.metrics.observe(Verb::Healthz, t0.elapsed());
-                log_control_finish(shared, rid, Verb::Healthz, t0);
-                if !write_line(
-                    shared,
-                    &writer,
-                    Some(rid),
-                    &render_ok(req.id, Some(rid), Verb::Healthz, false, &result),
-                ) {
-                    return;
-                }
-            }
-            Verb::Metrics => {
-                let _flight = shared.metrics.flight(Verb::Metrics);
-                let result = shared.metrics.render(
-                    shared.queue.len(),
-                    shared.cache.bytes(),
-                    shared.cache.entries(),
-                    shared.log.dropped(),
-                );
-                shared.metrics.observe(Verb::Metrics, t0.elapsed());
-                log_control_finish(shared, rid, Verb::Metrics, t0);
-                if !write_line(
-                    shared,
-                    &writer,
-                    Some(rid),
-                    &render_ok(req.id, Some(rid), Verb::Metrics, false, &result),
-                ) {
-                    return;
-                }
-            }
-            Verb::Stats => {
-                let _flight = shared.metrics.flight(Verb::Stats);
-                let result = match req.payload {
-                    Payload::Stats { prometheus: true } => {
-                        let body = shared.metrics.render_prometheus(
-                            shared.queue.len(),
-                            shared.cache.bytes(),
-                            shared.cache.entries(),
-                            shared.log.dropped(),
-                        );
-                        crate::json::Obj::new()
-                            .str("format", "prometheus")
-                            .str("body", &body)
-                            .finish()
-                    }
-                    _ => shared.metrics.render_stats(),
-                };
-                shared.metrics.observe(Verb::Stats, t0.elapsed());
-                log_control_finish(shared, rid, Verb::Stats, t0);
-                if !write_line(
-                    shared,
-                    &writer,
-                    Some(rid),
-                    &render_ok(req.id, Some(rid), Verb::Stats, false, &result),
-                ) {
-                    return;
-                }
-            }
-            Verb::Shutdown => {
-                let _flight = shared.metrics.flight(Verb::Shutdown);
-                begin_shutdown(shared);
-                let result = crate::json::Obj::new()
-                    .str("state", "draining")
-                    .u64("queued", shared.queue.len() as u64)
-                    .u64("in_flight", shared.in_flight.load(Ordering::Relaxed) as u64)
-                    .finish();
-                shared.metrics.observe(Verb::Shutdown, t0.elapsed());
-                log_control_finish(shared, rid, Verb::Shutdown, t0);
-                let _ = write_line(
-                    shared,
-                    &writer,
-                    Some(rid),
-                    &render_ok(req.id, Some(rid), Verb::Shutdown, false, &result),
-                );
-                // Keep reading: the client may pipeline further requests,
-                // which now receive `shutting_down` errors.
-            }
-            Verb::Compile | Verb::Simulate | Verb::Stream => {
-                let id = req.id;
-                let verb = req.verb;
-                let job = Job {
-                    req,
-                    rid,
-                    writer: Arc::clone(&writer),
-                    accepted_at: t0,
-                };
-                match shared.queue.try_push(job) {
-                    Ok(depth) => shared.metrics.queue_depth(depth),
-                    Err(PushError::Full) => {
-                        shared.metrics.rejected_request();
-                        let err = SvcError::with_entity(
-                            "queue_full",
-                            format!(
-                                "request queue at capacity ({}); retry later",
-                                shared.queue.capacity()
-                            ),
-                            verb.name(),
-                        );
-                        log_request_error(shared, rid, Some(verb), &err);
-                        if !write_line(
-                            shared,
-                            &writer,
-                            Some(rid),
-                            &render_err(id, Some(rid), Some(verb), &err),
-                        ) {
-                            return;
-                        }
-                    }
-                    Err(PushError::Closed) => {
-                        let err = SvcError::new(
-                            "shutting_down",
-                            "server is draining and accepts no new work",
-                        );
-                        log_request_error(shared, rid, Some(verb), &err);
-                        if !write_line(
-                            shared,
-                            &writer,
-                            Some(rid),
-                            &render_err(id, Some(rid), Some(verb), &err),
-                        ) {
-                            return;
-                        }
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// Renders a panic payload for the error envelope and the event log.
@@ -567,8 +418,8 @@ fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let verb = job.req.verb;
-        let id = job.req.id;
+        let verb = job.verb();
+        let id = job.id();
         let rid = job.rid;
         let queue_wait = job.accepted_at.elapsed();
         let _flight = shared.metrics.flight(verb);
@@ -603,7 +454,10 @@ fn worker_loop(shared: &Shared) {
                     panic!("chaos: injected worker panic");
                 }
             }
-            execute(shared, &job.req, rid)
+            match &job.kind {
+                JobKind::Single(req) => execute(shared, req, rid),
+                JobKind::Batch { slots, unique, .. } => execute_batch(shared, slots, unique, rid),
+            }
         }));
         let service_time = service_started.elapsed();
         drop(overlay);
@@ -621,7 +475,11 @@ fn worker_loop(shared: &Shared) {
         }
         let response = match outcome {
             Ok(Ok((result, cached))) => {
-                shared.metrics.cache_event(cached);
+                // Batch cache traffic is accounted per unique slot inside
+                // execute_batch; the envelope itself is never cached.
+                if matches!(&job.kind, JobKind::Single(_)) {
+                    shared.metrics.cache_event(cached);
+                }
                 shared.log.emit(Level::Info, "request_finish", |o| {
                     o.str("req", &rid.token())
                         .str("verb", verb.name())
@@ -653,12 +511,18 @@ fn worker_loop(shared: &Shared) {
                 render_err(id, Some(rid), Some(verb), &e)
             }
         };
-        // Metrics are recorded before the response is written, so a client
-        // that reads its answer and immediately scrapes `metrics`/`stats`
-        // always sees its own request counted.
+        // Metrics are recorded before the response is handed back, so a
+        // client that reads its answer and immediately scrapes
+        // `metrics`/`stats` always sees its own request counted.
         shared.metrics.observe(verb, job.accepted_at.elapsed());
         shared.metrics.observe_split(verb, queue_wait, service_time);
-        let _ = write_line(shared, &job.writer, Some(rid), &response);
+        shared.push_completion(Completion {
+            slot: job.slot,
+            token: job.token,
+            ticket: job.ticket,
+            rid,
+            line: response,
+        });
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -676,29 +540,91 @@ fn execute(
     }
     let rendered = match &req.payload {
         Payload::Compile(spec) => compile_result(shared, spec)?,
-        Payload::Simulate(spec) => {
-            let (dfg, mapping) = compile_mapping(shared, &spec.compile)?;
-            let report = run_engine(&dfg, &mapping, spec.iterations, spec.seed)
-                .map_err(|e| SvcError::with_entity("sim_error", e.to_string(), dfg.name()))?;
-            crate::json::Obj::new()
-                .str("kernel", dfg.name())
-                .str("strategy", spec.compile.strategy.name())
-                .u64("ii", u64::from(mapping.ii()))
-                .u64("iterations", report.iterations)
-                .u64("cycles", report.cycles)
-                .u64("ops_executed", report.ops_executed)
-                .f64("fu_activity", report.fu_activity())
-                .u64("fifo_peak", report.fifo_peak as u64)
-                .finish()
-        }
+        Payload::Simulate(spec) => simulate_result(shared, spec)?,
         Payload::Stream(spec) => stream_result(shared, spec)?,
-        Payload::Stats { .. } | Payload::Control => {
+        Payload::Stats { .. } | Payload::Control | Payload::Batch(_) => {
             return Err(SvcError::new(
                 "internal",
                 "control verb reached the worker pool",
             ))
         }
     };
+    Ok((insert_rendered(shared, key, rendered, rid), false))
+}
+
+/// Runs one batch: computes each unique element once (through the cache)
+/// and fans the rendered bytes out to every slot that maps to it. Always
+/// returns the envelope-level result; per-slot failures are structured
+/// errors inside the response array.
+fn execute_batch(
+    shared: &Shared,
+    slots: &[SlotPlan],
+    unique: &[(CacheKey, BatchElem)],
+    rid: RequestId,
+) -> Result<(Arc<String>, bool), SvcError> {
+    shared.metrics.batch_observed(slots.len(), unique.len());
+    let computed: Vec<(Verb, bool, Result<Arc<String>, SvcError>)> = unique
+        .iter()
+        .map(|(key, elem)| {
+            let verb = elem.verb();
+            match execute_elem(shared, *key, elem, rid) {
+                Ok((bytes, cached)) => {
+                    shared.metrics.cache_event(cached);
+                    (verb, cached, Ok(bytes))
+                }
+                Err(e) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    log_request_error(shared, rid, Some(verb), &e);
+                    (verb, false, Err(e))
+                }
+            }
+        })
+        .collect();
+    let items: Vec<String> = slots
+        .iter()
+        .map(|plan| match plan {
+            SlotPlan::Unique(i) => {
+                let (verb, cached, result) = &computed[*i];
+                match result {
+                    Ok(bytes) => render_batch_item_ok(*verb, *cached, bytes),
+                    Err(e) => render_batch_item_err(Some(*verb), e),
+                }
+            }
+            SlotPlan::Invalid(verb, e) => render_batch_item_err(*verb, e),
+        })
+        .collect();
+    Ok((
+        Arc::new(render_batch_result(slots.len(), unique.len(), &items)),
+        false,
+    ))
+}
+
+/// Serves one batch element through the cache, exactly as a standalone
+/// request for the same spec would be.
+fn execute_elem(
+    shared: &Shared,
+    key: CacheKey,
+    elem: &BatchElem,
+    rid: RequestId,
+) -> Result<(Arc<String>, bool), SvcError> {
+    if let Some(hit) = shared.cache.get(key) {
+        return Ok((hit, true));
+    }
+    let rendered = match elem {
+        BatchElem::Compile(spec) => compile_result(shared, spec)?,
+        BatchElem::Simulate(spec) => simulate_result(shared, spec)?,
+    };
+    Ok((insert_rendered(shared, key, rendered, rid), false))
+}
+
+/// Inserts freshly rendered bytes into the cache, accounting evictions
+/// and rolling the chaos spill-corruption site.
+fn insert_rendered(
+    shared: &Shared,
+    key: CacheKey,
+    rendered: String,
+    rid: RequestId,
+) -> Arc<String> {
     let rendered = Arc::new(rendered);
     let evicted = shared.cache.put_shared(key, Arc::clone(&rendered));
     shared.metrics.evicted(evicted);
@@ -716,7 +642,7 @@ fn execute(
                 .emit(Level::Warn, "chaos_corrupt", |o| o.str("req", &rid.token()));
         }
     }
-    Ok((rendered, false))
+    rendered
 }
 
 fn hash_str(s: &str) -> u64 {
@@ -725,28 +651,47 @@ fn hash_str(s: &str) -> u64 {
     h.finish()
 }
 
+/// The `compile` content-addressed key for a given CGRA config hash.
+pub(crate) fn compile_key(cfg: u64, spec: &CompileSpec) -> CacheKey {
+    CacheKey::derive(&[
+        hash_str("compile"),
+        spec.source.dfg().canonical_hash(),
+        cfg,
+        spec.mapper_options().canonical_hash(),
+        hash_str(spec.strategy.name()),
+    ])
+}
+
+/// The `simulate` content-addressed key for a given CGRA config hash.
+pub(crate) fn simulate_key(cfg: u64, spec: &SimulateSpec) -> CacheKey {
+    CacheKey::derive(&[
+        hash_str("simulate"),
+        spec.compile.source.dfg().canonical_hash(),
+        cfg,
+        spec.compile.mapper_options().canonical_hash(),
+        hash_str(spec.compile.strategy.name()),
+        spec.iterations,
+        spec.seed,
+    ])
+}
+
+/// The key for one batch element — identical to what the standalone verb
+/// would derive, so batch slots and single requests share cache entries.
+pub(crate) fn elem_key(cfg: u64, elem: &BatchElem) -> CacheKey {
+    match elem {
+        BatchElem::Compile(spec) => compile_key(cfg, spec),
+        BatchElem::Simulate(spec) => simulate_key(cfg, spec),
+    }
+}
+
 /// The content-addressed key: canonical hashes of every semantic input.
 /// Serving knobs (deadline, thread count, client id) are deliberately
 /// excluded — they cannot change the payload bytes.
 fn cache_key(shared: &Shared, req: &Request) -> CacheKey {
     let cfg = shared.config.canonical_hash();
     match &req.payload {
-        Payload::Compile(spec) => CacheKey::derive(&[
-            hash_str("compile"),
-            spec.source.dfg().canonical_hash(),
-            cfg,
-            spec.mapper_options().canonical_hash(),
-            hash_str(spec.strategy.name()),
-        ]),
-        Payload::Simulate(spec) => CacheKey::derive(&[
-            hash_str("simulate"),
-            spec.compile.source.dfg().canonical_hash(),
-            cfg,
-            spec.compile.mapper_options().canonical_hash(),
-            hash_str(spec.compile.strategy.name()),
-            spec.iterations,
-            spec.seed,
-        ]),
+        Payload::Compile(spec) => compile_key(cfg, spec),
+        Payload::Simulate(spec) => simulate_key(cfg, spec),
         Payload::Stream(spec) => CacheKey::derive(&[
             hash_str("stream"),
             cfg,
@@ -755,7 +700,9 @@ fn cache_key(shared: &Shared, req: &Request) -> CacheKey {
             spec.inputs as u64,
             spec.seed,
         ]),
-        Payload::Stats { .. } | Payload::Control => CacheKey::derive(&[hash_str("control")]),
+        Payload::Stats { .. } | Payload::Control | Payload::Batch(_) => {
+            CacheKey::derive(&[hash_str("control")])
+        }
     }
 }
 
@@ -815,6 +762,22 @@ fn compile_result(shared: &Shared, spec: &CompileSpec) -> Result<String, SvcErro
         .finish())
 }
 
+fn simulate_result(shared: &Shared, spec: &SimulateSpec) -> Result<String, SvcError> {
+    let (dfg, mapping) = compile_mapping(shared, &spec.compile)?;
+    let report = run_engine(&dfg, &mapping, spec.iterations, spec.seed)
+        .map_err(|e| SvcError::with_entity("sim_error", e.to_string(), dfg.name()))?;
+    Ok(crate::json::Obj::new()
+        .str("kernel", dfg.name())
+        .str("strategy", spec.compile.strategy.name())
+        .u64("ii", u64::from(mapping.ii()))
+        .u64("iterations", report.iterations)
+        .u64("cycles", report.cycles)
+        .u64("ops_executed", report.ops_executed)
+        .f64("fu_activity", report.fu_activity())
+        .u64("fifo_peak", report.fifo_peak as u64)
+        .finish())
+}
+
 fn stream_result(shared: &Shared, spec: &StreamSpec) -> Result<String, SvcError> {
     let pipeline = match spec.pipeline.as_str() {
         "gcn" => Pipeline::gcn(),
@@ -847,141 +810,74 @@ fn stream_result(shared: &Shared, spec: &StreamSpec) -> Result<String, SvcError>
         .finish())
 }
 
-fn write_line(
-    shared: &Shared,
-    writer: &Arc<Mutex<TcpStream>>,
-    req: Option<RequestId>,
-    line: &str,
-) -> bool {
-    let mut w = lock(writer);
-    if let Some(chaos) = &shared.chaos {
-        if chaos.drop_write() {
-            // Tear the response — half the bytes, no newline — then drop
-            // the socket hard, as a dying peer or failing NIC would. The
-            // connection is lost; the daemon must not be.
-            shared.metrics.chaos_fault();
-            iced::trace::counter(iced::trace::Phase::Service, "svc_chaos_drops", 1);
-            shared.log.emit(Level::Warn, "chaos_drop", |mut o| {
-                if let Some(r) = req {
-                    o = o.str("req", &r.token());
-                }
-                o.u64("bytes_torn", (line.len() / 2) as u64)
-            });
-            let _ = w.write_all(&line.as_bytes()[..line.len() / 2]);
-            let _ = w.flush();
-            let _ = w.shutdown(std::net::Shutdown::Both);
-            return false;
-        }
-    }
-    // One locked write per response keeps concurrent workers' lines whole.
-    let mut buf = Vec::with_capacity(line.len() + 1);
-    buf.extend_from_slice(line.as_bytes());
-    buf.push(b'\n');
-    w.write_all(&buf).and_then(|()| w.flush()).is_ok()
-}
-
-/// Outcome of a bounded line read.
-enum LineRead {
-    /// Connection closed before any bytes.
-    Eof,
-    /// A complete line is in the output buffer.
-    Line,
-    /// The line exceeded [`MAX_LINE_BYTES`]; it was discarded up to the
-    /// next newline so the stream stays in sync.
-    TooLong,
-}
-
-/// Reads one `\n`-terminated line without ever buffering more than
-/// [`MAX_LINE_BYTES`] — a malicious endless line costs bounded memory.
-fn read_bounded_line<R: BufRead>(r: &mut R, out: &mut String) -> std::io::Result<LineRead> {
-    let mut bytes: Vec<u8> = Vec::new();
-    loop {
-        let buf = r.fill_buf()?;
-        if buf.is_empty() {
-            if bytes.is_empty() {
-                return Ok(LineRead::Eof);
-            }
-            break; // final unterminated line
-        }
-        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            if bytes.len() + pos > MAX_LINE_BYTES {
-                r.consume(pos + 1);
-                return Ok(LineRead::TooLong);
-            }
-            bytes.extend_from_slice(&buf[..pos]);
-            r.consume(pos + 1);
-            break;
-        }
-        let n = buf.len();
-        if bytes.len() + n > MAX_LINE_BYTES {
-            r.consume(n);
-            return discard_rest_of_line(r);
-        }
-        bytes.extend_from_slice(buf);
-        r.consume(n);
-    }
-    // Invalid UTF-8 flows through as replacement characters and fails
-    // JSON parsing with a structured error rather than an I/O abort.
-    *out = String::from_utf8_lossy(&bytes).into_owned();
-    Ok(LineRead::Line)
-}
-
-fn discard_rest_of_line<R: BufRead>(r: &mut R) -> std::io::Result<LineRead> {
-    loop {
-        let buf = r.fill_buf()?;
-        if buf.is_empty() {
-            return Ok(LineRead::TooLong); // line ran off the end of input
-        }
-        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            r.consume(pos + 1);
-            return Ok(LineRead::TooLong);
-        }
-        let n = buf.len();
-        r.consume(n);
-    }
+/// A workerless `Shared` for reactor unit tests: inline verbs work, the
+/// queue accepts pushes nobody drains, logging is disabled.
+#[cfg(test)]
+pub(crate) fn test_shared() -> Arc<Shared> {
+    let (waker, _rx) = crate::poll::wake_pair().expect("wake pair");
+    let cfg = ServiceConfig::default();
+    Arc::new(Shared {
+        config: cfg.cgra,
+        model: PowerModel::asap7(),
+        cache: ResultCache::new(cfg.cache_mb << 20, None),
+        queue: BoundedQueue::new(cfg.queue_cap),
+        metrics: Metrics::new(),
+        chaos: None,
+        log: EventLog::disabled(),
+        shutting: AtomicBool::new(false),
+        in_flight: AtomicUsize::new(0),
+        started: Instant::now(),
+        threads: cfg.threads,
+        queue_cap: cfg.queue_cap,
+        pipeline_cap: cfg.pipeline,
+        max_conns: cfg.max_conns,
+        jobs_outstanding: AtomicUsize::new(0),
+        completions: Mutex::new(Vec::new()),
+        waker,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bounded_line_reader_handles_eof_and_oversize() {
-        let mut input = std::io::Cursor::new(b"{\"a\":1}\nrest".to_vec());
-        let mut line = String::new();
-        assert!(matches!(
-            read_bounded_line(&mut input, &mut line),
-            Ok(LineRead::Line)
-        ));
-        assert_eq!(line, "{\"a\":1}");
-        assert!(matches!(
-            read_bounded_line(&mut input, &mut line),
-            Ok(LineRead::Line)
-        ));
-        assert_eq!(line, "rest");
-        assert!(matches!(
-            read_bounded_line(&mut input, &mut line),
-            Ok(LineRead::Eof)
-        ));
-
-        let huge = vec![b'x'; MAX_LINE_BYTES + 10];
-        let mut with_tail = huge.clone();
-        with_tail.extend_from_slice(b"\n{\"ok\":1}\n");
-        let mut input = std::io::Cursor::new(with_tail);
-        assert!(matches!(
-            read_bounded_line(&mut input, &mut line),
-            Ok(LineRead::TooLong)
-        ));
-        // The stream resynchronises on the next line.
-        assert!(matches!(
-            read_bounded_line(&mut input, &mut line),
-            Ok(LineRead::Line)
-        ));
-        assert_eq!(line, "{\"ok\":1}");
-    }
+    use crate::proto::Source;
+    use iced::kernels::{Kernel, UnrollFactor};
 
     #[test]
     fn service_config_env_parsing_clamps() {
         assert_eq!(env_usize("ICED_SVC_DOES_NOT_EXIST", 7, 1, 10), 7);
+        let cfg = ServiceConfig::default();
+        assert_eq!(cfg.pipeline, 32);
+        assert_eq!(cfg.max_conns, 4096);
+    }
+
+    #[test]
+    fn batch_element_keys_match_standalone_verb_keys() {
+        let cfg = CgraConfig::iced_prototype().canonical_hash();
+        let spec = CompileSpec {
+            source: Source::Named(Kernel::Fir, UnrollFactor::X1),
+            strategy: Strategy::IcedIslands,
+            max_ii: None,
+            deadline_ms: None,
+        };
+        let elem = BatchElem::Compile(spec.clone());
+        assert_eq!(elem_key(cfg, &elem), compile_key(cfg, &spec));
+
+        let sim = SimulateSpec {
+            compile: spec.clone(),
+            iterations: 500,
+            seed: 3,
+        };
+        assert_eq!(
+            elem_key(cfg, &BatchElem::Simulate(sim.clone())),
+            simulate_key(cfg, &sim)
+        );
+        // The two verbs never collide, and serving knobs stay excluded.
+        assert_ne!(compile_key(cfg, &spec), simulate_key(cfg, &sim));
+        let with_deadline = CompileSpec {
+            deadline_ms: Some(5000),
+            ..spec.clone()
+        };
+        assert_eq!(compile_key(cfg, &spec), compile_key(cfg, &with_deadline));
     }
 }

@@ -1,0 +1,232 @@
+//! End-to-end tests for the readiness-reactor connection handling:
+//! hundreds of concurrent pipelined connections with strict response
+//! ordering and routing, the per-connection pipeline cap, and the
+//! connection ceiling.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use iced_service::{Server, ServiceConfig};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf).expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-conversation");
+        line.trim_end().to_string()
+    }
+}
+
+/// Pulls `(conn, seq)` out of a response's `"req":"c<conn>-<seq>"`.
+fn req_token(resp: &str) -> (u64, u64) {
+    let i = resp.find("\"req\":\"c").expect("req token") + 8;
+    let rest = &resp[i..];
+    let end = rest.find('"').expect("token close quote");
+    let (conn, seq) = rest[..end].split_once('-').expect("token dash");
+    (conn.parse().expect("conn"), seq.parse().expect("seq"))
+}
+
+/// Two hundred concurrent connections, each with four pipelined requests
+/// in flight at once. Every response must come back on the socket that
+/// asked, in the order it asked, with a per-connection `req` token whose
+/// `seq` walks 1..=4 under a connection ordinal no other socket shares.
+#[test]
+fn pipelined_connections_get_ordered_routed_responses() {
+    const CONNS: usize = 200;
+    const ROUNDS: usize = 4;
+    let cfg = ServiceConfig {
+        threads: 2,
+        // Up to CONNS×2 work requests are genuinely queued at once.
+        queue_cap: 1024,
+        ..ServiceConfig::default()
+    };
+    let server = Server::start(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut clients: Vec<Client> = (0..CONNS).map(|_| Client::connect(addr)).collect();
+    // Fire every request on every connection before reading anything:
+    // the worker pool finishes them out of order, the reactor must not.
+    for (ci, c) in clients.iter_mut().enumerate() {
+        for r in 0..ROUNDS {
+            let id = (ci as u64 + 1) * 100 + r as u64;
+            let line = if r % 2 == 0 {
+                format!(
+                    "{{\"id\":{id},\"verb\":\"compile\",\"kernel\":\"fir\",\"strategy\":\"iced\"}}"
+                )
+            } else {
+                format!("{{\"id\":{id},\"verb\":\"healthz\"}}")
+            };
+            c.send(&line);
+        }
+    }
+    let mut seen_ordinals = HashSet::new();
+    for (ci, c) in clients.iter_mut().enumerate() {
+        let mut ordinal = None;
+        for r in 0..ROUNDS {
+            let resp = c.recv();
+            assert!(resp.contains("\"ok\":true"), "conn {ci} round {r}: {resp}");
+            let want_id = (ci as u64 + 1) * 100 + r as u64;
+            assert!(
+                resp.contains(&format!("\"id\":{want_id},")),
+                "conn {ci}: response out of order or misrouted: {resp}"
+            );
+            let (tok, seq) = req_token(&resp);
+            assert_eq!(seq, r as u64 + 1, "conn {ci}: seq must walk 1..=4");
+            match ordinal {
+                None => ordinal = Some(tok),
+                Some(t) => assert_eq!(t, tok, "conn {ci}: ordinal changed mid-connection"),
+            }
+        }
+        assert!(
+            seen_ordinals.insert(ordinal.expect("ordinal")),
+            "two connections shared ordinal {ordinal:?}"
+        );
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+/// With a worker pinned on a slow job and strict ordering holding every
+/// later response back, the pipeline cap is reachable deterministically:
+/// requests past it answer `too_many_requests` inline — and still in
+/// order.
+#[test]
+fn pipeline_cap_rejects_excess_in_order() {
+    let cfg = ServiceConfig {
+        threads: 1,
+        queue_cap: 1,
+        pipeline: 4,
+        ..ServiceConfig::default()
+    };
+    let server = Server::start(cfg).expect("bind ephemeral port");
+    let mut c = Client::connect(server.local_addr());
+
+    // Ticket 0 occupies the single worker; nothing later may release
+    // until it finishes, so `outstanding` climbs with each send.
+    c.send("{\"id\":1,\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":300000,\"seed\":1}");
+    std::thread::sleep(Duration::from_millis(100));
+    // Ticket 1 sits in the queue (capacity 1).
+    c.send("{\"id\":2,\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":1000,\"seed\":2}");
+    // Tickets 2..=3 fill the rest of the cap of 4; 4..=5 exceed it.
+    for id in 3..=6 {
+        c.send(&format!("{{\"id\":{id},\"verb\":\"healthz\"}}"));
+    }
+
+    for seq in 1u64..=6 {
+        let resp = c.recv();
+        let (_, got_seq) = req_token(&resp);
+        assert_eq!(got_seq, seq, "responses leave in request order: {resp}");
+        if seq <= 4 {
+            // The admitted requests echo their ids and succeed.
+            assert!(resp.contains("\"ok\":true"), "seq {seq}: {resp}");
+            assert!(
+                resp.contains(&format!("\"id\":{seq},")),
+                "seq {seq}: {resp}"
+            );
+        } else {
+            // Over-cap lines are rejected before parsing (no work spent
+            // on an abusive client), so they carry id 0 and correlate by
+            // the `req` token alone.
+            assert!(
+                resp.contains("too_many_requests"),
+                "seq {seq} must hit the pipeline cap: {resp}"
+            );
+            assert!(resp.contains("pipeline cap 4"), "{resp}");
+        }
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Connects past `max_conns` are answered with one structured
+/// `too_many_connections` line and closed — and a freed slot makes room
+/// for the next dialer.
+#[test]
+fn connection_ceiling_refuses_then_recovers() {
+    let cfg = ServiceConfig {
+        threads: 1,
+        max_conns: 8,
+        ..ServiceConfig::default()
+    };
+    let server = Server::start(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut held: Vec<Client> = (0..8).map(|_| Client::connect(addr)).collect();
+    // A round trip per connection proves all 8 are registered.
+    for (i, c) in held.iter_mut().enumerate() {
+        c.send(&format!("{{\"id\":{i},\"verb\":\"healthz\"}}"));
+        assert!(c.recv().contains("\"ok\":true"));
+    }
+
+    // The 9th dialer is told why, then hung up on.
+    let mut extra = TcpStream::connect(addr).expect("connect");
+    extra
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut refusal = String::new();
+    extra
+        .read_to_string(&mut refusal)
+        .expect("read refusal to EOF");
+    assert!(
+        refusal.contains("too_many_connections"),
+        "refusal line: {refusal}"
+    );
+    assert!(refusal.ends_with('\n'), "refusal is a complete line");
+
+    // The refusal is observable.
+    let metrics = {
+        let c = &mut held[0];
+        c.send("{\"id\":100,\"verb\":\"metrics\"}");
+        c.recv()
+    };
+    assert!(metrics.contains("\"conns_rejected\":1"), "{metrics}");
+    assert!(metrics.contains("\"max_conns\":8"), "{metrics}");
+    assert!(metrics.contains("\"conns_open\":8"), "{metrics}");
+
+    // Freeing one slot lets the next dialer in.
+    drop(held.remove(7));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut retry = Client::connect(addr);
+        retry.send("{\"id\":200,\"verb\":\"healthz\"}");
+        let mut line = String::new();
+        match retry.reader.read_line(&mut line) {
+            Ok(n) if n > 0 && line.contains("\"ok\":true") => break,
+            _ if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => panic!("slot never freed: {other:?} / {line}"),
+        }
+    }
+
+    server.shutdown();
+    server.wait();
+}
