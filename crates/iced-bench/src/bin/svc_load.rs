@@ -37,7 +37,7 @@ use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
 
 use iced_service::poll::{poll, PollFd, POLLIN, POLLOUT};
-use iced_service::{Client, Server, ServiceConfig};
+use iced_service::{Client, Router, RouterConfig, Server, ServiceConfig};
 
 /// Connects via the shared resilient client, exiting with a diagnostic
 /// when the daemon never comes up.
@@ -368,6 +368,37 @@ fn conns_sweep(addr: &str, n: usize, rounds: usize) -> (Series, ConnsStats) {
     (lat, stats)
 }
 
+/// Reads this process's soft open-file limit from `/proc/self/limits`
+/// (None off Linux or if the file is unreadable).
+fn fd_soft_limit() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+    // "Max open files   1024   524288   files" — token 3 is the soft limit.
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Fails fast — before any socket is opened — when the planned sweep
+/// would exhaust the fd budget. In-process mode holds BOTH ends of every
+/// connection (client socket + the server's accepted socket), so each
+/// connection costs ~2 fds; external mode costs 1. A margin covers the
+/// server's listener, wake pipes, spill files, and stdio.
+fn ensure_fd_budget(conns: usize, in_process: bool) {
+    const MARGIN: u64 = 128;
+    let per_conn: u64 = if in_process { 2 } else { 1 };
+    let needed = conns as u64 * per_conn + MARGIN;
+    if let Some(soft) = fd_soft_limit() {
+        if needed > soft {
+            eprintln!(
+                "svc_load: --conns {conns} needs ~{needed} file descriptors \
+                 ({per_conn} per connection in {} mode + {MARGIN} margin) but the \
+                 soft limit is {soft}; raise it (`ulimit -n {needed}`) or lower --conns",
+                if in_process { "in-process" } else { "external" }
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Extracts the first `"name":<u64>` field from a JSON text.
 fn field_u64(resp: &str, name: &str) -> u64 {
     let pat = format!("\"{name}\":");
@@ -382,8 +413,379 @@ fn field_u64(resp: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// One shard-count step of the `--cluster` sweep.
+struct ClusterStep {
+    shards: usize,
+    cold_ms: f64,
+    warm_rps: f64,
+    warm_ok: usize,
+    warm_hits: usize,
+    mismatched: usize,
+    misrouted: usize,
+}
+
+/// Simulate-request bodies (everything after `"id":N,`): one cheap
+/// kernel, distinct seeds. Every body is a distinct cache key whose
+/// rendered result has near-identical size, so the working set's byte
+/// volume is `n × entry_bytes` and LRU capacity eviction can be driven
+/// precisely against a fixed per-shard budget.
+fn cluster_bodies(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|s| {
+            format!("\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":200,\"seed\":{s}")
+        })
+        .collect()
+}
+
+/// Measures the rendered result size of one sweep cache entry by running
+/// a few samples against a throwaway shard with a roomy cache, so the
+/// working set stays correctly sized as result renderings evolve.
+fn calibrate_entry_bytes() -> usize {
+    let shard = Server::start(ServiceConfig::default()).expect("calibration shard");
+    let mut c = connect_or_die(&shard.local_addr().to_string(), Duration::from_secs(10));
+    let (mut total, mut count) = (0usize, 0usize);
+    for (i, body) in cluster_bodies(6).iter().enumerate() {
+        let (resp, _) = round_trip(&mut c, &format!("{{\"id\":{},{body}}}", 100 + i));
+        assert!(resp.contains("\"ok\":true"), "calibration: {resp}");
+        let start = resp.find(",\"result\":").expect("result object") + ",\"result\":".len();
+        total += resp.trim_end().len() - start - 1; // drop the envelope's closing brace
+        count += 1;
+    }
+    shard.shutdown();
+    shard.wait();
+    (total / count).max(1)
+}
+
+/// Boots `n` in-process shards plus a router fronting them, all sized so
+/// the sweep measures cache capacity rather than pipeline caps.
+fn boot_cluster(
+    n: usize,
+    replicate_hot: usize,
+    cache_bytes: Option<u64>,
+) -> (Vec<Option<Server>>, Vec<String>, Router) {
+    let mut servers = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cfg = ServiceConfig {
+            pipeline: 2048,
+            queue_cap: 4096,
+            cache_bytes,
+            ..ServiceConfig::default()
+        };
+        let s = Server::start(cfg).expect("start shard");
+        addrs.push(s.local_addr().to_string());
+        servers.push(Some(s));
+    }
+    let router = Router::start(RouterConfig {
+        shards: addrs.clone(),
+        replicate_hot,
+        pipeline: 2048,
+        shard_pipeline: 2048,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    (servers, addrs, router)
+}
+
+/// Drives `threads` connections through the router, each pipelining the
+/// whole request set `rounds` times. Returns (requests/s, ok, warm hits,
+/// misrouted).
+fn warm_drive(
+    addr: &str,
+    threads: usize,
+    rounds: usize,
+    bodies: &[String],
+) -> (f64, usize, usize, usize) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.to_string();
+            let bodies = bodies.to_vec();
+            std::thread::spawn(move || {
+                let stream = std::net::TcpStream::connect(&addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(300)))
+                    .unwrap();
+                stream.set_nodelay(true).unwrap();
+                let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let (mut ok, mut hits, mut misrouted) = (0usize, 0usize, 0usize);
+                for r in 0..rounds {
+                    // Pipeline the full set in ONE write, then collect:
+                    // responses must come back in send order with the
+                    // ids we chose.
+                    let mut batch = String::new();
+                    for (i, body) in bodies.iter().enumerate() {
+                        let id = ((t + 1) * 10_000_000 + r * 100_000 + i) as u64;
+                        let _ = writeln!(batch, "{{\"id\":{id},{body}}}");
+                    }
+                    writer.write_all(batch.as_bytes()).expect("send");
+                    for i in 0..bodies.len() {
+                        let id = ((t + 1) * 10_000_000 + r * 100_000 + i) as u64;
+                        let mut resp = String::new();
+                        use std::io::BufRead as _;
+                        reader.read_line(&mut resp).expect("recv");
+                        if !resp.starts_with(&format!("{{\"id\":{id},")) {
+                            misrouted += 1;
+                        } else if resp.contains("\"ok\":true") {
+                            ok += 1;
+                            if resp.contains("\"cached\":true") {
+                                hits += 1;
+                            }
+                        }
+                    }
+                }
+                (ok, hits, misrouted)
+            })
+        })
+        .collect();
+    let (mut ok, mut hits, mut misrouted) = (0usize, 0usize, 0usize);
+    for h in handles {
+        let (o, hi, m) = h.join().expect("warm driver");
+        ok += o;
+        hits += hi;
+        misrouted += m;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (ok as f64 / wall.max(1e-9), ok, hits, misrouted)
+}
+
+/// The kill-one-shard phase: a hot entry replicated to its successor must
+/// still answer warm after its home shard dies mid-run. The kill point
+/// comes from an iced-fault schedule so the scenario is deterministic.
+fn cluster_failover() -> (bool, bool) {
+    const REPLICATE_AFTER: usize = 2;
+    let (mut servers, addrs, router) = boot_cluster(3, REPLICATE_AFTER, None);
+    let raddr = router.local_addr().to_string();
+
+    let body = "\"verb\":\"compile\",\"kernel\":\"fft\",\"unroll\":2,\"strategy\":\"iced\"";
+    let req_line = format!("{{\"id\":1,{body}}}");
+    let req = iced_service::proto::parse_request(&req_line).expect("valid request");
+    let cfg = iced::arch::CgraConfig::iced_prototype().canonical_hash();
+    let key = iced_service::request_key(cfg, &req).expect("compile has a key");
+    let ids: Vec<u64> = addrs.iter().map(|a| iced_hash::shard_id(a)).collect();
+    let home = iced_hash::rendezvous_rank(key.0, key.1, &ids)[0];
+    let plan = iced::fault::FaultPlan::empty()
+        .with_island_failure(iced::arch::IslandId(home as u16), REPLICATE_AFTER + 1);
+    let kill_after = plan.midrun[0].after_inputs;
+
+    let mut c = connect_or_die(&raddr, Duration::from_secs(10));
+    let (cold, _) = round_trip(&mut c, &req_line);
+    assert!(cold.contains("\"ok\":true"), "failover cold: {cold}");
+    for _ in 1..kill_after {
+        let (warm, _) = round_trip(&mut c, &req_line);
+        assert!(warm.contains("\"ok\":true"), "failover warm: {warm}");
+    }
+    let (stats, _) = round_trip(&mut c, "{\"id\":90,\"verb\":\"metrics\"}");
+    assert!(
+        field_u64(&stats, "replicated") >= 1,
+        "hot replication never triggered: {stats}"
+    );
+
+    let victim = servers[home].take().expect("home shard alive");
+    victim.shutdown();
+    victim.wait();
+
+    let (after, _) = round_trip(&mut c, &req_line);
+    let survived = after.contains("\"cached\":true");
+    let bytes_match = canonicalize(&cold) == canonicalize(&after);
+
+    router.shutdown();
+    router.wait();
+    for s in servers.into_iter().flatten() {
+        s.wait();
+    }
+    (survived, bytes_match)
+}
+
+/// The `--cluster` mode: sweeps shard counts through an in-process
+/// router, checking byte-identity against the 1-shard baseline and
+/// measuring warm-hit throughput scaling, then runs the failover phase.
+/// Writes `BENCH_cluster.json`.
+///
+/// The scaling axis is deliberately **aggregate cache capacity**, not
+/// core count: every shard gets the same small LRU budget, and the
+/// working set is sized to ~1.7× one shard's budget. A single shard
+/// cycles through more keys than it can hold, so the LRU evicts each
+/// entry before its replay arrives and nearly every request recomputes
+/// cold; four shards partition the same keys into quarters that fit
+/// comfortably, so the drive runs at the warm-hit rate. That is exactly
+/// what adding shards buys a content-addressed service in production,
+/// and — unlike raw request-pumping — it measures the same thing on a
+/// 1-core CI container as on a 64-core box.
+fn run_cluster(quick: bool, tiny: bool, out_path: &str) {
+    let shard_counts: &[usize] = if tiny {
+        &[1, 2]
+    } else if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
+    let threads = 2;
+    let rounds = if tiny {
+        2
+    } else if quick {
+        3
+    } else {
+        5
+    };
+    let budget: u64 = if tiny { 16 << 10 } else { 48 << 10 };
+    let entry_bytes = calibrate_entry_bytes();
+    let keys = ((budget as f64 * 1.7 / entry_bytes as f64).ceil() as usize).clamp(64, 20_000);
+    let bodies = cluster_bodies(keys);
+    // ~2 fds per in-process connection: driver conns + S router links.
+    ensure_fd_budget(threads + shard_counts.last().unwrap() + 8, true);
+    println!(
+        "svc_load: cluster sweep: {keys} distinct keys × ~{entry_bytes} B \
+         vs {} KiB per-shard cache",
+        budget >> 10
+    );
+
+    let mut baseline: Vec<String> = Vec::new();
+    let mut steps: Vec<ClusterStep> = Vec::new();
+    for &n in shard_counts {
+        let (servers, _addrs, router) = boot_cluster(n, 0, Some(budget));
+        let raddr = router.local_addr().to_string();
+        let mut c = connect_or_die(&raddr, Duration::from_secs(10));
+
+        // Cold pass: populate every home shard, and byte-compare each
+        // response against the 1-shard baseline.
+        let mut mismatched = 0usize;
+        let t_cold = Instant::now();
+        for (i, body) in bodies.iter().enumerate() {
+            let (resp, _) = round_trip(&mut c, &format!("{{\"id\":{},{body}}}", 30_000_000 + i));
+            assert!(resp.contains("\"ok\":true"), "cluster cold: {resp}");
+            let canon = canonicalize(&resp);
+            if n == shard_counts[0] {
+                baseline.push(canon);
+            } else if canon != baseline[i] {
+                mismatched += 1;
+            }
+        }
+        let cold_ms = t_cold.elapsed().as_secs_f64() * 1000.0;
+
+        let (warm_rps, warm_ok, warm_hits, misrouted) =
+            warm_drive(&raddr, threads, rounds, &bodies);
+        println!(
+            "svc_load: cluster {n} shard(s): cold {cold_ms:.1} ms, \
+             warm {warm_rps:.0} req/s ({warm_ok} ok, {:.0}% hits, {misrouted} misrouted, \
+             {mismatched} mismatched)",
+            100.0 * warm_hits as f64 / warm_ok.max(1) as f64
+        );
+        steps.push(ClusterStep {
+            shards: n,
+            cold_ms,
+            warm_rps,
+            warm_ok,
+            warm_hits,
+            mismatched,
+            misrouted,
+        });
+
+        router.shutdown();
+        router.wait();
+        for s in servers.into_iter().flatten() {
+            s.wait();
+        }
+    }
+
+    let (survived, bytes_match) = cluster_failover();
+    println!(
+        "svc_load: failover: replicated warm hit {} (bytes {})",
+        if survived { "survived" } else { "LOST" },
+        if bytes_match { "identical" } else { "DIVERGED" }
+    );
+
+    let rps_at = |n: usize| {
+        steps
+            .iter()
+            .find(|s| s.shards == n)
+            .map(|s| s.warm_rps)
+            .unwrap_or(0.0)
+    };
+    let scaling_4x = if rps_at(1) > 0.0 && rps_at(4) > 0.0 {
+        rps_at(4) / rps_at(1)
+    } else {
+        0.0
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"mode\": \"cluster\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"driver_threads\": {threads},");
+    let _ = writeln!(out, "  \"distinct_keys\": {},", bodies.len());
+    let _ = writeln!(out, "  \"entry_bytes\": {entry_bytes},");
+    let _ = writeln!(out, "  \"cache_bytes_per_shard\": {budget},");
+    let _ = writeln!(
+        out,
+        "  \"working_set_bytes\": {},",
+        bodies.len() * entry_bytes
+    );
+    let _ = writeln!(out, "  \"sweep\": [");
+    for (i, s) in steps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"shards\": {}, \"cold_ms\": {:.1}, \"warm_rps\": {:.0}, \
+             \"warm_ok\": {}, \"hit_rate\": {:.3}, \"mismatched\": {}, \"misrouted\": {}}}{}",
+            s.shards,
+            s.cold_ms,
+            s.warm_rps,
+            s.warm_ok,
+            s.warm_hits as f64 / s.warm_ok.max(1) as f64,
+            s.mismatched,
+            s.misrouted,
+            if i + 1 < steps.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"warm_scaling_4_vs_1\": {scaling_4x:.2},");
+    let _ = writeln!(
+        out,
+        "  \"failover\": {{\"survived_warm\": {survived}, \"bytes_identical\": {bytes_match}}}"
+    );
+    out.push_str("}\n");
+    std::fs::write(out_path, &out).expect("write cluster report");
+    println!("svc_load: cluster report written to {out_path}");
+    if steps.iter().any(|s| s.shards == 4) {
+        println!("svc_load: warm scaling at 4 shards: {scaling_4x:.2}x vs 1");
+    }
+
+    let mismatched: usize = steps.iter().map(|s| s.mismatched).sum();
+    let misrouted: usize = steps.iter().map(|s| s.misrouted).sum();
+    assert_eq!(mismatched, 0, "router responses diverged from baseline");
+    assert_eq!(misrouted, 0, "responses landed out of order");
+    if steps.iter().any(|s| s.shards == 4) {
+        assert!(
+            scaling_4x >= 3.0,
+            "aggregate-capacity scaling regressed: {scaling_4x:.2}x at 4 shards vs 1"
+        );
+    }
+    assert!(survived, "replicated warm hit lost after shard kill");
+    assert!(bytes_match, "failover response bytes diverged");
+}
+
+const USAGE: &str = "usage: svc_load [--quick|--tiny] [--addr HOST:PORT] [--out PATH] \
+[--clients N] [--conns N] [--cluster] [--shutdown]\n\
+  --quick / --tiny   smaller request grids (CI / e2e-test sized)\n\
+  --addr HOST:PORT   drive an external daemon (default: in-process server)\n\
+  --out PATH         report path (default BENCH_service.json, or\n\
+                     BENCH_cluster.json with --cluster)\n\
+  --clients N        open-loop client threads\n\
+  --conns N          high-connection-count sweep; needs ~2 file descriptors\n\
+                     per connection in in-process mode (1 external) — the\n\
+                     fd budget is preflighted against the soft ulimit and\n\
+                     the run aborts early if it cannot fit\n\
+  --cluster          shard-count sweep (1..8 in-process shards behind a\n\
+                     router) + kill-one-shard failover; writes BENCH_cluster.json\n\
+  --shutdown         send the shutdown verb to the external daemon when done";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     // --tiny is the smallest honest run (2 kernels, 2 clients): used by
     // the e2e observability test, where debug-build wall clock matters.
@@ -395,6 +797,11 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    if args.iter().any(|a| a == "--cluster") {
+        let out = flag("--out").unwrap_or_else(|| "BENCH_cluster.json".into());
+        run_cluster(quick, tiny, &out);
+        return;
+    }
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".into());
     let conns_n: usize = flag("--conns").and_then(|v| v.parse().ok()).unwrap_or(0);
     let clients: usize = flag("--clients")
@@ -410,6 +817,10 @@ fn main() {
     // Self-contained mode starts an in-process server on an ephemeral
     // port; --addr drives an external daemon instead.
     let external = flag("--addr");
+    if conns_n > 0 {
+        // Fail before any socket opens, not mid-sweep with EMFILE.
+        ensure_fd_budget(conns_n, external.is_none());
+    }
     let (server, addr) = match &external {
         Some(a) => (None, a.clone()),
         None => {

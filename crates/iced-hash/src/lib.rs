@@ -133,6 +133,57 @@ pub fn combine(parts: &[u64]) -> u64 {
     h.finish()
 }
 
+/// Domain-separation seed for rendezvous (highest-random-weight) scores.
+/// Distinct from the cache-key seeds (`0x1ced_0001`/`0x1ced_0002`) so the
+/// placement function is independent of the key bits themselves.
+const RENDEZVOUS_SEED: u64 = 0x1ced_0004;
+
+/// A stable identifier for a cluster shard, derived from its address
+/// string (e.g. `"127.0.0.1:4401"`). Routers and benches must agree on
+/// this so both sides compute the same owner for a key.
+pub fn shard_id(addr: &str) -> u64 {
+    let mut h = StableHasher::with_seed(RENDEZVOUS_SEED);
+    h.write_str(addr);
+    h.finish()
+}
+
+/// The rendezvous score of `shard` for the 128-bit key `(key_hi, key_lo)`.
+/// The shard with the highest score over a set owns the key; the
+/// runner-up is its replication successor. Removing one shard only
+/// remaps the keys that shard owned — every other key keeps its
+/// maximum, which is the property that makes failover cheap.
+pub fn rendezvous_score(key_hi: u64, key_lo: u64, shard: u64) -> u64 {
+    let mut h = StableHasher::with_seed(RENDEZVOUS_SEED);
+    h.write_u64(key_hi);
+    h.write_u64(key_lo);
+    h.write_u64(shard);
+    h.finish()
+}
+
+/// Indices into `shards` ordered best-first by rendezvous score (ties
+/// broken by shard id so the order is total and deterministic). Index 0
+/// is the key's owner, index 1 its replication successor.
+pub fn rendezvous_rank(key_hi: u64, key_lo: u64, shards: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(rendezvous_score(key_hi, key_lo, shards[i])),
+            shards[i],
+        )
+    });
+    order
+}
+
+/// The index of the shard owning `(key_hi, key_lo)`, or `None` for an
+/// empty shard set.
+pub fn rendezvous_owner(key_hi: u64, key_lo: u64, shards: &[u64]) -> Option<usize> {
+    shards
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| (rendezvous_score(key_hi, key_lo, s), std::cmp::Reverse(s)))
+        .map(|(i, _)| i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +225,58 @@ mod tests {
     fn combine_is_order_dependent() {
         assert_ne!(combine(&[1, 2]), combine(&[2, 1]));
         assert_ne!(combine(&[1]), combine(&[1, 0]));
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_ranked_consistently() {
+        let shards: Vec<u64> = ["a:1", "b:2", "c:3", "d:4"]
+            .iter()
+            .map(|a| shard_id(a))
+            .collect();
+        for k in 0..64u64 {
+            let (hi, lo) = (mix(k), mix(k ^ 0xdead));
+            let rank = rendezvous_rank(hi, lo, &shards);
+            assert_eq!(rank.len(), shards.len());
+            let mut seen = rank.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3], "rank must be a permutation");
+            assert_eq!(rendezvous_owner(hi, lo, &shards), Some(rank[0]));
+            assert_eq!(rank, rendezvous_rank(hi, lo, &shards));
+        }
+        assert_eq!(rendezvous_owner(1, 2, &[]), None);
+    }
+
+    #[test]
+    fn rendezvous_balances_roughly_evenly() {
+        let shards: Vec<u64> = (0..4)
+            .map(|i| shard_id(&format!("127.0.0.1:44{i:02}")))
+            .collect();
+        let mut counts = [0usize; 4];
+        let n = 4096u64;
+        for k in 0..n {
+            let (hi, lo) = (mix(k), mix(k.wrapping_mul(0x9e37_79b9)));
+            counts[rendezvous_owner(hi, lo, &shards).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Perfectly even would be 1024; allow a wide statistical band.
+            assert!((600..=1500).contains(&c), "shard {i} owns {c} of {n} keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_own_keys() {
+        let shards: Vec<u64> = (0..5).map(|i| shard_id(&format!("s{i}"))).collect();
+        let survivors: Vec<u64> = shards[..4].to_vec();
+        for k in 0..512u64 {
+            let (hi, lo) = (mix(k ^ 7), mix(k ^ 13));
+            let before = rendezvous_owner(hi, lo, &shards).unwrap();
+            let after = rendezvous_owner(hi, lo, &survivors).unwrap();
+            if before != 4 {
+                assert_eq!(before, after, "key {k} moved despite its owner surviving");
+            } else {
+                // The dead shard's keys land on the old runner-up.
+                assert_eq!(after, rendezvous_rank(hi, lo, &shards)[1]);
+            }
+        }
     }
 }

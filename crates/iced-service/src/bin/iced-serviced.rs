@@ -8,6 +8,7 @@
 //! | `ICED_SVC_THREADS` | min(cores, 4) | worker pool size |
 //! | `ICED_SVC_QUEUE` | 64 | request queue capacity |
 //! | `ICED_SVC_CACHE_MB` | 64 | in-memory cache budget |
+//! | `ICED_SVC_CACHE_BYTES` | unset | exact cache budget in bytes, overrides `CACHE_MB` |
 //! | `ICED_SVC_CACHE_DIR` | unset | disk-spill directory (off when unset) |
 //! | `ICED_SVC_CHAOS` | unset | chaos-injection seed (number or label; off when unset) |
 //! | `ICED_SVC_PIPELINE` | 32 | max unanswered requests per connection |
@@ -45,6 +46,11 @@ fn main() {
                     cfg.cache_mb = n;
                 }
             }
+            "--cache-bytes" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.cache_bytes = Some(n);
+                }
+            }
             "--cache-dir" => {
                 cfg.cache_dir = args.next().map(std::path::PathBuf::from);
             }
@@ -74,11 +80,11 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: iced-serviced [--addr HOST:PORT] [--threads N] [--queue N] \
-                     [--cache-mb N] [--cache-dir PATH] [--chaos SEED] \
+                     [--cache-mb N] [--cache-bytes N] [--cache-dir PATH] [--chaos SEED] \
                      [--pipeline N] [--max-conns N] \
                      [--log PATH] [--log-level error|warn|info|debug]\n\
                      env: ICED_SVC_ADDR ICED_SVC_THREADS ICED_SVC_QUEUE \
-                     ICED_SVC_CACHE_MB ICED_SVC_CACHE_DIR ICED_SVC_CHAOS \
+                     ICED_SVC_CACHE_MB ICED_SVC_CACHE_BYTES ICED_SVC_CACHE_DIR ICED_SVC_CHAOS \
                      ICED_SVC_PIPELINE ICED_SVC_MAX_CONNS \
                      ICED_SVC_LOG ICED_SVC_LOG_LEVEL"
                 );

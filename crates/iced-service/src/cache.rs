@@ -72,6 +72,18 @@ impl CacheKey {
     pub fn hex(&self) -> String {
         format!("{:016x}{:016x}", self.0, self.1)
     }
+
+    /// Parses the [`CacheKey::hex`] form back into a key (used by the
+    /// cluster `cache_put` verb). Returns `None` for anything that is
+    /// not exactly 32 hex characters.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(CacheKey(hi, lo))
+    }
 }
 
 #[derive(Debug)]

@@ -343,7 +343,7 @@ fn splice_verb(verb: &str, spec: &str) -> String {
 /// Splits the envelope's `"results":[…]` array into its top-level
 /// elements as raw text, so a successful slot's bytes stay exactly as
 /// the server rendered them (no client-side re-serialization).
-fn split_results(resp: &str) -> Vec<String> {
+pub(crate) fn split_results(resp: &str) -> Vec<String> {
     let Some(start) = resp.find("\"results\":[") else {
         return Vec::new();
     };

@@ -34,6 +34,12 @@
 //!   deterministic per-request ids (`c<conn>-<seq>`) echoed as `req`.
 //! * [`json`] — defensive std-only JSON parsing and deterministic
 //!   insertion-ordered serialization.
+//! * [`router`] — the cluster layer: `iced-routerd` speaks the same wire
+//!   protocol, rendezvous-hashes each request's cache key to one of N
+//!   backend shards (`ICED_SVC_SHARDS`), forwards over pooled pipelined
+//!   connections, splits batches per shard and reassembles them
+//!   byte-identically, replicates hot entries to a successor shard
+//!   (`ICED_SVC_REPLICATE_HOT`), and fails over when a shard dies.
 //! * [`metrics`] — hit/miss/eviction counters, per-verb log2 latency
 //!   histograms with p50/p95/p99 estimation, a sliding-window view
 //!   (`stats` verb), in-flight gauges, and Prometheus text exposition.
@@ -59,6 +65,7 @@ pub mod poll;
 pub mod proto;
 pub mod queue;
 mod reactor;
+pub mod router;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
@@ -67,4 +74,5 @@ pub use client::{BatchItem, Client, ClientError};
 pub use log::{EventLog, Level};
 pub use proto::{Request, RequestId, SvcError, Verb};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{Server, ServiceConfig};
+pub use router::{Router, RouterConfig};
+pub use server::{request_key, Server, ServiceConfig};

@@ -572,6 +572,7 @@ impl Metrics {
             )
             .finish();
         Obj::new()
+            .str("role", "shard")
             .u64("uptime_s", self.uptime().as_secs())
             .u64("window_seconds", EPOCH_SECONDS * WINDOW_SLOTS as u64)
             .u64("epoch_seconds", EPOCH_SECONDS)

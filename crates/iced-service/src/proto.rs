@@ -34,11 +34,16 @@ pub enum Verb {
     /// Many compile/simulate specs in one envelope, answered as one
     /// ordered response array with intra-batch cache dedup.
     Batch = 7,
+    /// Internal cluster verb: install an already-rendered result object
+    /// under a content-addressed key. The router uses it to replicate hot
+    /// entries to a key's successor shard; answered inline by the reactor
+    /// (never queued) so replication cannot be starved by work traffic.
+    CachePut = 8,
 }
 
 impl Verb {
     /// Every verb, in wire-name order used by the metrics payload.
-    pub const ALL: [Verb; 8] = [
+    pub const ALL: [Verb; 9] = [
         Verb::Compile,
         Verb::Simulate,
         Verb::Stream,
@@ -47,6 +52,7 @@ impl Verb {
         Verb::Shutdown,
         Verb::Stats,
         Verb::Batch,
+        Verb::CachePut,
     ];
 
     /// Wire name.
@@ -60,6 +66,7 @@ impl Verb {
             Verb::Shutdown => "shutdown",
             Verb::Stats => "stats",
             Verb::Batch => "batch",
+            Verb::CachePut => "cache_put",
         }
     }
 
@@ -170,6 +177,41 @@ impl Source {
             Source::Inline(d) => d.clone(),
         }
     }
+
+    /// The canonical hash of the DFG this source resolves to. For named
+    /// suite kernels the hash comes from a lazily built process-wide
+    /// table, so key derivation on hot paths (the cluster router keys
+    /// every forwarded request) skips the DFG construction entirely.
+    pub fn canonical_hash(&self) -> u64 {
+        match self {
+            Source::Named(k, uf) => named_dfg_hash(*k, *uf),
+            Source::Inline(d) => d.canonical_hash(),
+        }
+    }
+}
+
+/// Memoized `Kernel::dfg(unroll).canonical_hash()` over the whole suite.
+/// Building a suite DFG costs microseconds; the single-threaded router
+/// derives one key per request, so this table is what keeps routing off
+/// the scaling-bottleneck path.
+fn named_dfg_hash(kernel: Kernel, unroll: UnrollFactor) -> u64 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        Kernel::ALL
+            .iter()
+            .flat_map(|k| UnrollFactor::ALL.map(|uf| k.dfg(uf).canonical_hash()))
+            .collect()
+    });
+    let ki = Kernel::ALL
+        .iter()
+        .position(|k| k.name() == kernel.name())
+        .expect("suite kernel is in Kernel::ALL");
+    let ui = UnrollFactor::ALL
+        .iter()
+        .position(|&u| u == unroll)
+        .expect("unroll factor is in UnrollFactor::ALL");
+    table[ki * UnrollFactor::ALL.len() + ui]
 }
 
 /// `compile` request payload.
@@ -273,6 +315,14 @@ pub enum Payload {
     },
     /// `batch`.
     Batch(BatchSpec),
+    /// `cache_put`: install an already-rendered result object under a
+    /// content-addressed key (internal cluster replication).
+    CachePut {
+        /// The 32-hex-character `CacheKey::hex()` form.
+        key: String,
+        /// The rendered result-object bytes to install verbatim.
+        value: String,
+    },
     /// `healthz` / `metrics` / `shutdown` carry no payload.
     Control,
 }
@@ -604,6 +654,25 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 Payload::Batch(BatchSpec {
                     items: arr.iter().map(parse_batch_item).collect(),
                 })
+            }
+            Verb::CachePut => {
+                let key = v.get("key").and_then(Value::as_str).ok_or_else(|| {
+                    SvcError::with_entity("bad_request", "missing string field 'key'", "key")
+                })?;
+                if key.len() != 32 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(SvcError::with_entity(
+                        "bad_request",
+                        "'key' must be 32 hex characters",
+                        "key",
+                    ));
+                }
+                let value = v.get("value").and_then(Value::as_str).ok_or_else(|| {
+                    SvcError::with_entity("bad_request", "missing string field 'value'", "value")
+                })?;
+                Payload::CachePut {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                }
             }
             Verb::Healthz | Verb::Metrics | Verb::Shutdown => Payload::Control,
         })
@@ -944,6 +1013,41 @@ mod tests {
             render_batch_result(0, 0, &[]),
             r#"{"count":0,"unique":0,"deduped":0,"results":[]}"#
         );
+    }
+
+    #[test]
+    fn cache_put_parses_and_validates_its_key() {
+        let key = "0123456789abcdef0123456789abcdef";
+        let line = format!(r#"{{"id":7,"verb":"cache_put","key":"{key}","value":"{{\"ii\":2}}"}}"#);
+        let r = parse_request(&line).unwrap();
+        assert_eq!(r.verb, Verb::CachePut);
+        match r.payload {
+            Payload::CachePut { key: k, value } => {
+                assert_eq!(k, key);
+                assert_eq!(value, "{\"ii\":2}");
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+        assert!(!Verb::CachePut.cacheable());
+
+        let e = parse_request(r#"{"verb":"cache_put","key":"zz","value":"{}"}"#).unwrap_err();
+        assert_eq!(e.error.code, "bad_request");
+        assert_eq!(e.error.entity.as_deref(), Some("key"));
+        let e = parse_request(&format!(r#"{{"verb":"cache_put","key":"{key}"}}"#)).unwrap_err();
+        assert_eq!(e.error.entity.as_deref(), Some("value"));
+    }
+
+    #[test]
+    fn memoized_source_hash_matches_direct_dfg_hash() {
+        for k in Kernel::ALL {
+            for uf in UnrollFactor::ALL {
+                let s = Source::Named(k, uf);
+                assert_eq!(s.canonical_hash(), s.dfg().canonical_hash(), "{}", k.name());
+            }
+        }
+        let d = text::parse("dfg tiny\nnode n0 add a\n").unwrap();
+        let h = d.canonical_hash();
+        assert_eq!(Source::Inline(d).canonical_hash(), h);
     }
 
     #[test]

@@ -466,6 +466,7 @@ fn handle_line(shared: &Arc<Shared>, c: &mut Conn, text: &str) {
             };
             let result = crate::json::Obj::new()
                 .str("status", "ok")
+                .str("role", "shard")
                 .str("state", state)
                 .str("version", env!("CARGO_PKG_VERSION"))
                 .u64("uptime_s", shared.started.elapsed().as_secs())
@@ -548,6 +549,27 @@ fn handle_line(shared: &Arc<Shared>, c: &mut Conn, text: &str) {
             );
             // Keep reading: the client may pipeline further requests,
             // which now receive `shutting_down` errors.
+        }
+        Verb::CachePut => {
+            let _flight = shared.metrics.flight(Verb::CachePut);
+            let Payload::CachePut { key, value } = req.payload else {
+                // parse_request only builds CachePut payloads for this verb.
+                unreachable!("cache_put request with non-cache_put payload");
+            };
+            let result = match CacheKey::from_hex(&key) {
+                Some(k) => {
+                    shared.cache.put(k, value);
+                    crate::json::Obj::new().bool("stored", true).finish()
+                }
+                None => crate::json::Obj::new().bool("stored", false).finish(),
+            };
+            shared.metrics.observe(Verb::CachePut, t0.elapsed());
+            log_control_finish(shared, rid, Verb::CachePut, t0);
+            c.complete(
+                ticket,
+                rid,
+                render_ok(req.id, Some(rid), Verb::CachePut, false, &result),
+            );
         }
         Verb::Compile | Verb::Simulate | Verb::Stream | Verb::Batch => {
             enqueue_work(shared, c, req, rid, ticket, t0);

@@ -79,6 +79,11 @@ pub struct ServiceConfig {
     pub queue_cap: usize,
     /// In-memory cache budget in MiB (`ICED_SVC_CACHE_MB`).
     pub cache_mb: u64,
+    /// Exact in-memory cache budget in bytes, overriding `cache_mb` when
+    /// set (`ICED_SVC_CACHE_BYTES`). Benchmarks and tests use this to
+    /// provoke LRU capacity eviction at working-set sizes far below one
+    /// MiB — the cluster sweep's aggregate-capacity scaling runs on it.
+    pub cache_bytes: Option<u64>,
     /// Optional disk-spill directory (`ICED_SVC_CACHE_DIR`).
     pub cache_dir: Option<PathBuf>,
     /// Chaos-injection seed (`ICED_SVC_CHAOS`); `None` disables chaos.
@@ -114,6 +119,9 @@ impl ServiceConfig {
             threads: env_usize("ICED_SVC_THREADS", threads, 1, 64),
             queue_cap: env_usize("ICED_SVC_QUEUE", 64, 1, 65_536),
             cache_mb: env_usize("ICED_SVC_CACHE_MB", 64, 1, 16_384) as u64,
+            cache_bytes: std::env::var("ICED_SVC_CACHE_BYTES")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok()),
             cache_dir: std::env::var("ICED_SVC_CACHE_DIR").ok().map(PathBuf::from),
             chaos: ChaosInjector::seed_from_env(),
             log_path: std::env::var(crate::log::ENV_LOG)
@@ -138,6 +146,7 @@ impl Default for ServiceConfig {
             threads: 2,
             queue_cap: 64,
             cache_mb: 64,
+            cache_bytes: None,
             cache_dir: None,
             chaos: None,
             log_path: None,
@@ -277,7 +286,11 @@ impl Server {
         let shared = Arc::new(Shared {
             config: cfg.cgra,
             model: PowerModel::asap7(),
-            cache: ResultCache::new(cfg.cache_mb.saturating_mul(1 << 20), cfg.cache_dir),
+            cache: ResultCache::new(
+                cfg.cache_bytes
+                    .unwrap_or_else(|| cfg.cache_mb.saturating_mul(1 << 20)),
+                cfg.cache_dir,
+            ),
             queue: BoundedQueue::new(cfg.queue_cap),
             metrics: Metrics::new(),
             chaos: cfg.chaos.map(ChaosInjector::new),
@@ -542,7 +555,7 @@ fn execute(
         Payload::Compile(spec) => compile_result(shared, spec)?,
         Payload::Simulate(spec) => simulate_result(shared, spec)?,
         Payload::Stream(spec) => stream_result(shared, spec)?,
-        Payload::Stats { .. } | Payload::Control | Payload::Batch(_) => {
+        Payload::Stats { .. } | Payload::Control | Payload::Batch(_) | Payload::CachePut { .. } => {
             return Err(SvcError::new(
                 "internal",
                 "control verb reached the worker pool",
@@ -652,10 +665,12 @@ fn hash_str(s: &str) -> u64 {
 }
 
 /// The `compile` content-addressed key for a given CGRA config hash.
+/// Uses the memoized `Source::canonical_hash` so key derivation on the
+/// router's forwarding path never rebuilds a suite DFG.
 pub(crate) fn compile_key(cfg: u64, spec: &CompileSpec) -> CacheKey {
     CacheKey::derive(&[
         hash_str("compile"),
-        spec.source.dfg().canonical_hash(),
+        spec.source.canonical_hash(),
         cfg,
         spec.mapper_options().canonical_hash(),
         hash_str(spec.strategy.name()),
@@ -666,7 +681,7 @@ pub(crate) fn compile_key(cfg: u64, spec: &CompileSpec) -> CacheKey {
 pub(crate) fn simulate_key(cfg: u64, spec: &SimulateSpec) -> CacheKey {
     CacheKey::derive(&[
         hash_str("simulate"),
-        spec.compile.source.dfg().canonical_hash(),
+        spec.compile.source.canonical_hash(),
         cfg,
         spec.compile.mapper_options().canonical_hash(),
         hash_str(spec.compile.strategy.name()),
@@ -684,26 +699,36 @@ pub(crate) fn elem_key(cfg: u64, elem: &BatchElem) -> CacheKey {
     }
 }
 
-/// The content-addressed key: canonical hashes of every semantic input.
-/// Serving knobs (deadline, thread count, client id) are deliberately
-/// excluded — they cannot change the payload bytes.
-fn cache_key(shared: &Shared, req: &Request) -> CacheKey {
-    let cfg = shared.config.canonical_hash();
+/// The content-addressed key a cacheable request resolves to, given the
+/// CGRA configuration's canonical hash — the exact key the shard's cache
+/// uses, exposed so the cluster router (and benches/tests computing
+/// shard placement) derive byte-identical keys. `None` for verbs whose
+/// responses are not content-addressed (control verbs and `batch`
+/// envelopes; batch *slots* key through [`BatchElem`] separately).
+pub fn request_key(cfg: u64, req: &Request) -> Option<CacheKey> {
     match &req.payload {
-        Payload::Compile(spec) => compile_key(cfg, spec),
-        Payload::Simulate(spec) => simulate_key(cfg, spec),
-        Payload::Stream(spec) => CacheKey::derive(&[
+        Payload::Compile(spec) => Some(compile_key(cfg, spec)),
+        Payload::Simulate(spec) => Some(simulate_key(cfg, spec)),
+        Payload::Stream(spec) => Some(CacheKey::derive(&[
             hash_str("stream"),
             cfg,
             hash_str(&spec.pipeline),
             hash_str(policy_name(spec.policy)),
             spec.inputs as u64,
             spec.seed,
-        ]),
-        Payload::Stats { .. } | Payload::Control | Payload::Batch(_) => {
-            CacheKey::derive(&[hash_str("control")])
+        ])),
+        Payload::Stats { .. } | Payload::Control | Payload::Batch(_) | Payload::CachePut { .. } => {
+            None
         }
     }
+}
+
+/// The content-addressed key: canonical hashes of every semantic input.
+/// Serving knobs (deadline, thread count, client id) are deliberately
+/// excluded — they cannot change the payload bytes.
+fn cache_key(shared: &Shared, req: &Request) -> CacheKey {
+    let cfg = shared.config.canonical_hash();
+    request_key(cfg, req).unwrap_or_else(|| CacheKey::derive(&[hash_str("control")]))
 }
 
 fn map_err_to_svc(e: MapError, entity: &str) -> SvcError {

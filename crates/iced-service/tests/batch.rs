@@ -248,12 +248,31 @@ fn saturated_queue_rejects_the_whole_batch() {
         queue_cap: 1,
         ..ServiceConfig::default()
     });
-    // Connection A pins the worker and fills the queue.
+    // Connection A pins the worker and fills the queue. `healthz` is
+    // answered inline by the reactor even while the worker is busy, so a
+    // side connection can observe each stage instead of guessing with
+    // sleeps (the pin job's runtime varies with the machine).
+    let mut probe = RawClient::connect(addr);
+    let mut wait_for = |field: &str, value: u64| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let health = probe.round_trip("{\"id\":99,\"verb\":\"healthz\"}");
+            if health.contains(&format!("\"{field}\":{value}")) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never reached {field}={value}: {health}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+
     let mut a = RawClient::connect(addr);
-    a.send("{\"id\":1,\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":400000,\"seed\":1}");
-    std::thread::sleep(Duration::from_millis(150));
+    a.send("{\"id\":1,\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":2000000,\"seed\":1}");
+    wait_for("in_flight", 1); // the worker has picked up the pin job
     a.send("{\"id\":2,\"verb\":\"simulate\",\"kernel\":\"fir\",\"iterations\":1000,\"seed\":2}");
-    std::thread::sleep(Duration::from_millis(50));
+    wait_for("queue_depth", 1); // the only queue slot is now occupied
 
     // Connection B's batch cannot be enqueued: whole-batch queue_full.
     let mut b = RawClient::connect(addr);

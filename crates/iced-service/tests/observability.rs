@@ -60,6 +60,7 @@ fn healthz_reports_enriched_fields_in_deterministic_order() {
 
     // Every enriched field is present with its configured value…
     assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"role\":\"shard\""), "{health}");
     assert!(health.contains("\"state\":\"running\""), "{health}");
     assert!(
         health.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
@@ -76,6 +77,7 @@ fn healthz_reports_enriched_fields_in_deterministic_order() {
     // …and the field order is deterministic, so two probes diff cleanly.
     let fields = [
         "\"status\":",
+        "\"role\":",
         "\"state\":",
         "\"version\":",
         "\"uptime_s\":",
