@@ -1,0 +1,184 @@
+//! Exact-mapper benchmark: certifies the minimum II of every Table I
+//! kernel against the heuristic portfolio and emits `BENCH_exact.json` —
+//! per-kernel certified II, admissible lower bound, optimality gap
+//! (heuristic II − certified II), proof kind, and nodes explored — so
+//! both mapping quality and search effort are tracked across PRs.
+//!
+//! ```sh
+//! cargo run --release -p iced-bench --bin map_exact -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` certifies under a smaller node budget (the CI exact-smoke
+//! configuration); the default budget digs deeper before settling for
+//! `best_under_budget`.
+//!
+//! The binary asserts its own invariants before writing the report and
+//! exits non-zero on violation:
+//!
+//! * lower bound ≤ certified II ≤ every heuristic II (baseline and iced);
+//! * every certified mapping passes `check_dependencies`;
+//! * a second certification of a sample of kernels is bit-identical
+//!   (certificate and mapping) — the search has no hidden seed.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use iced::arch::CgraConfig;
+use iced::exact::{certify, lower_bound, ExactOptions};
+use iced::kernels::{Kernel, UnrollFactor};
+use iced::mapper::{check_dependencies, map_with, MapperOptions};
+
+struct Row {
+    kernel: &'static str,
+    nodes: usize,
+    lower_bound: u32,
+    certified_ii: u32,
+    heuristic_ii: u32,
+    gap: u32,
+    proof: &'static str,
+    nodes_explored: u64,
+    wall_us: u128,
+}
+
+fn opts(quick: bool) -> ExactOptions {
+    ExactOptions {
+        node_budget: if quick { 20_000 } else { 200_000 },
+        ..ExactOptions::default()
+    }
+}
+
+fn emit_json(rows: &[Row], quick: bool) -> String {
+    let total_nodes: u64 = rows.iter().map(|r| r.nodes_explored).sum();
+    let optimal = rows.iter().filter(|r| r.proof == "optimal").count();
+    let total_gap: u32 = rows.iter().map(|r| r.gap).sum();
+    let mut out = String::new();
+    out.push_str("{\n  \"suite\": \"table1-x1\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"node_budget\": {},", opts(quick).node_budget);
+    let _ = writeln!(out, "  \"kernels_total\": {},", rows.len());
+    let _ = writeln!(out, "  \"kernels_optimal\": {optimal},");
+    let _ = writeln!(out, "  \"total_gap\": {total_gap},");
+    let _ = writeln!(out, "  \"total_nodes_explored\": {total_nodes},");
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"nodes\": {}, \"lower_bound\": {}, \
+             \"certified_ii\": {}, \"heuristic_ii\": {}, \"gap\": {}, \
+             \"proof\": \"{}\", \"nodes_explored\": {}, \"wall_us\": {}}}{}",
+            r.kernel,
+            r.nodes,
+            r.lower_bound,
+            r.certified_ii,
+            r.heuristic_ii,
+            r.gap,
+            r.proof,
+            r.nodes_explored,
+            r.wall_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_exact.json".to_string(), String::clone);
+
+    let cfg = CgraConfig::iced_prototype();
+    let xopts = opts(quick);
+    let heur = MapperOptions::baseline();
+    let mut rows = Vec::new();
+    for kernel in Kernel::ALL {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let lb = lower_bound(&dfg, &cfg);
+        let start = Instant::now();
+        let c = certify(&dfg, &cfg, &heur, &xopts)
+            .unwrap_or_else(|e| panic!("{}: certification failed: {e}", kernel.name()));
+        let wall_us = start.elapsed().as_micros();
+        assert!(
+            check_dependencies(&dfg, &c.mapping),
+            "{}: certified mapping violates dependencies",
+            kernel.name()
+        );
+        assert_eq!(c.mapping.ii(), c.certificate.ii, "{}", kernel.name());
+        // The optimality-gap column: the best heuristic II over both
+        // strategy families, never below the certified minimum.
+        let heuristic_ii = [MapperOptions::baseline(), MapperOptions::default()]
+            .iter()
+            .filter_map(|o| map_with(&dfg, &cfg, o).ok().map(|m| m.ii()))
+            .min()
+            .unwrap_or_else(|| panic!("{}: no heuristic mapping", kernel.name()));
+        assert!(
+            heuristic_ii >= c.certificate.ii,
+            "{}: heuristic II {} below certified minimum {}",
+            kernel.name(),
+            heuristic_ii,
+            c.certificate.ii
+        );
+        assert!(
+            c.certificate.lower_bound <= c.certificate.ii,
+            "{}: lower bound {} above certified II {}",
+            kernel.name(),
+            c.certificate.lower_bound,
+            c.certificate.ii
+        );
+        rows.push(Row {
+            kernel: kernel.name(),
+            nodes: dfg.node_count(),
+            lower_bound: lb,
+            certified_ii: c.certificate.ii,
+            heuristic_ii,
+            gap: heuristic_ii - c.certificate.ii,
+            proof: c.certificate.proof.name(),
+            nodes_explored: c.certificate.nodes_explored,
+            wall_us,
+        });
+    }
+
+    // Determinism spot check: re-certifying must reproduce the exact
+    // certificate (including nodes_explored) and the same mapping bytes.
+    for kernel in [Kernel::Fir, Kernel::Latnrm, Kernel::Mvt] {
+        let dfg = kernel.dfg(UnrollFactor::X1);
+        let a = certify(&dfg, &cfg, &heur, &xopts).expect("recertify");
+        let b = certify(&dfg, &cfg, &heur, &xopts).expect("recertify");
+        assert_eq!(a.certificate, b.certificate, "{}", kernel.name());
+        assert!(
+            a.mapping.result_eq(&b.mapping),
+            "{}: certification is not run-invariant",
+            kernel.name()
+        );
+    }
+
+    for r in &rows {
+        println!(
+            "{:>10}  lb={:>2}  certified={:>2}  heuristic={:>2}  gap={}  {}  nodes={}",
+            r.kernel,
+            r.lower_bound,
+            r.certified_ii,
+            r.heuristic_ii,
+            r.gap,
+            r.proof,
+            r.nodes_explored
+        );
+    }
+    let optimal = rows.iter().filter(|r| r.proof == "optimal").count();
+    println!(
+        "certified {} of {} kernels optimal, determinism ok",
+        optimal,
+        rows.len()
+    );
+
+    let json = emit_json(&rows, quick);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("map_exact: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -115,7 +115,7 @@ fn canonicalize(envelope: &str) -> String {
     }
 }
 
-fn compile_requests(quick: bool, tiny: bool) -> Vec<String> {
+fn compile_requests(quick: bool, tiny: bool, strategy: &str) -> Vec<String> {
     let kernels: &[&str] = if tiny {
         &["fir", "latnrm"]
     } else if quick {
@@ -134,10 +134,12 @@ fn compile_requests(quick: bool, tiny: bool) -> Vec<String> {
             "gemm",
         ]
     };
-    let strategies: &[&str] = if quick || tiny {
-        &["iced"]
+    let strategies: Vec<&str> = if !strategy.is_empty() {
+        vec![strategy]
+    } else if quick || tiny {
+        vec!["iced"]
     } else {
-        &["baseline", "iced"]
+        vec!["baseline", "iced"]
     };
     let mut reqs = Vec::new();
     let mut id = 1000;
@@ -766,8 +768,11 @@ fn run_cluster(quick: bool, tiny: bool, out_path: &str) {
 }
 
 const USAGE: &str = "usage: svc_load [--quick|--tiny] [--addr HOST:PORT] [--out PATH] \
-[--clients N] [--conns N] [--cluster] [--shutdown]\n\
+[--clients N] [--conns N] [--cluster] [--strategy NAME] [--shutdown]\n\
   --quick / --tiny   smaller request grids (CI / e2e-test sized)\n\
+  --strategy NAME    compile every closed-loop request under this strategy\n\
+                     (baseline, baseline+pg, per-tile, iced, heuristic,\n\
+                     exact, auto) instead of the default grid\n\
   --addr HOST:PORT   drive an external daemon (default: in-process server)\n\
   --out PATH         report path (default BENCH_service.json, or\n\
                      BENCH_cluster.json with --cluster)\n\
@@ -803,6 +808,20 @@ fn main() {
         return;
     }
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".into());
+    let strategy = flag("--strategy").unwrap_or_default();
+    const STRATEGIES: &[&str] = &[
+        "baseline",
+        "baseline+pg",
+        "per-tile",
+        "iced",
+        "heuristic",
+        "exact",
+        "auto",
+    ];
+    if !strategy.is_empty() && !STRATEGIES.contains(&strategy.as_str()) {
+        eprintln!("svc_load: unknown --strategy {strategy} (expected one of {STRATEGIES:?})");
+        std::process::exit(1);
+    }
     let conns_n: usize = flag("--conns").and_then(|v| v.parse().ok()).unwrap_or(0);
     let clients: usize = flag("--clients")
         .and_then(|v| v.parse().ok())
@@ -851,7 +870,7 @@ fn main() {
     // Phase 1+2: closed loop, same request set twice. Responses are
     // classified by the server's own `cached` marker, so an already-warm
     // external daemon still produces honest numbers.
-    let reqs = compile_requests(quick, tiny);
+    let reqs = compile_requests(quick, tiny, &strategy);
     let mut cold = Series::default();
     let mut warm = Series::default();
     let mut mismatched = 0usize;
@@ -876,6 +895,42 @@ fn main() {
             }
         }
     }
+
+    // Phase 2b: strategy cache keying — the same kernel under the exact
+    // and heuristic backends must resolve to distinct cache entries. The
+    // unroll=2 spec is off the phase-1 grid, so in self-contained mode
+    // the exact request is provably the first sight of its key.
+    let heur_req = r#"{"id":8000,"verb":"compile","kernel":"fir","unroll":2,"strategy":"iced"}"#;
+    let exact_req = r#"{"id":8001,"verb":"compile","kernel":"fir","unroll":2,"strategy":"exact"}"#;
+    let (h_first, _) = round_trip(&mut c, heur_req);
+    assert!(h_first.contains("\"ok\":true"), "{h_first}");
+    let (x_first, _) = round_trip(&mut c, exact_req);
+    assert!(x_first.contains("\"ok\":true"), "{x_first}");
+    if external.is_none() {
+        assert!(
+            x_first.contains("\"cached\":false"),
+            "exact request warm-hit a heuristic cache entry: {x_first}"
+        );
+    }
+    // Key separation also holds against an already-warm daemon: each
+    // backend's payload names its own strategy and only the exact one
+    // carries a certificate, so a shared key would replay the wrong one.
+    assert!(
+        h_first.contains("\"strategy\":\"iced\"") && !h_first.contains("\"proof\":"),
+        "heuristic payload shape: {h_first}"
+    );
+    assert!(
+        x_first.contains("\"strategy\":\"exact\"") && x_first.contains("\"proof\":"),
+        "exact payload must carry its certificate: {x_first}"
+    );
+    let (x_warm, _) = round_trip(&mut c, exact_req);
+    assert!(x_warm.contains("\"cached\":true"), "{x_warm}");
+    assert_eq!(
+        canonicalize(&x_first),
+        canonicalize(&x_warm),
+        "exact responses must be byte-stable"
+    );
+    println!("svc_load: strategy keying: exact and heuristic entries isolated");
 
     // Phase 3: open loop — every client fires its whole batch without
     // waiting, then collects. Saturation is expected; queue_full replies
@@ -1094,6 +1149,17 @@ fn main() {
     );
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"clients\": {clients},");
+    let _ = writeln!(
+        out,
+        "  \"strategy\": \"{}\",",
+        if strategy.is_empty() {
+            "default-grid"
+        } else {
+            &strategy
+        }
+    );
+    // The phase-2b assertions panicked already if keying ever crossed.
+    let _ = writeln!(out, "  \"strategy_keying\": \"isolated\",");
     let _ = writeln!(out, "  \"closed_loop\": [");
     let _ = writeln!(out, "    {},", cold.render("cold"));
     let _ = writeln!(out, "    {}", warm.render("warm"));

@@ -1,0 +1,532 @@
+//! Per-II branch-and-bound search over the MRRG.
+//!
+//! The search explores the *same decision space* the heuristic engine
+//! commits into — one `(tile, FU slot)` decision per DFG node, taken in
+//! the heuristic's cycle-first topological order, with every edge routed
+//! by the shared Dijkstra router the moment its second endpoint is
+//! placed — but exhaustively, with chronological backtracking upgraded to
+//! conservative conflict-driven backjumping. A `Refuted` verdict is a
+//! certificate that *no assignment in this decision space* maps the
+//! kernel at the given II (see the crate docs for the exact space
+//! definition and its relation to full place-and-route freedom).
+//!
+//! Determinism: the search is single-threaded and every iteration order
+//! (nodes, tiles, slots, edges) is fixed, so the same inputs always
+//! explore the same tree and return the same mapping. Budget and deadline
+//! knobs can only truncate the search (turning a verdict into
+//! [`Verdict::Budget`]/[`Verdict::Deadline`]); they never change *which*
+//! mapping a completed search finds.
+
+use iced_arch::{CgraConfig, Dir, DvfsLevel, Mrrg, TileId};
+use iced_dfg::{Dfg, NodeId};
+use iced_fault::FaultMask;
+use iced_mapper::engine_internals::{route, FoundRoute, RouterScratch, Txn};
+use iced_mapper::{Hop, MapError, Mapping, Placement, Route};
+use iced_trace::Phase;
+
+/// Search knobs threaded down from `ExactOptions`.
+pub(crate) struct Limits {
+    /// Abort once this many decisions have been committed (cumulative
+    /// across the IIs of one certification run).
+    pub node_budget: u64,
+    /// Abort once this instant passes (checked between decisions).
+    pub deadline: Option<std::time::Instant>,
+    /// Conflict-driven backjumping (disabling falls back to plain
+    /// chronological backtracking; the verdict is unchanged, only the
+    /// number of explored nodes differs).
+    pub backjump: bool,
+}
+
+/// Outcome of searching one II exhaustively.
+pub(crate) enum Verdict {
+    /// A complete mapping exists at this II; here is the first one in the
+    /// search's canonical order.
+    Feasible(Box<Mapping>),
+    /// The entire decision space at this II was exhausted: no mapping.
+    Refuted,
+    /// The node budget ran out before a verdict.
+    Budget,
+    /// The deadline passed before a verdict.
+    Deadline,
+}
+
+/// What a failed subtree knows about *why* it failed.
+///
+/// `max_level` is the deepest decision level implicated in every failure
+/// seen (or `-1` when none was — a structural conflict no earlier choice
+/// can fix). `tainted` means at least one failure could not be attributed
+/// (routing contention involves global link/register state), so the only
+/// sound move is chronological backtracking.
+#[derive(Clone, Copy, Debug)]
+struct Conflict {
+    tainted: bool,
+    max_level: i64,
+}
+
+impl Conflict {
+    fn none() -> Conflict {
+        Conflict {
+            tainted: false,
+            max_level: -1,
+        }
+    }
+
+    fn taint(&mut self) {
+        self.tainted = true;
+    }
+
+    fn add_level(&mut self, level: i64) {
+        self.max_level = self.max_level.max(level);
+    }
+}
+
+enum Step {
+    Found,
+    Fail(Conflict),
+    Stop(Verdict),
+}
+
+pub(crate) struct Search<'a> {
+    dfg: &'a Dfg,
+    cfg: &'a CgraConfig,
+    ii: u32,
+    limits: &'a Limits,
+    mrrg: Mrrg,
+    scratch: RouterScratch,
+    rates: Vec<u32>,
+    virgin: Vec<bool>,
+    tiles: Vec<TileId>,
+    order: Vec<NodeId>,
+    asap: Vec<u64>,
+    placements: Vec<Option<Placement>>,
+    routes: Vec<Option<Route>>,
+    /// Which decision level owns each `(tile, cycle mod II)` FU slot;
+    /// `-1` = free or pre-occupied by the fault mask (structural).
+    fu_owner: Vec<i64>,
+    /// Suffix counts over `order`: how many nodes from depth `d` on are
+    /// memory ops / need a multiplier (for the capacity propagation cut).
+    mem_suffix: Vec<u32>,
+    mul_suffix: Vec<u32>,
+    explored: u64,
+}
+
+impl<'a> Search<'a> {
+    pub(crate) fn new(
+        dfg: &'a Dfg,
+        cfg: &'a CgraConfig,
+        ii: u32,
+        limits: &'a Limits,
+        mask: Option<&FaultMask>,
+    ) -> Result<Search<'a>, MapError> {
+        let mut mrrg = Mrrg::new(cfg, ii)?;
+        if let Some(mask) = mask {
+            // Mirror the heuristic's fault handling: dead resources are
+            // pre-occupied for the whole period, so the search itself
+            // stays fault-oblivious.
+            for t in cfg.tiles() {
+                if !mask.fu_usable(t) {
+                    mrrg.occupy_fu(t, 0, ii);
+                }
+                for d in Dir::ALL {
+                    if cfg.neighbor(t, d).is_some() && !mask.link_usable(t, d) {
+                        mrrg.occupy_link(t, d, 0, ii);
+                    }
+                }
+            }
+        }
+        let tiles: Vec<TileId> = cfg
+            .tiles()
+            .filter(|&t| mask.is_none_or(|m| m.fu_usable(t)))
+            .collect();
+        let order = placement_order(dfg);
+        let asap = asap_times(dfg, ii);
+        let n = dfg.node_count();
+        let mut mem_suffix = vec![0u32; n + 1];
+        let mut mul_suffix = vec![0u32; n + 1];
+        for d in (0..n).rev() {
+            let op = dfg.node(order[d]).op();
+            mem_suffix[d] = mem_suffix[d + 1] + u32::from(op.is_memory());
+            mul_suffix[d] = mul_suffix[d + 1] + u32::from(op.class() == iced_dfg::OpcodeClass::Mul);
+        }
+        Ok(Search {
+            dfg,
+            cfg,
+            ii,
+            limits,
+            mrrg,
+            scratch: RouterScratch::default(),
+            rates: vec![1; cfg.tile_count()],
+            virgin: vec![false; cfg.tile_count()],
+            tiles,
+            order,
+            asap,
+            placements: vec![None; dfg.node_count()],
+            routes: vec![None; dfg.edge_count()],
+            fu_owner: vec![-1; cfg.tile_count() * ii as usize],
+            mem_suffix,
+            mul_suffix,
+            explored: 0,
+        })
+    }
+
+    /// Runs the search to a verdict. `explored` accumulates committed
+    /// decisions across calls (one certification run shares a budget over
+    /// all its IIs).
+    pub(crate) fn run(mut self, explored: &mut u64) -> Verdict {
+        self.explored = *explored;
+        let before = self.explored;
+        let step = self.extend(0);
+        *explored = self.explored;
+        iced_trace::counter(
+            Phase::Mapper,
+            "exact_nodes_explored",
+            self.explored - before,
+        );
+        match step {
+            Step::Found => Verdict::Feasible(Box::new(self.finish())),
+            Step::Fail(_) => {
+                iced_trace::counter(Phase::Mapper, "exact_refutations", 1);
+                Verdict::Refuted
+            }
+            Step::Stop(v) => v,
+        }
+    }
+
+    /// Capacity propagation: every yet-unplaced node still needs one free
+    /// FU cycle in the period (memory ops one on an SPM-connected tile,
+    /// multiplies one on a multiplier tile). Placements only ever consume
+    /// capacity, so failing this test refutes the whole subtree.
+    fn capacity_cut(&self, depth: usize) -> bool {
+        let remaining = (self.order.len() - depth) as u64;
+        let mut free = 0u64;
+        let mut free_mem = 0u64;
+        let mut free_mul = 0u64;
+        for &t in &self.tiles {
+            let f = u64::from(self.ii - self.mrrg.fu_busy_cycles(t));
+            free += f;
+            if self.cfg.is_memory_tile(t) {
+                free_mem += f;
+            }
+            if self.cfg.tile_has_multiplier(t) {
+                free_mul += f;
+            }
+        }
+        remaining > free
+            || u64::from(self.mem_suffix[depth]) > free_mem
+            || u64::from(self.mul_suffix[depth]) > free_mul
+    }
+
+    fn extend(&mut self, depth: usize) -> Step {
+        if depth == self.order.len() {
+            return Step::Found;
+        }
+        if self.explored >= self.limits.node_budget {
+            return Step::Stop(Verdict::Budget);
+        }
+        if self
+            .limits
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            return Step::Stop(Verdict::Deadline);
+        }
+        if self.capacity_cut(depth) {
+            // The cut compares totals touched by every earlier level; the
+            // precise blocker set is unknown, so backtrack chronologically.
+            let mut c = Conflict::none();
+            c.taint();
+            return Step::Fail(c);
+        }
+        let node = self.order[depth];
+        let op = self.dfg.node(node).op();
+        let is_mem = op.is_memory();
+        let needs_mul = op.class() == iced_dfg::OpcodeClass::Mul;
+        let mut conflict = Conflict::none();
+        let span = (2 * u64::from(self.ii)).max(4);
+
+        for ti in 0..self.tiles.len() {
+            let tile = self.tiles[ti];
+            if is_mem && !self.cfg.is_memory_tile(tile) {
+                continue;
+            }
+            if needs_mul && !self.cfg.tile_has_multiplier(tile) {
+                continue;
+            }
+            // Route every placed-predecessor edge with the shared router
+            // (earliest arrival, fixed edge order). Failures contend with
+            // global link/register state — unattributable, so tainted.
+            let mut txn_in = Txn::default();
+            let mut in_routes: Vec<(usize, FoundRoute, u32)> = Vec::new();
+            let mut in_ok = true;
+            let mut min_start = self.asap[node.index()];
+            let mut has_placed_pred = false;
+            for e in self.dfg.in_edges(node) {
+                let Some(p) = self.placements[e.src().index()] else {
+                    continue;
+                };
+                has_placed_pred = true;
+                let ready = p.ready();
+                let horizon = ready
+                    + 4 * self.cfg.manhattan(p.tile, tile) as u64
+                    + 6 * u64::from(self.ii)
+                    + 32;
+                let Some(found) = route(
+                    self.cfg,
+                    &mut self.mrrg,
+                    &self.rates,
+                    &self.virgin,
+                    p.tile,
+                    ready,
+                    tile,
+                    None,
+                    horizon,
+                    &mut txn_in,
+                    &mut self.scratch,
+                ) else {
+                    conflict.taint();
+                    in_ok = false;
+                    break;
+                };
+                let d = e.kind().distance();
+                min_start = min_start.max(
+                    found
+                        .arrival
+                        .saturating_sub(u64::from(d) * u64::from(self.ii)),
+                );
+                in_routes.push((e.id().index(), found, d));
+            }
+            if !in_ok {
+                txn_in.rollback(&mut self.mrrg);
+                continue;
+            }
+
+            let mut backjump_out: Option<Conflict> = None;
+            for s in min_start..min_start + span {
+                if !self.mrrg.fu_free(tile, s, 1) {
+                    if has_placed_pred {
+                        // The window position itself depends on routed
+                        // arrivals — attribution would be unsound.
+                        conflict.taint();
+                    } else {
+                        let slot =
+                            tile.index() * self.ii as usize + (s % u64::from(self.ii)) as usize;
+                        conflict.add_level(self.fu_owner[slot]);
+                    }
+                    continue;
+                }
+                let holds_ok = in_routes
+                    .iter()
+                    .all(|(_, fr, d)| s + u64::from(*d) * u64::from(self.ii) >= fr.arrival);
+                if !holds_ok {
+                    conflict.taint();
+                    continue;
+                }
+                match self.try_slot(depth, node, tile, s, &in_routes, &mut conflict) {
+                    Step::Found => {
+                        // Leave reservations in place; `finish` reads them.
+                        return Step::Found;
+                    }
+                    Step::Stop(v) => {
+                        txn_in.rollback(&mut self.mrrg);
+                        return Step::Stop(v);
+                    }
+                    Step::Fail(c) => {
+                        if self.limits.backjump && !c.tainted && c.max_level < depth as i64 {
+                            // No alternative at this level can repair the
+                            // conflict: jump straight through.
+                            backjump_out = Some(c);
+                            break;
+                        }
+                        conflict.taint();
+                    }
+                }
+            }
+            txn_in.rollback(&mut self.mrrg);
+            if let Some(c) = backjump_out {
+                return Step::Fail(c);
+            }
+        }
+        if !self.limits.backjump {
+            conflict.taint();
+        }
+        Step::Fail(conflict)
+    }
+
+    /// Commits `node` on `(tile, start)` — FU slot, deadline-bounded
+    /// out-routes to already-placed consumers, route/placement bookkeeping
+    /// — then recurses. On failure everything is rolled back.
+    fn try_slot(
+        &mut self,
+        depth: usize,
+        node: NodeId,
+        tile: TileId,
+        start: u64,
+        in_routes: &[(usize, FoundRoute, u32)],
+        conflict: &mut Conflict,
+    ) -> Step {
+        let mut txn = Txn::default();
+        txn.occupy_fu(&mut self.mrrg, tile, start, 1);
+        let slot = tile.index() * self.ii as usize + (start % u64::from(self.ii)) as usize;
+        self.fu_owner[slot] = depth as i64;
+
+        let mut new_routes: Vec<(usize, Route)> = Vec::new();
+        for (eid, fr, d) in in_routes {
+            let consume = start + u64::from(*d) * u64::from(self.ii);
+            new_routes.push((
+                *eid,
+                Route {
+                    edge: iced_dfg::EdgeId::from_index(*eid),
+                    hops: fr.hops.clone(),
+                    src_ready: fr.arrival.saturating_sub(hops_latency(fr)),
+                    arrival: fr.arrival,
+                    consume_at: consume,
+                },
+            ));
+        }
+
+        // Out-edges whose consumer is already placed: tightest read
+        // deadline first, exactly like the heuristic commit.
+        let ready = start + 1;
+        let mut out_edges: Vec<(iced_dfg::EdgeId, Placement, u64)> = self
+            .dfg
+            .out_edges(node)
+            .filter_map(|e| {
+                self.placements[e.dst().index()].map(|p| {
+                    let deadline = p.start + u64::from(e.kind().distance()) * u64::from(self.ii);
+                    (e.id(), p, deadline)
+                })
+            })
+            .collect();
+        out_edges.sort_unstable_by_key(|&(id, _, deadline)| (deadline, id));
+        for (eid, p, deadline) in out_edges {
+            let Some(found) = route(
+                self.cfg,
+                &mut self.mrrg,
+                &self.rates,
+                &self.virgin,
+                tile,
+                ready,
+                p.tile,
+                Some(deadline),
+                deadline,
+                &mut txn,
+                &mut self.scratch,
+            ) else {
+                conflict.taint();
+                self.fu_owner[slot] = -1;
+                txn.rollback(&mut self.mrrg);
+                return Step::Fail(Conflict {
+                    tainted: true,
+                    max_level: depth as i64,
+                });
+            };
+            new_routes.push((
+                eid.index(),
+                Route {
+                    edge: eid,
+                    hops: found.hops.clone(),
+                    src_ready: ready,
+                    arrival: found.arrival,
+                    consume_at: deadline,
+                },
+            ));
+        }
+
+        self.placements[node.index()] = Some(Placement {
+            tile,
+            start,
+            rate: 1,
+        });
+        let route_ids: Vec<usize> = new_routes.iter().map(|(i, _)| *i).collect();
+        for (eid, r) in new_routes {
+            self.routes[eid] = Some(r);
+        }
+        self.explored += 1;
+
+        let step = self.extend(depth + 1);
+        if matches!(step, Step::Found) {
+            return step;
+        }
+        // Unwind this decision (both on Fail and on Stop).
+        self.placements[node.index()] = None;
+        for eid in route_ids {
+            self.routes[eid] = None;
+        }
+        self.fu_owner[slot] = -1;
+        txn.rollback(&mut self.mrrg);
+        step
+    }
+
+    /// Assembles the found mapping. The exact backend searches the
+    /// all-normal schedule space, so — like the conventional baseline —
+    /// every island runs at nominal V/F.
+    fn finish(&self) -> Mapping {
+        let island_levels = vec![DvfsLevel::Normal; self.cfg.island_count()];
+        let tile_levels = vec![DvfsLevel::Normal; self.cfg.tile_count()];
+        Mapping::assemble(
+            self.dfg.name().to_string(),
+            self.cfg.clone(),
+            self.ii,
+            self.placements
+                .iter()
+                .map(|p| p.expect("all nodes placed on success"))
+                .collect(),
+            self.routes.iter().flatten().cloned().collect(),
+            island_levels,
+            tile_levels,
+        )
+    }
+}
+
+fn hops_latency(fr: &FoundRoute) -> u64 {
+    fr.hops
+        .first()
+        .map(|h: &Hop| fr.arrival.saturating_sub(h.depart))
+        .unwrap_or(0)
+}
+
+/// The heuristic's placement order: recurrence-cycle nodes first (in
+/// topological order), then the rest topologically. Sharing the order
+/// keeps the exact tree's first leaf close to the heuristic's mapping.
+fn placement_order(dfg: &Dfg) -> Vec<NodeId> {
+    let topo = dfg.topological_order();
+    let mut on_cycle = vec![false; dfg.node_count()];
+    for cycle in iced_dfg::recurrence::enumerate_cycles(dfg) {
+        for n in cycle.nodes() {
+            on_cycle[n.index()] = true;
+        }
+    }
+    let mut order: Vec<NodeId> = topo
+        .iter()
+        .copied()
+        .filter(|n| on_cycle[n.index()])
+        .collect();
+    order.extend(topo.iter().copied().filter(|n| !on_cycle[n.index()]));
+    order
+}
+
+/// Admissible modulo-scheduling ASAP times over the all-normal schedule:
+/// the longest-path fixpoint of `σ(v) ≥ σ(u) + 1 − d·II`. Unlike the
+/// heuristic's label-aware version there is no transport pad — a
+/// same-tile consumer really can read at the producer's ready cycle, so
+/// padding would cut feasible schedules out of the certified space.
+fn asap_times(dfg: &Dfg, ii: u32) -> Vec<u64> {
+    let n = dfg.node_count();
+    let ii = i64::from(ii);
+    let mut t = vec![0i64; n];
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in dfg.edges() {
+            let w = 1 - i64::from(e.kind().distance()) * ii;
+            let cand = t[e.src().index()] + w;
+            if cand > t[e.dst().index()] {
+                t[e.dst().index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    t.into_iter().map(|x| x.max(0) as u64).collect()
+}

@@ -23,6 +23,21 @@ pub enum MapError {
     /// valid mapping was found; the II escalation was aborted between
     /// attempts. A mapping may still exist at a higher II.
     DeadlineExceeded,
+    /// The exact backend *proved* that no mapping exists at any II up to
+    /// and including `ii` — a refutation certificate, not a search
+    /// giving up. Contrast [`MapError::IiExceeded`], which only says the
+    /// heuristic found nothing below its ceiling.
+    Infeasible {
+        /// Largest II the search exhausted without finding a mapping.
+        ii: u32,
+    },
+    /// The exact backend's node budget ran out before the search space
+    /// was exhausted and no fallback mapping was available. The result
+    /// is inconclusive: a mapping may exist.
+    BudgetExhausted {
+        /// The configured node budget that was consumed.
+        budget: u64,
+    },
     /// Architecture-level failure (invalid configuration or MRRG).
     Arch(ArchError),
     /// DFG-level failure (invalid graph handed in).
@@ -42,6 +57,15 @@ impl fmt::Display for MapError {
                 write!(
                     f,
                     "mapping deadline expired before a valid mapping was found"
+                )
+            }
+            MapError::Infeasible { ii } => {
+                write!(f, "proven infeasible: no mapping exists at II <= {ii}")
+            }
+            MapError::BudgetExhausted { budget } => {
+                write!(
+                    f,
+                    "search node budget of {budget} exhausted before a verdict"
                 )
             }
             MapError::Arch(e) => write!(f, "architecture error: {e}"),
@@ -82,5 +106,21 @@ mod tests {
         assert!(e.to_string().contains("32"));
         let e2: MapError = ArchError::ZeroDimension.into();
         assert!(e2.source().is_some());
+    }
+
+    #[test]
+    fn infeasible_display_names_the_ii() {
+        let e = MapError::Infeasible { ii: 7 };
+        let s = e.to_string();
+        assert!(s.contains('7'), "display must name the II: {s}");
+        assert!(s.contains("infeasible"), "display must say infeasible: {s}");
+    }
+
+    #[test]
+    fn budget_exhausted_display_names_the_budget() {
+        let e = MapError::BudgetExhausted { budget: 250_000 };
+        let s = e.to_string();
+        assert!(s.contains("250000"), "display must name the budget: {s}");
+        assert!(s.contains("budget"), "display must say budget: {s}");
     }
 }

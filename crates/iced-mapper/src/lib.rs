@@ -59,6 +59,19 @@ mod place;
 mod relax;
 mod router;
 
+/// Internal engine pieces re-exported for the `iced-exact` backend.
+///
+/// The exact mapper must account for resources *exactly* the way the
+/// heuristic does — same router, same reservation journal, same MRRG
+/// occupancy rules — or its certificates would speak about a different
+/// machine. Rather than duplicating the router, `iced-exact` drives the
+/// real one through this facade. Not a public API: hidden from docs and
+/// exempt from stability promises.
+#[doc(hidden)]
+pub mod engine_internals {
+    pub use crate::router::{route, FoundRoute, RouterScratch, Txn};
+}
+
 pub use bitstream::{Bitstream, ConfigWord, LinkSource};
 pub use error::MapError;
 pub use fault::{map_with_faults, DegradedMapping};

@@ -70,6 +70,39 @@ pub struct Mapping {
 }
 
 impl Mapping {
+    /// Assembles a mapping from externally computed parts. Used by the
+    /// exact backend (`iced-exact`), which builds placements and routes
+    /// with its own search but must hand back the same result type the
+    /// heuristic produces. `island_levels` and `tile_levels` must cover
+    /// every island/tile of `config`; `placements` is indexed by dense
+    /// node id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        kernel: String,
+        config: CgraConfig,
+        ii: u32,
+        placements: Vec<Placement>,
+        routes: Vec<Route>,
+        island_levels: Vec<DvfsLevel>,
+        tile_levels: Vec<DvfsLevel>,
+    ) -> Mapping {
+        assert_eq!(
+            island_levels.len(),
+            config.island_count(),
+            "island level per island"
+        );
+        assert_eq!(tile_levels.len(), config.tile_count(), "level per tile");
+        Mapping {
+            kernel,
+            config,
+            ii,
+            placements,
+            routes,
+            island_levels,
+            tile_levels,
+        }
+    }
+
     /// Kernel name this mapping belongs to.
     pub fn kernel(&self) -> &str {
         &self.kernel

@@ -35,31 +35,27 @@ use crate::mapping::Hop;
 
 /// Journal of MRRG reservations that can be rolled back as a unit.
 #[derive(Debug, Default)]
-pub(crate) struct Txn {
+pub struct Txn {
     fu: Vec<(TileId, u64, u32)>,
     links: Vec<(TileId, Dir, u64, u32)>,
     regs: Vec<(TileId, u64, u64)>,
 }
 
 impl Txn {
-    pub(crate) fn occupy_fu(&mut self, m: &mut Mrrg, tile: TileId, start: u64, len: u32) {
+    /// Occupies an FU window and journals it.
+    pub fn occupy_fu(&mut self, m: &mut Mrrg, tile: TileId, start: u64, len: u32) {
         m.occupy_fu(tile, start, len);
         self.fu.push((tile, start, len));
     }
 
-    pub(crate) fn occupy_link(
-        &mut self,
-        m: &mut Mrrg,
-        tile: TileId,
-        dir: Dir,
-        start: u64,
-        len: u32,
-    ) {
+    /// Occupies a link window and journals it.
+    pub fn occupy_link(&mut self, m: &mut Mrrg, tile: TileId, dir: Dir, start: u64, len: u32) {
         m.occupy_link(tile, dir, start, len);
         self.links.push((tile, dir, start, len));
     }
 
-    pub(crate) fn occupy_reg(&mut self, m: &mut Mrrg, tile: TileId, start: u64, len: u64) {
+    /// Occupies register slots and journals them (no-op for `len == 0`).
+    pub fn occupy_reg(&mut self, m: &mut Mrrg, tile: TileId, start: u64, len: u64) {
         if len == 0 {
             return;
         }
@@ -68,7 +64,7 @@ impl Txn {
     }
 
     /// Undoes every reservation in this journal.
-    pub(crate) fn rollback(self, m: &mut Mrrg) {
+    pub fn rollback(self, m: &mut Mrrg) {
         for (t, s, l) in self.fu.into_iter().rev() {
             m.release_fu(t, s, l);
         }
@@ -83,8 +79,10 @@ impl Txn {
 
 /// A found route: arrival time plus the hops taken.
 #[derive(Debug, Clone)]
-pub(crate) struct FoundRoute {
+pub struct FoundRoute {
+    /// Base cycle the value reaches the destination tile.
     pub arrival: u64,
+    /// Mesh hops taken, in order (empty for same-tile routes).
     pub hops: Vec<Hop>,
 }
 
@@ -103,7 +101,7 @@ struct SearchNode {
 /// bucket-queue spine. One instance serves every `route` call of a mapping
 /// attempt, so steady-state routing allocates nothing.
 #[derive(Debug, Default)]
-pub(crate) struct RouterScratch {
+pub struct RouterScratch {
     arena: Vec<SearchNode>,
     visited: Vec<u64>,
     buckets: Vec<Vec<(u64, usize)>>,
@@ -199,7 +197,7 @@ impl<'a> BucketQueue<'a> {
 /// take fewer hops (especially through slow tiles, whose links are a scarce
 /// one-transfer-per-period resource).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn route(
+pub fn route(
     cfg: &CgraConfig,
     mrrg: &mut Mrrg,
     rates: &[u32],

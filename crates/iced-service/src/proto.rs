@@ -178,6 +178,15 @@ impl Source {
         }
     }
 
+    /// Node count of the DFG this source resolves to — the `auto`
+    /// backend threshold's input.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Source::Named(k, uf) => k.dfg(*uf).node_count(),
+            Source::Inline(d) => d.node_count(),
+        }
+    }
+
     /// The canonical hash of the DFG this source resolves to. For named
     /// suite kernels the hash comes from a lazily built process-wide
     /// table, so key derivation on hot paths (the cluster router keys
@@ -214,13 +223,45 @@ fn named_dfg_hash(kernel: Kernel, unroll: UnrollFactor) -> u64 {
     table[ki * UnrollFactor::ALL.len() + ui]
 }
 
+/// Which mapper backend serves a `compile`/`simulate` request.
+///
+/// Parsed from the same `strategy` wire field that selects the heuristic
+/// [`Strategy`]: `"exact"` and `"auto"` extend the four heuristic names,
+/// and `"heuristic"` is an alias for the default heuristic (`"iced"`).
+/// `"auto"` is resolved here, at spec level, by node count against
+/// [`iced::exact::auto_prefers_exact`] — so an `auto` request shares
+/// cache entries (and response bytes) with the explicit backend it
+/// resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The heuristic mapper under the spec's [`Strategy`].
+    Heuristic,
+    /// The exact branch-and-bound mapper with a certified minimum II.
+    Exact,
+}
+
+impl Backend {
+    /// Stable name folded into cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Heuristic => "heuristic",
+            Backend::Exact => "exact",
+        }
+    }
+}
+
 /// `compile` request payload.
 #[derive(Debug, Clone)]
 pub struct CompileSpec {
     /// Kernel source.
     pub source: Source,
     /// Mapping strategy (`baseline`, `baseline+pg`, `per-tile`, `iced`).
+    /// For the exact backend this is pinned to [`Strategy::Baseline`]:
+    /// the exact search certifies the all-normal schedule space, so its
+    /// mappings carry baseline DVFS hardware semantics.
     pub strategy: Strategy,
+    /// Which mapper backend runs (`auto` already resolved).
+    pub backend: Backend,
     /// Mapper II ceiling override.
     pub max_ii: Option<u32>,
     /// Per-request mapping deadline in milliseconds (serving knob; not
@@ -412,19 +453,40 @@ fn parse_compile_spec(v: &Value) -> Result<CompileSpec, SvcError> {
             ))
         }
     };
-    let strategy = match v.get("strategy") {
-        None => Strategy::IcedIslands,
+    let (strategy, backend) = match v.get("strategy") {
+        None => (Strategy::IcedIslands, Backend::Heuristic),
         Some(s) => {
             let name = s.as_str().ok_or_else(|| {
                 SvcError::with_entity("bad_request", "'strategy' must be a string", "strategy")
             })?;
-            strategy_from_name(name).ok_or_else(|| {
-                SvcError::with_entity(
-                    "bad_request",
-                    "unknown strategy (expected baseline, baseline+pg, per-tile, iced)",
-                    name,
-                )
-            })?
+            match name {
+                // The exact backend certifies the all-normal schedule
+                // space; its mappings carry baseline DVFS semantics.
+                "exact" => (Strategy::Baseline, Backend::Exact),
+                // Alias for the default heuristic: same spec, same cache
+                // key, same rendered name as an explicit "iced".
+                "heuristic" => (Strategy::IcedIslands, Backend::Heuristic),
+                // Size dispatch, resolved here so the cache key and the
+                // response bytes match the explicit backend's.
+                "auto" => {
+                    if iced::exact::auto_prefers_exact(source.node_count()) {
+                        (Strategy::Baseline, Backend::Exact)
+                    } else {
+                        (Strategy::IcedIslands, Backend::Heuristic)
+                    }
+                }
+                _ => {
+                    let strategy = strategy_from_name(name).ok_or_else(|| {
+                        SvcError::with_entity(
+                            "bad_request",
+                            "unknown strategy (expected baseline, baseline+pg, per-tile, \
+                             iced, heuristic, exact, auto)",
+                            name,
+                        )
+                    })?;
+                    (strategy, Backend::Heuristic)
+                }
+            }
         }
     };
     let max_ii = match v.get("max_ii") {
@@ -454,6 +516,7 @@ fn parse_compile_spec(v: &Value) -> Result<CompileSpec, SvcError> {
     Ok(CompileSpec {
         source,
         strategy,
+        backend,
         max_ii,
         deadline_ms,
     })
@@ -694,6 +757,27 @@ impl CompileSpec {
         }
         opts
     }
+
+    /// The strategy name rendered in responses: the backend name for
+    /// exact requests, the heuristic strategy's name otherwise.
+    pub fn strategy_name(&self) -> &'static str {
+        match self.backend {
+            Backend::Exact => "exact",
+            Backend::Heuristic => self.strategy.name(),
+        }
+    }
+
+    /// The exact-backend options this request certifies under. The
+    /// service runs the library defaults (their canonical hash is folded
+    /// into the cache key); the per-request deadline is installed by the
+    /// worker at execution time, not here.
+    pub fn exact_options(&self) -> iced::exact::ExactOptions {
+        let mut o = iced::exact::ExactOptions::default();
+        if let Some(m) = self.max_ii {
+            o.max_ii = m;
+        }
+        o
+    }
 }
 
 /// Renders a success envelope. `result` is already-rendered JSON — for
@@ -791,6 +875,44 @@ mod tests {
             }
             p => panic!("wrong payload {p:?}"),
         }
+    }
+
+    #[test]
+    fn strategy_knob_accepts_backend_names() {
+        let compile = |strategy: &str| {
+            let line = format!(r#"{{"verb":"compile","kernel":"fir","strategy":"{strategy}"}}"#);
+            match parse_request(&line).unwrap().payload {
+                Payload::Compile(c) => c,
+                p => panic!("wrong payload {p:?}"),
+            }
+        };
+        let c = compile("exact");
+        assert_eq!(c.backend, Backend::Exact);
+        assert_eq!(c.strategy, Strategy::Baseline);
+        assert_eq!(c.strategy_name(), "exact");
+
+        // "heuristic" normalizes to the default heuristic, so it shares
+        // cache keys and rendered names with an explicit "iced".
+        let c = compile("heuristic");
+        assert_eq!(c.backend, Backend::Heuristic);
+        assert_eq!(c.strategy, Strategy::IcedIslands);
+        assert_eq!(c.strategy_name(), "iced");
+
+        // "auto" resolves at parse time by node count.
+        let c = compile("auto");
+        let nodes = Source::Named(Kernel::Fir, UnrollFactor::X1).node_count();
+        let expect = if iced::exact::auto_prefers_exact(nodes) {
+            Backend::Exact
+        } else {
+            Backend::Heuristic
+        };
+        assert_eq!(c.backend, expect);
+
+        let e =
+            parse_request(r#"{"verb":"compile","kernel":"fir","strategy":"optimal"}"#).unwrap_err();
+        assert_eq!(e.error.code, "bad_request");
+        assert!(e.error.message.contains("exact"), "{}", e.error.message);
+        assert!(e.error.message.contains("auto"), "{}", e.error.message);
     }
 
     #[test]

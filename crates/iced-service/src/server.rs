@@ -62,8 +62,8 @@ use crate::metrics::Metrics;
 use crate::poll::Waker;
 use crate::proto::{
     policy_name, render_batch_item_err, render_batch_item_ok, render_batch_result, render_err,
-    render_ok, BatchElem, CompileSpec, Payload, Request, RequestId, SimulateSpec, StreamSpec,
-    SvcError, Verb,
+    render_ok, Backend, BatchElem, CompileSpec, Payload, Request, RequestId, SimulateSpec,
+    StreamSpec, SvcError, Verb,
 };
 use crate::queue::BoundedQueue;
 
@@ -664,27 +664,49 @@ fn hash_str(s: &str) -> u64 {
     h.finish()
 }
 
+/// The backend's contribution to a compile key: its name plus, for the
+/// exact backend, the canonical hash of the exact-search options (they
+/// determine the certified fields in the rendered bytes — including
+/// `nodes_explored`, which `backjump` changes). Heuristic requests hash
+/// a constant here, so pre-existing heuristic keys stay strategy-keyed
+/// exactly as before plus this one extra lane.
+fn backend_lanes(spec: &CompileSpec) -> [u64; 2] {
+    [
+        hash_str(spec.backend.name()),
+        match spec.backend {
+            Backend::Exact => spec.exact_options().canonical_hash(),
+            Backend::Heuristic => 0,
+        },
+    ]
+}
+
 /// The `compile` content-addressed key for a given CGRA config hash.
 /// Uses the memoized `Source::canonical_hash` so key derivation on the
 /// router's forwarding path never rebuilds a suite DFG.
 pub(crate) fn compile_key(cfg: u64, spec: &CompileSpec) -> CacheKey {
+    let [backend, exact_opts] = backend_lanes(spec);
     CacheKey::derive(&[
         hash_str("compile"),
         spec.source.canonical_hash(),
         cfg,
         spec.mapper_options().canonical_hash(),
         hash_str(spec.strategy.name()),
+        backend,
+        exact_opts,
     ])
 }
 
 /// The `simulate` content-addressed key for a given CGRA config hash.
 pub(crate) fn simulate_key(cfg: u64, spec: &SimulateSpec) -> CacheKey {
+    let [backend, exact_opts] = backend_lanes(&spec.compile);
     CacheKey::derive(&[
         hash_str("simulate"),
         spec.compile.source.canonical_hash(),
         cfg,
         spec.compile.mapper_options().canonical_hash(),
         hash_str(spec.compile.strategy.name()),
+        backend,
+        exact_opts,
         spec.iterations,
         spec.seed,
     ])
@@ -740,15 +762,30 @@ fn map_err_to_svc(e: MapError, entity: &str) -> SvcError {
 }
 
 /// Maps per the requested strategy (the `Toolchain::compile` recipe, but
-/// with per-request deadline/II options threaded through).
+/// with per-request deadline/II options threaded through). For the exact
+/// backend the mapping comes with its minimum-II certificate.
 fn compile_mapping(
     shared: &Shared,
     spec: &CompileSpec,
-) -> Result<(iced::dfg::Dfg, iced::mapper::Mapping), SvcError> {
+) -> Result<
+    (
+        iced::dfg::Dfg,
+        iced::mapper::Mapping,
+        Option<iced::exact::CertifiedII>,
+    ),
+    SvcError,
+> {
     let dfg = spec.source.dfg();
     let mut opts = spec.mapper_options();
     if let Some(ms) = spec.deadline_ms {
         opts.deadline = Some(Instant::now() + Duration::from_millis(ms));
+    }
+    if spec.backend == Backend::Exact {
+        let mut xopts = spec.exact_options();
+        xopts.deadline = opts.deadline;
+        let c = iced::exact::certify(&dfg, &shared.config, &opts, &xopts)
+            .map_err(|e| map_err_to_svc(e, dfg.name()))?;
+        return Ok((dfg, c.mapping, Some(c.certificate)));
     }
     let base = map_with(&dfg, &shared.config, &opts).map_err(|e| map_err_to_svc(e, dfg.name()))?;
     let mapping = match spec.strategy {
@@ -757,11 +794,11 @@ fn compile_mapping(
         Strategy::PerTileDvfs => relax_per_tile(&dfg, &base),
         Strategy::IcedIslands => relax_islands(&dfg, &base),
     };
-    Ok((dfg, mapping))
+    Ok((dfg, mapping, None))
 }
 
 fn compile_result(shared: &Shared, spec: &CompileSpec) -> Result<String, SvcError> {
-    let (dfg, mapping) = compile_mapping(shared, spec)?;
+    let (dfg, mapping, cert) = compile_mapping(shared, spec)?;
     let stats = FabricStats::analyze(&mapping);
     let energy = EnergyBreakdown::account(
         &dfg,
@@ -771,14 +808,23 @@ fn compile_result(shared: &Shared, spec: &CompileSpec) -> Result<String, SvcErro
         1000,
     );
     let bits = Bitstream::assemble(&dfg, &mapping);
-    Ok(crate::json::Obj::new()
+    let mut o = crate::json::Obj::new()
         .str("kernel", dfg.name())
-        .str("strategy", spec.strategy.name())
+        .str("strategy", spec.strategy_name())
         .u64("nodes", dfg.node_count() as u64)
         .u64("edges", dfg.edge_count() as u64)
         .u64("ii", u64::from(mapping.ii()))
-        .u64("makespan", mapping.makespan())
-        .f64("avg_dvfs_level", stats.average_dvfs_level())
+        .u64("makespan", mapping.makespan());
+    if let Some(c) = cert {
+        // Certified fields, present only on exact-backend responses. The
+        // search is single-threaded and deterministic, so every field —
+        // including nodes_explored — is byte-stable across runs.
+        o = o
+            .str("proof", c.proof.name())
+            .u64("lower_bound", u64::from(c.lower_bound))
+            .u64("nodes_explored", c.nodes_explored);
+    }
+    Ok(o.f64("avg_dvfs_level", stats.average_dvfs_level())
         .f64("avg_utilization", stats.average_utilization())
         .f64("power_mw", energy.total_power_mw())
         .u64("bitstream_words", bits.words().len() as u64)
@@ -788,12 +834,12 @@ fn compile_result(shared: &Shared, spec: &CompileSpec) -> Result<String, SvcErro
 }
 
 fn simulate_result(shared: &Shared, spec: &SimulateSpec) -> Result<String, SvcError> {
-    let (dfg, mapping) = compile_mapping(shared, &spec.compile)?;
+    let (dfg, mapping, _cert) = compile_mapping(shared, &spec.compile)?;
     let report = run_engine(&dfg, &mapping, spec.iterations, spec.seed)
         .map_err(|e| SvcError::with_entity("sim_error", e.to_string(), dfg.name()))?;
     Ok(crate::json::Obj::new()
         .str("kernel", dfg.name())
-        .str("strategy", spec.compile.strategy.name())
+        .str("strategy", spec.compile.strategy_name())
         .u64("ii", u64::from(mapping.ii()))
         .u64("iterations", report.iterations)
         .u64("cycles", report.cycles)
@@ -882,6 +928,7 @@ mod tests {
         let spec = CompileSpec {
             source: Source::Named(Kernel::Fir, UnrollFactor::X1),
             strategy: Strategy::IcedIslands,
+            backend: Backend::Heuristic,
             max_ii: None,
             deadline_ms: None,
         };
@@ -904,5 +951,38 @@ mod tests {
             ..spec.clone()
         };
         assert_eq!(compile_key(cfg, &spec), compile_key(cfg, &with_deadline));
+    }
+
+    #[test]
+    fn exact_and_heuristic_requests_never_share_cache_keys() {
+        let cfg = CgraConfig::iced_prototype().canonical_hash();
+        let exact = CompileSpec {
+            source: Source::Named(Kernel::Fir, UnrollFactor::X1),
+            strategy: Strategy::Baseline,
+            backend: Backend::Exact,
+            max_ii: None,
+            deadline_ms: None,
+        };
+        // The exact backend must not warm-hit any heuristic strategy's
+        // entry for the same kernel — their response bytes differ.
+        for strategy in Strategy::ALL {
+            let heur = CompileSpec {
+                strategy,
+                backend: Backend::Heuristic,
+                ..exact.clone()
+            };
+            assert_ne!(
+                compile_key(cfg, &exact),
+                compile_key(cfg, &heur),
+                "exact collides with {}",
+                strategy.name()
+            );
+        }
+        // Different exact options are different certified responses.
+        let tighter = CompileSpec {
+            max_ii: Some(8),
+            ..exact.clone()
+        };
+        assert_ne!(compile_key(cfg, &exact), compile_key(cfg, &tighter));
     }
 }

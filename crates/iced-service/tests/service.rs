@@ -329,3 +329,58 @@ fn stream_and_simulate_verbs_return_reports() {
     server.shutdown();
     server.wait();
 }
+
+#[test]
+fn exact_strategy_is_certified_cache_keyed_and_byte_stable() {
+    let (server, addr) = start(2, 16);
+    let mut c = Client::connect(addr);
+    // Warm the heuristic entry first: the exact request for the same
+    // kernel must not hit it — the backend is part of the cache key.
+    let heur = c.round_trip(r#"{"id":1,"verb":"compile","kernel":"relu"}"#);
+    assert!(heur.contains("\"cached\":false"), "{heur}");
+    let cold = c.round_trip(r#"{"id":2,"verb":"compile","kernel":"relu","strategy":"exact"}"#);
+    assert!(
+        cold.contains("\"cached\":false"),
+        "exact warm-hit a heuristic entry: {cold}"
+    );
+    assert!(cold.contains("\"strategy\":\"exact\""), "{cold}");
+    assert!(cold.contains("\"proof\":"), "{cold}");
+    assert!(cold.contains("\"lower_bound\":"), "{cold}");
+    assert!(cold.contains("\"nodes_explored\":"), "{cold}");
+
+    // Warm exact responses replay the cold bytes verbatim.
+    let warm = c.round_trip(r#"{"id":3,"verb":"compile","kernel":"relu","strategy":"exact"}"#);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert_eq!(result_payload(&cold), result_payload(&warm));
+
+    // "heuristic" aliases the default heuristic: same cache entry and
+    // the same rendered bytes as the implicit/explicit "iced" request.
+    let alias = c.round_trip(r#"{"id":4,"verb":"compile","kernel":"relu","strategy":"heuristic"}"#);
+    assert!(alias.contains("\"cached\":true"), "{alias}");
+    assert_eq!(result_payload(&heur), result_payload(&alias));
+
+    // "auto" resolves by node count and shares the resolved backend's
+    // cache entry — whichever side of the threshold relu falls on.
+    let nodes = iced::kernels::Kernel::Relu
+        .dfg(iced::kernels::UnrollFactor::X1)
+        .node_count();
+    let auto = c.round_trip(r#"{"id":5,"verb":"compile","kernel":"relu","strategy":"auto"}"#);
+    assert!(auto.contains("\"cached\":true"), "{auto}");
+    let expected = if iced::exact::auto_prefers_exact(nodes) {
+        &cold
+    } else {
+        &heur
+    };
+    assert_eq!(result_payload(expected), result_payload(&auto));
+
+    // The extended knob keeps its typed rejection for unknown names.
+    let bad = c.round_trip(r#"{"id":6,"verb":"compile","kernel":"relu","strategy":"optimal"}"#);
+    assert!(bad.contains("\"ok\":false"), "{bad}");
+    assert!(
+        bad.contains("exact"),
+        "error must list the new names: {bad}"
+    );
+
+    server.shutdown();
+    server.wait();
+}

@@ -49,6 +49,7 @@
 
 pub use iced_arch as arch;
 pub use iced_dfg as dfg;
+pub use iced_exact as exact;
 pub use iced_fault as fault;
 pub use iced_kernels as kernels;
 pub use iced_mapper as mapper;
