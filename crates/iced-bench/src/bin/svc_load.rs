@@ -115,6 +115,25 @@ fn canonicalize(envelope: &str) -> String {
     }
 }
 
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn compile_requests(quick: bool, tiny: bool, strategy: &str) -> Vec<String> {
     let kernels: &[&str] = if tiny {
         &["fir", "latnrm"]
@@ -768,7 +787,7 @@ fn run_cluster(quick: bool, tiny: bool, out_path: &str) {
 }
 
 const USAGE: &str = "usage: svc_load [--quick|--tiny] [--addr HOST:PORT] [--out PATH] \
-[--clients N] [--conns N] [--cluster] [--strategy NAME] [--shutdown]\n\
+[--clients N] [--conns N] [--fuzz N] [--cluster] [--strategy NAME] [--shutdown]\n\
   --quick / --tiny   smaller request grids (CI / e2e-test sized)\n\
   --strategy NAME    compile every closed-loop request under this strategy\n\
                      (baseline, baseline+pg, per-tile, iced, heuristic,\n\
@@ -781,6 +800,9 @@ const USAGE: &str = "usage: svc_load [--quick|--tiny] [--addr HOST:PORT] [--out 
                      per connection in in-process mode (1 external) — the\n\
                      fd budget is preflighted against the soft ulimit and\n\
                      the run aborts early if it cannot fit\n\
+  --fuzz N           compile N seeded fuzzer kernels (ICED_FUZZ_SEED base) as\n\
+                     inline-DFG requests, twice; every answer must be ok or a\n\
+                     structured typed error, byte-stable across passes\n\
   --cluster          shard-count sweep (1..8 in-process shards behind a\n\
                      router) + kill-one-shard failover; writes BENCH_cluster.json\n\
   --shutdown         send the shutdown verb to the external daemon when done";
@@ -1073,6 +1095,73 @@ fn main() {
         batch_us as f64 / 1000.0
     );
 
+    // Phase 4c (--fuzz): corpus-driven compiles — seeded fuzzer kernels
+    // shipped as inline-DFG requests. Every answer must be a success or a
+    // structured typed error, and a second pass must replay byte-identical
+    // cached responses.
+    let fuzz_reqs: usize = if args.iter().any(|a| a == "--fuzz") {
+        flag("--fuzz").and_then(|v| v.parse().ok()).unwrap_or(32)
+    } else {
+        0
+    };
+    let fuzz_stats = if fuzz_reqs > 0 {
+        use iced::fuzz::gen::{generate, GenOptions};
+        let gopts = GenOptions::default();
+        let seed_base = iced::fuzz::env_seed();
+        let (mut ok, mut structured, mut mismatched) = (0usize, 0usize, 0usize);
+        let mut first: Vec<String> = Vec::new();
+        let t_fuzz = Instant::now();
+        for pass in 0..2 {
+            let mut slot = 0usize;
+            for i in 0..fuzz_reqs {
+                let seed = seed_base.wrapping_add(i as u64);
+                let Ok(dfg) = generate(seed, &gopts) else {
+                    // Generator rejections are typed and counted, not sent.
+                    continue;
+                };
+                // Same id across passes: the id is echoed back, and the
+                // second pass must replay byte-identical responses.
+                let line = format!(
+                    "{{\"id\":{},\"verb\":\"compile\",\"dfg\":\"{}\"}}",
+                    20_000 + i,
+                    json_escape(&iced::dfg::text::to_text(&dfg))
+                );
+                let (resp, _) = round_trip(&mut c, &line);
+                if resp.contains("\"ok\":true") {
+                    ok += 1;
+                } else {
+                    assert!(
+                        resp.contains("\"code\":\"") && resp.contains("\"message\":\""),
+                        "fuzzed compile must fail structurally: {resp}"
+                    );
+                    structured += 1;
+                }
+                if pass == 0 {
+                    first.push(canonicalize(&resp));
+                } else {
+                    // Both passes skip the same generator-rejected seeds,
+                    // so slot order lines up across passes.
+                    if canonicalize(&resp) != first[slot] {
+                        mismatched += 1;
+                    }
+                    slot += 1;
+                }
+            }
+        }
+        assert_eq!(
+            mismatched, 0,
+            "fuzzed compile responses must be byte-stable across passes"
+        );
+        println!(
+            "svc_load: fuzz phase: {fuzz_reqs} kernels x 2 passes -> {ok} ok, \
+             {structured} structured rejections in {:.1} ms",
+            t_fuzz.elapsed().as_micros() as f64 / 1000.0
+        );
+        Some((ok, structured))
+    } else {
+        None
+    };
+
     // Phase 5 (--conns N): the high-connection-count sweep.
     let chaos_armed = std::env::var("ICED_SVC_CHAOS").is_ok_and(|v| !v.is_empty());
     let sweep = if conns_n > 0 {
@@ -1180,6 +1269,13 @@ fn main() {
          \"deduped\": {batch_deduped}, \"dedup_ratio\": {:.2}, \"latency_us\": {batch_us}}},",
         batch_deduped as f64 / batch_slots.max(1) as f64
     );
+    if let Some((fuzz_ok, fuzz_structured)) = fuzz_stats {
+        let _ = writeln!(
+            out,
+            "  \"fuzz\": {{\"kernels\": {fuzz_reqs}, \"passes\": 2, \"ok\": {fuzz_ok}, \
+             \"structured_rejections\": {fuzz_structured}}},"
+        );
+    }
     if let Some((lat, stats)) = &sweep {
         let _ = writeln!(
             out,

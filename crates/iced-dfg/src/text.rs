@@ -17,6 +17,14 @@
 //! `edge n<src> n<dst>` (intra-iteration), and
 //! `carry n<src> n<dst> <distance>`. Node ids must be dense and in order;
 //! labels may contain spaces. `#`-prefixed lines are comments.
+//!
+//! Names and labels round-trip *exactly*: the label is everything after the
+//! single space following the opcode token, with a small escape alphabet
+//! for the characters the line format cannot carry raw — `\\` (backslash),
+//! `\n`/`\r`/`\t` (newline, carriage return, tab), `\s` (a space at the
+//! start or end of the label, which plain line trimming would eat), and
+//! `\u{…}` for any other Unicode whitespace. Interior plain spaces are kept
+//! verbatim.
 
 use std::error::Error;
 use std::fmt;
@@ -46,6 +54,11 @@ pub enum ParseError {
         /// 1-based line number.
         line: usize,
     },
+    /// A name or label contained a malformed escape sequence.
+    BadEscape {
+        /// 1-based line number.
+        line: usize,
+    },
     /// The graph was structurally invalid.
     Graph(DfgError),
 }
@@ -57,6 +70,9 @@ impl fmt::Display for ParseError {
             ParseError::BadOpcode { line } => write!(f, "unknown opcode at line {line}"),
             ParseError::BadNodeId { line } => {
                 write!(f, "node ids must be dense and ordered (line {line})")
+            }
+            ParseError::BadEscape { line } => {
+                write!(f, "malformed escape sequence at line {line}")
             }
             ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
         }
@@ -78,12 +94,83 @@ impl From<DfgError> for ParseError {
     }
 }
 
+/// Escapes a name/label so it survives the line-oriented format: `\\`,
+/// `\n`, `\r`, `\t`, `\s` for boundary spaces (line trimming would eat
+/// them), and `\u{…}` for any other Unicode whitespace.
+fn escape(s: &str) -> String {
+    let core: String = s
+        .chars()
+        .map(|c| match c {
+            '\\' => "\\\\".to_string(),
+            '\n' => "\\n".to_string(),
+            '\r' => "\\r".to_string(),
+            '\t' => "\\t".to_string(),
+            c if c.is_whitespace() && c != ' ' => format!("\\u{{{:x}}}", c as u32),
+            c => c.to_string(),
+        })
+        .collect();
+    // Boundary plain spaces (escapes above never produce a space).
+    let lead = core.len() - core.trim_start_matches(' ').len();
+    let rest = &core[lead..];
+    let kept = rest.trim_end_matches(' ');
+    let trail = rest.len() - kept.len();
+    let mut out = String::with_capacity(core.len() + 2 * (lead + trail));
+    for _ in 0..lead {
+        out.push_str("\\s");
+    }
+    out.push_str(kept);
+    for _ in 0..trail {
+        out.push_str("\\s");
+    }
+    out
+}
+
+/// Reverses [`escape`]; `None` on a malformed sequence.
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            's' => out.push(' '),
+            'u' => {
+                if chars.next()? != '{' {
+                    return None;
+                }
+                let mut hex = String::new();
+                loop {
+                    match chars.next()? {
+                        '}' => break,
+                        c => hex.push(c),
+                    }
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
 /// Serialises `dfg` to the text format.
 pub fn to_text(dfg: &Dfg) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "dfg {}", dfg.name());
+    let _ = writeln!(out, "dfg {}", escape(dfg.name()));
     for node in dfg.nodes() {
-        let _ = writeln!(out, "node {} {} {}", node.id(), node.op(), node.label());
+        let label = escape(node.label());
+        if label.is_empty() {
+            let _ = writeln!(out, "node {} {}", node.id(), node.op());
+        } else {
+            let _ = writeln!(out, "node {} {} {}", node.id(), node.op(), label);
+        }
     }
     for e in dfg.edges() {
         match e.kind() {
@@ -120,6 +207,24 @@ fn opcode_from_mnemonic(s: &str) -> Option<Opcode> {
     ALL.into_iter().find(|op| op.mnemonic() == s)
 }
 
+/// Splits off the first whitespace-delimited token, returning it and the
+/// *verbatim* remainder (leading separator included).
+fn split_token(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+/// Strips exactly one leading whitespace separator, keeping anything after
+/// it verbatim.
+fn strip_sep(s: &str) -> &str {
+    match s.chars().next() {
+        Some(c) if c.is_whitespace() => &s[c.len_utf8()..],
+        _ => s,
+    }
+}
+
 fn node_index(token: &str, line: usize) -> Result<usize, ParseError> {
     token
         .strip_prefix('n')
@@ -143,25 +248,31 @@ pub fn parse(input: &str) -> Result<Dfg, ParseError> {
         if t.is_empty() || t.starts_with('#') {
             continue;
         }
-        let mut parts = t.split_whitespace();
-        match parts.next() {
-            Some("dfg") => {
-                let name = t["dfg".len()..].trim().to_string();
+        let (dir, rest) = split_token(t);
+        let mut parts = rest.split_whitespace();
+        match dir {
+            "dfg" => {
+                let name = unescape(strip_sep(rest)).ok_or(ParseError::BadEscape { line })?;
                 builder = Some(DfgBuilder::new(name));
             }
-            Some("node") => {
+            "node" => {
                 let b = builder.as_mut().ok_or(ParseError::BadLine { line })?;
-                let id_tok = parts.next().ok_or(ParseError::BadLine { line })?;
-                let op_tok = parts.next().ok_or(ParseError::BadLine { line })?;
+                let (id_tok, rest) = split_token(rest.trim_start());
+                let (op_tok, rest) = split_token(rest.trim_start());
+                if id_tok.is_empty() || op_tok.is_empty() {
+                    return Err(ParseError::BadLine { line });
+                }
                 if node_index(id_tok, line)? != next_node {
                     return Err(ParseError::BadNodeId { line });
                 }
                 next_node += 1;
                 let op = opcode_from_mnemonic(op_tok).ok_or(ParseError::BadOpcode { line })?;
-                let label = parts.collect::<Vec<_>>().join(" ");
+                // The label is everything after the single separator space,
+                // verbatim; escapes carry what the line format cannot.
+                let label = unescape(strip_sep(rest)).ok_or(ParseError::BadEscape { line })?;
                 ids.push(b.node(op, label));
             }
-            Some("edge") => {
+            "edge" => {
                 let b = builder.as_mut().ok_or(ParseError::BadLine { line })?;
                 let s = node_index(parts.next().ok_or(ParseError::BadLine { line })?, line)?;
                 let d = node_index(parts.next().ok_or(ParseError::BadLine { line })?, line)?;
@@ -171,7 +282,7 @@ pub fn parse(input: &str) -> Result<Dfg, ParseError> {
                 );
                 b.data(s, d)?;
             }
-            Some("carry") => {
+            "carry" => {
                 let b = builder.as_mut().ok_or(ParseError::BadLine { line })?;
                 let s = node_index(parts.next().ok_or(ParseError::BadLine { line })?, line)?;
                 let d = node_index(parts.next().ok_or(ParseError::BadLine { line })?, line)?;
@@ -214,6 +325,63 @@ mod tests {
         let text = to_text(&g);
         let back = parse(&text).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn hostile_labels_round_trip_exactly() {
+        let labels = [
+            "",
+            " ",
+            "   ",
+            " leading",
+            "trailing ",
+            "  both  ",
+            "two  interior  spaces",
+            "embedded\nnewline",
+            "back\\slash",
+            "tab\there",
+            "cr\rhere",
+            "unicode\u{2028}space",
+            "# looks like a comment",
+            "\\s literal backslash-s",
+            "node n0 add decoy",
+        ];
+        let mut b = DfgBuilder::new(" dfg named\nweird ");
+        let mut prev = None;
+        for l in labels {
+            let id = b.node(Opcode::Mov, l);
+            if let Some(p) = prev {
+                b.data(p, id).unwrap();
+            }
+            prev = Some(id);
+        }
+        let g = b.finish().unwrap();
+        let back = parse(&to_text(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn malformed_escapes_rejected() {
+        assert_eq!(
+            parse("dfg k\nnode n0 add bad\\x\n"),
+            Err(ParseError::BadEscape { line: 2 })
+        );
+        assert_eq!(
+            parse("dfg k\nnode n0 add trailing\\\n"),
+            Err(ParseError::BadEscape { line: 2 })
+        );
+        assert_eq!(
+            parse("dfg k\nnode n0 add bad\\u{zz}\n"),
+            Err(ParseError::BadEscape { line: 2 })
+        );
+    }
+
+    #[test]
+    fn print_parse_print_is_idempotent() {
+        let g = sample();
+        let t1 = to_text(&g);
+        let t2 = to_text(&parse(&t1).unwrap());
+        assert_eq!(t1, t2);
     }
 
     #[test]

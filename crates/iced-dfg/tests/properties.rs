@@ -19,6 +19,13 @@ const OPS: [Opcode; 10] = [
     Opcode::Mov,
 ];
 
+/// Characters that stress the text format: whitespace the line format
+/// cannot carry raw, escape introducers, comment markers, and multibyte
+/// code points.
+const LABEL_CHARS: [char; 14] = [
+    'a', 'Z', '0', '_', '[', ' ', '\n', '\r', '\t', '\\', '#', 'é', '\u{2028}', '\u{a0}',
+];
+
 /// Random well-formed DFG: a carried ring plus forward feeder edges.
 fn arb_dfg() -> impl Strategy<Value = Dfg> {
     (
@@ -64,6 +71,30 @@ proptest! {
     fn text_round_trip_is_lossless(dfg in arb_dfg()) {
         let back = text::parse(&text::to_text(&dfg)).unwrap();
         prop_assert_eq!(dfg, back);
+    }
+
+    #[test]
+    fn text_round_trip_survives_hostile_labels(
+        name_ix in proptest::collection::vec(0usize..LABEL_CHARS.len(), 0..8),
+        label_ixs in proptest::collection::vec(
+            proptest::collection::vec(0usize..LABEL_CHARS.len(), 0..10), 1..8),
+    ) {
+        let pick = |ixs: &[usize]| ixs.iter().map(|&i| LABEL_CHARS[i]).collect::<String>();
+        let mut b = DfgBuilder::new(pick(&name_ix));
+        let mut prev: Option<NodeId> = None;
+        for ixs in &label_ixs {
+            let id = b.node(Opcode::Mov, pick(ixs));
+            if let Some(p) = prev {
+                b.data(p, id).unwrap();
+            }
+            prev = Some(id);
+        }
+        let g = b.finish().unwrap();
+        let printed = text::to_text(&g);
+        let back = text::parse(&printed).unwrap();
+        prop_assert_eq!(&g, &back);
+        // parse → print → parse is the identity, and printing is stable.
+        prop_assert_eq!(text::to_text(&back), printed);
     }
 
     #[test]

@@ -214,11 +214,15 @@ fn lower_bound_masked(
     } else {
         0
     };
-    // Routing capacity: all of a node's off-tile edges enter or leave its
-    // tile over at most `links` directed links carrying II transfers per
-    // period each, while at most II−1 other FU slots on the tile can host
-    // same-tile neighbors. So degree d needs d − (II−1) ≤ links·II, i.e.
-    // II ≥ ceil((d + 1) / (links + 1)).
+    // Routing capacity: all of a node's off-tile transfers enter or leave
+    // its tile over at most `links` directed links carrying II transfers
+    // per period each, while at most II−1 other FU slots on the tile can
+    // host same-tile neighbors. So degree d needs d − (II−1) ≤ links·II,
+    // i.e. II ≥ ceil((d + 1) / (links + 1)). Degree counts *distinct*
+    // non-self neighbors, not edges: parallel edges between one node pair
+    // (a data edge plus loop-carried edges at several distances) share one
+    // physical transfer per iteration — carried copies are buffered at the
+    // destination — and a self-edge never leaves the tile at all.
     let links = usable
         .iter()
         .map(|&t| cfg.neighbors(t).count() as u32)
@@ -227,8 +231,26 @@ fn lower_bound_masked(
     let route_mii = dfg
         .node_ids()
         .map(|n| {
-            let deg_in = dfg.in_edges(n).count() as u32;
-            let deg_out = dfg.out_edges(n).count() as u32;
+            let deg_in = {
+                let mut srcs: Vec<_> = dfg
+                    .in_edges(n)
+                    .map(|e| e.src())
+                    .filter(|&s| s != n)
+                    .collect();
+                srcs.sort_unstable();
+                srcs.dedup();
+                srcs.len() as u32
+            };
+            let deg_out = {
+                let mut dsts: Vec<_> = dfg
+                    .out_edges(n)
+                    .map(|e| e.dst())
+                    .filter(|&d| d != n)
+                    .collect();
+                dsts.sort_unstable();
+                dsts.dedup();
+                dsts.len() as u32
+            };
             (deg_in.max(deg_out) + 1).div_ceil(links + 1)
         })
         .max()
@@ -468,6 +490,39 @@ mod tests {
         b.data_chain(&ids).unwrap();
         b.carry(ids[n - 1], ids[0]).unwrap();
         b.finish().unwrap()
+    }
+
+    #[test]
+    fn routing_bound_ignores_parallel_and_self_edges() {
+        // Found by the differential fuzzer (seed 0x7a80): a node fed by a
+        // data edge plus two carried edges from the same producer, and a
+        // carried self-edge, maps at II 1 — one physical transfer per
+        // source per iteration, carried copies buffered at the
+        // destination, self-edges never leaving the tile. The bound used
+        // to count raw edge multiplicity and claimed II ≥ 2, which is
+        // inadmissible.
+        let mut b = DfgBuilder::new("parallel_edges");
+        let phi = b.node(Opcode::Phi, "r0");
+        let m1 = b.node(Opcode::Mul, "r1");
+        let m2 = b.node(Opcode::Mul, "f2");
+        b.data(phi, m1).unwrap();
+        b.edge(m1, phi, iced_dfg::EdgeKind::loop_carried(4))
+            .unwrap();
+        b.data(m2, m1).unwrap();
+        b.edge(phi, m1, iced_dfg::EdgeKind::loop_carried(2))
+            .unwrap();
+        b.edge(phi, m1, iced_dfg::EdgeKind::loop_carried(3))
+            .unwrap();
+        b.edge(m1, m1, iced_dfg::EdgeKind::loop_carried(4)).unwrap();
+        let dfg = b.finish().unwrap();
+        let cfg = CgraConfig::iced_prototype();
+        let lb = lower_bound(&dfg, &cfg);
+        let m = map_with(&dfg, &cfg, &MapperOptions::default()).unwrap();
+        assert!(
+            lb <= m.ii(),
+            "bound {lb} exceeds achieved ii {} — inadmissible",
+            m.ii()
+        );
     }
 
     #[test]

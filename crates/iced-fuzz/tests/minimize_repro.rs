@@ -1,0 +1,134 @@
+//! End-to-end minimizer check on the historical lower-bound bug.
+//!
+//! Seed 0x7a80 (from the `ICED_FUZZ_SEED=0x7777` hunt) produced a kernel
+//! where `iced_exact::lower_bound`'s routing term counted raw edge
+//! multiplicity — a data edge plus two carried edges from one producer,
+//! and a carried self-edge, pushed the claimed bound above the II the
+//! mapper actually achieved. The fixed bound deduplicates neighbors; the
+//! failure *pattern* is therefore "multiplicity-counted routing degree
+//! exceeds neighbor-deduplicated routing degree enough to change the
+//! bound". This test buries that pattern inside a much larger kernel and
+//! checks the minimizer shrinks it back to a tiny repro, deterministically
+//! across runs and threads.
+
+use iced_dfg::{Dfg, DfgBuilder, EdgeKind, NodeId, Opcode};
+use iced_fuzz::minimize::{minimize, MinimizeReport};
+
+/// Prototype fabric's max tile degree (interior tile of the 6×6 mesh).
+const LINKS: u32 = 4;
+
+/// The pre-fix routing term: raw edge multiplicity.
+fn route_mii_multiplicity(dfg: &Dfg) -> u32 {
+    dfg.node_ids()
+        .map(|n| {
+            let din = dfg.in_edges(n).count() as u32;
+            let dout = dfg.out_edges(n).count() as u32;
+            (din.max(dout) + 1).div_ceil(LINKS + 1)
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// The fixed routing term: distinct non-self neighbors.
+fn route_mii_dedup(dfg: &Dfg) -> u32 {
+    dfg.node_ids()
+        .map(|n| {
+            let mut srcs: Vec<NodeId> = dfg
+                .in_edges(n)
+                .map(|e| e.src())
+                .filter(|&s| s != n)
+                .collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            let mut dsts: Vec<NodeId> = dfg
+                .out_edges(n)
+                .map(|e| e.dst())
+                .filter(|&d| d != n)
+                .collect();
+            dsts.sort_unstable();
+            dsts.dedup();
+            ((srcs.len() as u32).max(dsts.len() as u32) + 1).div_ceil(LINKS + 1)
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// The historical failure signature: the buggy bound disagrees with the
+/// admissible one.
+fn exhibits_bug(dfg: &Dfg) -> bool {
+    route_mii_multiplicity(dfg) > route_mii_dedup(dfg)
+}
+
+/// The seed-0x7a80 pattern buried in ~24 nodes of scaffolding.
+fn known_bad_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("buried_0x7a80");
+    // Scaffolding: a 20-node accumulator chain with its own recurrence.
+    let chain: Vec<NodeId> = (0..20)
+        .map(|i| {
+            let op = if i == 0 { Opcode::Phi } else { Opcode::Add };
+            b.node(op, format!("c{i}"))
+        })
+        .collect();
+    b.data_chain(&chain).unwrap();
+    b.edge(chain[19], chain[0], EdgeKind::loop_carried(2))
+        .unwrap();
+    // The buggy pattern: phi → mul with parallel carried edges and a
+    // carried self-edge.
+    let phi = b.node(Opcode::Phi, "r0");
+    let m1 = b.node(Opcode::Mul, "r1");
+    let m2 = b.node(Opcode::Mul, "f2");
+    b.data(phi, m1).unwrap();
+    b.edge(m1, phi, EdgeKind::loop_carried(4)).unwrap();
+    b.data(m2, m1).unwrap();
+    b.edge(phi, m1, EdgeKind::loop_carried(2)).unwrap();
+    b.edge(phi, m1, EdgeKind::loop_carried(3)).unwrap();
+    b.edge(m1, m1, EdgeKind::loop_carried(4)).unwrap();
+    // Cross links tying the pattern into the scaffolding.
+    b.data(chain[19], phi).unwrap();
+    b.data(chain[10], m2).unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn known_bad_seed_shrinks_to_a_tiny_repro() {
+    let big = known_bad_kernel();
+    assert!(big.node_count() >= 20);
+    assert!(exhibits_bug(&big), "pattern must survive embedding");
+    let report = minimize(&big, exhibits_bug, 50_000);
+    assert!(
+        report.dfg.node_count() <= 10,
+        "repro still has {} nodes",
+        report.dfg.node_count()
+    );
+    assert!(exhibits_bug(&report.dfg), "signature lost in shrinking");
+    report.dfg.validate().unwrap();
+}
+
+#[test]
+fn shrinking_is_deterministic_across_runs_and_threads() {
+    let big = known_bad_kernel();
+    let baseline: MinimizeReport = minimize(&big, exhibits_bug, 50_000);
+    // Same run, same thread.
+    assert_eq!(baseline, minimize(&big, exhibits_bug, 50_000));
+    // Fresh threads: the repro and its serialized text must be identical.
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let big = big.clone();
+            std::thread::spawn(move || minimize(&big, exhibits_bug, 50_000))
+        })
+        .collect();
+    let printed = iced_dfg::text::to_text(&baseline.dfg);
+    for h in handles {
+        let r = h.join().expect("minimizer thread panicked");
+        assert_eq!(r, baseline);
+        assert_eq!(iced_dfg::text::to_text(&r.dfg), printed);
+    }
+}
+
+#[test]
+fn minimized_repro_round_trips_through_text() {
+    let report = minimize(&known_bad_kernel(), exhibits_bug, 50_000);
+    let printed = iced_dfg::text::to_text(&report.dfg);
+    let back = iced_dfg::text::parse(&printed).unwrap();
+    assert_eq!(back, report.dfg);
+}

@@ -8,8 +8,17 @@
 //! combine always has a fixed execution delay"), proportional to the
 //! input's non-zeros for sparse kernels. The shifting bottleneck between
 //! those two classes is exactly what the runtime DVFS controller exploits.
+//!
+//! A stage's kernel comes from a [`StageSource`]: either a Table I suite
+//! [`Kernel`], or a deterministic fuzzer-generated kernel (seeded through
+//! `iced-fuzz`) — the [`Pipeline::sensor`] and [`Pipeline::stencil`]
+//! applications are built entirely from generated kernels, giving the
+//! streaming layer coverage beyond the two paper applications.
 
-use crate::suite::Kernel;
+use iced_dfg::Dfg;
+use iced_fuzz::gen::{generate, GenOptions};
+
+use crate::suite::{Kernel, UnrollFactor};
 
 /// Per-input work model of one pipeline kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,11 +53,68 @@ impl WorkModel {
     }
 }
 
+/// Where a stage kernel's DFG comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StageSource {
+    /// A Table I suite kernel.
+    Suite(Kernel),
+    /// A deterministic fuzzer-generated kernel: `seed` fully determines
+    /// the DFG (via `iced_fuzz::gen::generate` with default options);
+    /// `name` is the stable stage name used for display and routing.
+    Generated {
+        /// Stable stage name.
+        name: &'static str,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl StageSource {
+    /// Stable display name of the stage kernel.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageSource::Suite(k) => k.name(),
+            StageSource::Generated { name, .. } => name,
+        }
+    }
+
+    /// The suite kernel, when this source is one.
+    pub fn suite_kernel(&self) -> Option<Kernel> {
+        match self {
+            StageSource::Suite(k) => Some(*k),
+            StageSource::Generated { .. } => None,
+        }
+    }
+
+    /// Whether this source is the given suite kernel.
+    pub fn is_kernel(&self, kernel: Kernel) -> bool {
+        self.suite_kernel() == Some(kernel)
+    }
+
+    /// Builds the stage's DFG.
+    ///
+    /// Generated sources ignore the unroll factor below the generator
+    /// (their seeds already decide unrolling); suite sources honour it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generated source's seed does not generate — pipeline
+    /// seeds are curated constants and covered by unit tests, so this is
+    /// unreachable for the shipped pipelines.
+    pub fn dfg(&self, uf: UnrollFactor) -> Dfg {
+        match self {
+            StageSource::Suite(k) => k.dfg(uf),
+            StageSource::Generated { name, seed } => generate(*seed, &GenOptions::default())
+                .unwrap_or_else(|e| panic!("pipeline seed {seed:#x} ({name}) must generate: {e}")),
+        }
+    }
+}
+
 /// One kernel within a pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageKernel {
-    /// The kernel.
-    pub kernel: Kernel,
+    /// The kernel source (suite or generated).
+    pub source: StageSource,
     /// Islands allocated by the static partitioning (Table I).
     pub islands: usize,
     /// Per-input work model.
@@ -77,7 +143,15 @@ fn stage(kernels: Vec<StageKernel>) -> PipelineStage {
 
 fn sk(kernel: Kernel, islands: usize, work: WorkModel) -> StageKernel {
     StageKernel {
-        kernel,
+        source: StageSource::Suite(kernel),
+        islands,
+        work,
+    }
+}
+
+fn gk(name: &'static str, seed: u64, islands: usize, work: WorkModel) -> StageKernel {
+    StageKernel {
+        source: StageSource::Generated { name, seed },
         islands,
         work,
     }
@@ -187,6 +261,118 @@ impl Pipeline {
         }
     }
 
+    /// A sensor-fusion style application built entirely from
+    /// fuzzer-generated kernels: deskew → fuse (two parallel channels) →
+    /// threshold. The front stages are sparse (work tracks the number of
+    /// active sensor channels), the final threshold is dense — the same
+    /// shifting-bottleneck structure the runtime controller exploits in
+    /// GCN, but over generated dataflow instead of Table I kernels.
+    pub fn sensor() -> Pipeline {
+        Pipeline {
+            name: "sensor",
+            stages: vec![
+                stage(vec![gk(
+                    "deskew",
+                    0x5E50_0001,
+                    2,
+                    WorkModel::PerUnit {
+                        base: 24.0,
+                        scale: 1.5,
+                    },
+                )]),
+                stage(vec![
+                    gk(
+                        "fuse_lo",
+                        0x5E50_0002,
+                        2,
+                        WorkModel::PerUnit {
+                            base: 16.0,
+                            scale: 2.0,
+                        },
+                    ),
+                    gk(
+                        "fuse_hi",
+                        0x5E50_0003,
+                        2,
+                        WorkModel::PerUnit {
+                            base: 16.0,
+                            scale: 2.0,
+                        },
+                    ),
+                ]),
+                stage(vec![gk(
+                    "threshold",
+                    0x5E50_0004,
+                    3,
+                    WorkModel::Fixed { iters: 96.0 },
+                )]),
+            ],
+        }
+    }
+
+    /// A stencil-sweep style application from fuzzer-generated kernels:
+    /// halo exchange → interior update → residual reduction → correction.
+    /// The interior update dominates on dense inputs; the residual stage
+    /// scales with the number of boundary cells.
+    pub fn stencil() -> Pipeline {
+        Pipeline {
+            name: "stencil",
+            stages: vec![
+                stage(vec![gk(
+                    "halo",
+                    0x57E4_0001,
+                    1,
+                    WorkModel::PerUnit {
+                        base: 12.0,
+                        scale: 0.6,
+                    },
+                )]),
+                stage(vec![gk(
+                    "interior",
+                    0x57E4_0002,
+                    4,
+                    WorkModel::Fixed { iters: 220.0 },
+                )]),
+                stage(vec![gk(
+                    "residual",
+                    0x57E4_0003,
+                    2,
+                    WorkModel::PerUnit {
+                        base: 20.0,
+                        scale: 1.0,
+                    },
+                )]),
+                stage(vec![gk(
+                    "correct",
+                    0x57E4_0004,
+                    2,
+                    WorkModel::Fixed { iters: 72.0 },
+                )]),
+            ],
+        }
+    }
+
+    /// Looks a pipeline up by name (`gcn`, `lu`, `sensor`, `stencil`).
+    pub fn by_name(name: &str) -> Option<Pipeline> {
+        match name {
+            "gcn" => Some(Pipeline::gcn()),
+            "lu" => Some(Pipeline::lu()),
+            "sensor" => Some(Pipeline::sensor()),
+            "stencil" => Some(Pipeline::stencil()),
+            _ => None,
+        }
+    }
+
+    /// Every shipped pipeline, suite-backed and generated.
+    pub fn all() -> Vec<Pipeline> {
+        vec![
+            Pipeline::gcn(),
+            Pipeline::lu(),
+            Pipeline::sensor(),
+            Pipeline::stencil(),
+        ]
+    }
+
     /// Total islands allocated across all stage kernels.
     pub fn total_islands(&self) -> usize {
         self.stages
@@ -214,7 +400,7 @@ mod tests {
         // aggregate appears twice with 2 islands each (Table I's "4").
         let agg: Vec<_> = p
             .stage_kernels()
-            .filter(|k| k.kernel == Kernel::GcnAggregate)
+            .filter(|k| k.source.is_kernel(Kernel::GcnAggregate))
             .collect();
         assert_eq!(agg.len(), 2);
         assert_eq!(agg.iter().map(|k| k.islands).sum::<usize>(), 4);
@@ -233,17 +419,80 @@ mod tests {
         let p = Pipeline::gcn();
         let agg = p
             .stage_kernels()
-            .find(|k| k.kernel == Kernel::GcnAggregate)
+            .find(|k| k.source.is_kernel(Kernel::GcnAggregate))
             .unwrap();
         let comb = p
             .stage_kernels()
-            .find(|k| k.kernel == Kernel::GcnCombine)
+            .find(|k| k.source.is_kernel(Kernel::GcnCombine))
             .unwrap();
         // Sparse input: combine dominates; dense input: aggregate does.
         assert!(agg.work.iterations(8) < comb.work.iterations(8));
         assert!(agg.work.iterations(200) > comb.work.iterations(200));
         assert!(agg.work.is_data_dependent());
         assert!(!comb.work.is_data_dependent());
+    }
+
+    #[test]
+    fn generated_pipelines_fit_the_fabric() {
+        for p in [Pipeline::sensor(), Pipeline::stencil()] {
+            assert!(p.total_islands() <= 9, "{} over-allocates islands", p.name);
+            assert!(p.stages.len() >= 3);
+            // Each application keeps a sparse and a dense stage so the
+            // runtime DVFS controller has a bottleneck to chase.
+            assert!(p.stage_kernels().any(|k| k.work.is_data_dependent()));
+            assert!(p.stage_kernels().any(|k| !k.work.is_data_dependent()));
+        }
+    }
+
+    #[test]
+    fn generated_stage_seeds_are_curated() {
+        // Every generated stage seed must actually generate (dfg() panics
+        // otherwise) and produce a non-trivial, valid kernel — this is the
+        // curation gate for the constants in sensor()/stencil().
+        for p in [Pipeline::sensor(), Pipeline::stencil()] {
+            for k in p.stage_kernels() {
+                assert!(k.source.suite_kernel().is_none());
+                let dfg = k.source.dfg(UnrollFactor::X1);
+                dfg.validate().unwrap();
+                assert!(dfg.node_count() >= 3, "{} too small", k.source.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_stage_kernels_map_on_the_prototype() {
+        use iced_arch::CgraConfig;
+        use iced_mapper::{map_with, MapperOptions};
+        let cfg = CgraConfig::iced_prototype();
+        for p in [Pipeline::sensor(), Pipeline::stencil()] {
+            for k in p.stage_kernels() {
+                let dfg = k.source.dfg(UnrollFactor::X1);
+                let m = map_with(&dfg, &cfg, &MapperOptions::default())
+                    .unwrap_or_else(|e| panic!("{} does not map: {e}", k.source.name()));
+                assert!(m.ii() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_covers_all_pipelines() {
+        for p in Pipeline::all() {
+            let found = Pipeline::by_name(p.name).unwrap();
+            assert_eq!(found.name, p.name);
+            assert_eq!(found.stages.len(), p.stages.len());
+        }
+        assert!(Pipeline::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn stage_source_names_are_stable() {
+        let s = StageSource::Generated {
+            name: "deskew",
+            seed: 1,
+        };
+        assert_eq!(s.name(), "deskew");
+        assert!(!s.is_kernel(Kernel::Fir));
+        assert_eq!(StageSource::Suite(Kernel::Fir).name(), "fir");
     }
 
     #[test]

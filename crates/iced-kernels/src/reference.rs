@@ -252,11 +252,11 @@ mod tests {
         let p = Pipeline::gcn();
         let agg = p
             .stage_kernels()
-            .find(|k| k.kernel == crate::Kernel::GcnAggregate)
+            .find(|k| k.source.is_kernel(crate::Kernel::GcnAggregate))
             .unwrap();
         let comb = p
             .stage_kernels()
-            .find(|k| k.kernel == crate::Kernel::GcnCombine)
+            .find(|k| k.source.is_kernel(crate::Kernel::GcnCombine))
             .unwrap();
         let a1 = agg.work.iterations(100) as f64;
         let a2 = agg.work.iterations(200) as f64;

@@ -49,6 +49,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Input-reachable code must fail with typed errors, never panic: the
+// differential fuzzer treats any panic as a bug, and the service feeds
+// untrusted DFG text straight into these crates.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bitstream;
 mod error;

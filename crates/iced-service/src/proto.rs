@@ -661,10 +661,10 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     .and_then(Value::as_str)
                     .unwrap_or("gcn")
                     .to_string();
-                if pipeline != "gcn" && pipeline != "lu" {
+                if !matches!(pipeline.as_str(), "gcn" | "lu" | "sensor" | "stencil") {
                     return Err(SvcError::with_entity(
                         "bad_request",
-                        "unknown pipeline (expected gcn or lu)",
+                        "unknown pipeline (expected gcn, lu, sensor, or stencil)",
                         pipeline,
                     ));
                 }

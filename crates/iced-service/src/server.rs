@@ -850,13 +850,14 @@ fn simulate_result(shared: &Shared, spec: &SimulateSpec) -> Result<String, SvcEr
 }
 
 fn stream_result(shared: &Shared, spec: &StreamSpec) -> Result<String, SvcError> {
-    let pipeline = match spec.pipeline.as_str() {
-        "gcn" => Pipeline::gcn(),
-        _ => Pipeline::lu(),
-    };
+    let pipeline = Pipeline::by_name(spec.pipeline.as_str()).ok_or_else(|| {
+        SvcError::with_entity("bad_request", "unknown pipeline", spec.pipeline.clone())
+    })?;
     let partition = Partition::table1(&pipeline, &shared.config)
         .map_err(|e| map_err_to_svc(e, &spec.pipeline))?;
-    let inputs: Vec<u64> = if spec.pipeline == "gcn" {
+    // Graph-shaped workloads drive gcn and the generated sensor app;
+    // matrix-shaped ones drive lu and stencil.
+    let inputs: Vec<u64> = if matches!(spec.pipeline.as_str(), "gcn" | "sensor") {
         workloads::enzymes_like(spec.inputs, spec.seed)
             .iter()
             .map(|g| g.nnz())

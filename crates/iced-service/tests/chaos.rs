@@ -134,6 +134,86 @@ fn daemon_survives_a_thousand_chaotic_requests() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[test]
+fn daemon_survives_a_corpus_driven_storm() {
+    // The fuzzer's corpus hits the daemon: seeded generator kernels plus
+    // every committed regression repro, shipped as inline-DFG compile
+    // requests while the chaos layer injects worker panics and torn
+    // writes. The daemon must answer each with a success or a structured
+    // typed error — untrusted DFG text must never crash the service.
+    let dir = std::env::temp_dir().join(format!("iced-svc-chaos-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = chaos_server(0xF0CC, &dir);
+    let addr = server.local_addr().to_string();
+
+    // Corpus: 32 generated kernels (fixed seed base, independent of the
+    // env knobs so the test is hermetic) + the committed regressions +
+    // a hostile non-parsing payload.
+    let gopts = iced_fuzz::gen::GenOptions::default();
+    let mut bodies: Vec<String> = (0..32u64)
+        .filter_map(|i| iced_fuzz::gen::generate(0x1CED_F0CC + i, &gopts).ok())
+        .map(|dfg| iced_dfg::text::to_text(&dfg))
+        .collect();
+    assert!(bodies.len() >= 16, "generator rejected too many seeds");
+    for repro in iced_fuzz::corpus::builtin_corpus() {
+        bodies.push(repro.text.to_string());
+    }
+    bodies.push("dfg broken\nnode without parts\n".to_string());
+
+    let mut c = Client::connect_retry(&addr, Duration::from_secs(10))
+        .expect("daemon reachable")
+        .with_limits(Duration::from_secs(60), 16);
+    let (mut ok, mut structured) = (0usize, 0usize);
+    for (r, body) in bodies.iter().enumerate() {
+        let line = format!(
+            "{{\"id\":{r},\"verb\":\"compile\",\"dfg\":\"{}\"}}",
+            json_escape(body)
+        );
+        let resp = c
+            .request(&line)
+            .unwrap_or_else(|e| panic!("corpus req {r} exhausted: {e}"));
+        if resp.contains("\"ok\":true") {
+            ok += 1;
+        } else {
+            assert!(resp.contains("\"ok\":false"), "{resp}");
+            assert!(resp.contains("\"code\":\""), "{resp}");
+            assert!(resp.contains("\"message\":\""), "{resp}");
+            structured += 1;
+        }
+    }
+    assert_eq!(ok + structured, bodies.len(), "every request answered");
+    // The deliberately-broken payload must be a structured parse error,
+    // and the well-formed kernels must dominate.
+    assert!(structured >= 1, "the broken payload must fail structurally");
+    assert!(ok >= bodies.len() / 2, "most corpus kernels compile: {ok}");
+
+    // Chaos really fired, and the daemon drains cleanly afterwards.
+    let metrics = c
+        .request("{\"id\":9000,\"verb\":\"metrics\"}")
+        .expect("metrics after the storm");
+    assert!(json_u64(&metrics, "chaos_faults") > 0, "chaos never fired");
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn chaos_decisions_are_reproducible_across_daemons() {
     // Two daemons with the same seed take identical fault decisions in

@@ -44,7 +44,7 @@ impl KernelProfile {
         config: &CgraConfig,
         max_islands: usize,
     ) -> Result<KernelProfile, MapError> {
-        let dfg = stage.kernel.dfg(UnrollFactor::X1);
+        let dfg = stage.source.dfg(UnrollFactor::X1);
         let mut ii_by_islands = Vec::with_capacity(max_islands);
         let mut activity = 0.25;
         for k in 1..=max_islands {
@@ -296,7 +296,7 @@ mod tests {
         let p = Pipeline::gcn();
         let sk = *p
             .stage_kernels()
-            .find(|k| k.kernel == Kernel::GcnAggregate)
+            .find(|k| k.source.is_kernel(Kernel::GcnAggregate))
             .unwrap();
         let prof = KernelProfile::measure(sk, &cfg, 9).unwrap();
         let small = prof.ii(prof.min_islands()).unwrap();

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, prof) in partition.profiles.iter().enumerate() {
         println!(
             "  {:<10} islands={} II={:?}",
-            prof.stage.kernel.name(),
+            prof.stage.source.name(),
             partition.islands_of(i),
             prof.ii(partition.islands_of(i)),
         );

@@ -17,6 +17,7 @@
 //! | [`sim`] | `iced-sim` | schedule validation, activity metrics, functional replay |
 //! | [`streaming`] | `iced-streaming` | partitioning, runtime DVFS controller, DRIPS |
 //! | [`fault`] | `iced-fault` | deterministic fault plans, masks, SEU schedules |
+//! | [`fuzz`] | `iced-fuzz` | seeded DFG corpus generator, differential cross-backend harness |
 //! | [`kernels`] | `iced-kernels` | Table I kernel suite, workloads, pipelines |
 //! | [`trace`] | `iced-trace` | structured tracing, counters, Chrome-trace/JSONL export |
 //!
@@ -51,6 +52,7 @@ pub use iced_arch as arch;
 pub use iced_dfg as dfg;
 pub use iced_exact as exact;
 pub use iced_fault as fault;
+pub use iced_fuzz as fuzz;
 pub use iced_kernels as kernels;
 pub use iced_mapper as mapper;
 pub use iced_power as power;
